@@ -1,0 +1,147 @@
+//! Model counting and minterm enumeration.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, BddManager, TERMINAL_VAR};
+
+impl BddManager {
+    /// Number of minterms (satisfying assignments over all `n` variables of
+    /// the manager) of `f`.
+    ///
+    /// This is the quantity the experiments use to measure the *error rate*
+    /// of an approximation: `|f ⊕ g| / 2^n`.
+    pub fn sat_count(&self, f: Bdd) -> u64 {
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let below = self.count_from_top(f, &mut memo);
+        let top = self.level_of(f);
+        let total = below << top;
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
+
+    /// Fraction of the 2^n minterms on which `f` is 1.
+    pub fn density(&self, f: Bdd) -> f64 {
+        self.sat_count(f) as f64 / (1u128 << self.num_vars()) as f64
+    }
+
+    /// Fraction of minterms on which `f` and `g` differ.
+    pub fn error_rate(&mut self, f: Bdd, g: Bdd) -> f64 {
+        let x = self.xor(f, g);
+        self.density(x)
+    }
+
+    fn level_of(&self, f: Bdd) -> usize {
+        let v = self.node(f).var;
+        if v == TERMINAL_VAR {
+            self.num_vars()
+        } else {
+            v as usize
+        }
+    }
+
+    fn count_from_top(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if self.is_zero(f) {
+            return 0;
+        }
+        if self.is_one(f) {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let v = n.var as usize;
+        let low_count = self.count_from_top(n.low, memo);
+        let high_count = self.count_from_top(n.high, memo);
+        let low_gap = self.level_of(n.low) - v - 1;
+        let high_gap = self.level_of(n.high) - v - 1;
+        let c = (low_count << low_gap) + (high_count << high_gap);
+        memo.insert(f, c);
+        c
+    }
+
+    /// Returns one satisfying minterm of `f`, or `None` if `f` is the
+    /// constant 0. Unconstrained variables are set to 0.
+    pub fn one_sat(&self, f: Bdd) -> Option<u64> {
+        if self.is_zero(f) {
+            return None;
+        }
+        let mut minterm = 0u64;
+        let mut cur = f;
+        while !self.is_terminal(cur) {
+            let n = self.node(cur);
+            if self.is_zero(n.low) {
+                minterm |= 1u64 << n.var;
+                cur = n.high;
+            } else {
+                cur = n.low;
+            }
+        }
+        debug_assert!(self.is_one(cur));
+        Some(minterm)
+    }
+
+    /// Collects every satisfying minterm of `f`.
+    ///
+    /// Intended for testing and for the small worked examples of the paper;
+    /// the number of minterms can be exponential in `n`.
+    pub fn all_sat(&self, f: Bdd) -> Vec<u64> {
+        let mut result = Vec::new();
+        for m in 0..(1u64 << self.num_vars()) {
+            if self.eval(f, m) {
+                result.push(m);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_simple_functions() {
+        let mut mgr = BddManager::new(4);
+        assert_eq!(mgr.sat_count(mgr.zero()), 0);
+        assert_eq!(mgr.sat_count(mgr.one()), 16);
+        let x0 = mgr.variable(0);
+        assert_eq!(mgr.sat_count(x0), 8);
+        let x3 = mgr.variable(3);
+        let f = mgr.and(x0, x3);
+        assert_eq!(mgr.sat_count(f), 4);
+        let g = mgr.or(x0, x3);
+        assert_eq!(mgr.sat_count(g), 12);
+    }
+
+    #[test]
+    fn count_matches_enumeration_on_random_functions() {
+        let mut mgr = BddManager::new(6);
+        let tt = boolfunc::TruthTable::from_fn(6, |m| (m.wrapping_mul(2654435761)) % 5 < 2);
+        let f = mgr.from_truth_table(&tt);
+        assert_eq!(mgr.sat_count(f), tt.count_ones());
+        assert_eq!(mgr.all_sat(f).len() as u64, tt.count_ones());
+    }
+
+    #[test]
+    fn density_and_error_rate() {
+        let mut mgr = BddManager::new(4);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        assert!((mgr.density(x0) - 0.5).abs() < 1e-12);
+        // x0 and x0&x1 differ on x0=1, x1=0: 4 of 16 minterms.
+        let a = mgr.and(x0, x1);
+        assert!((mgr.error_rate(x0, a) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sat_returns_a_model() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let x2 = mgr.variable(2);
+        let nx2 = mgr.not(x2);
+        let f = mgr.and(x0, nx2);
+        let m = mgr.one_sat(f).unwrap();
+        assert!(mgr.eval(f, m));
+        assert_eq!(mgr.one_sat(mgr.zero()), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Minato–Morreale irredundant sum-of-products (ISOP) extraction.
+//!
+//! Given an incompletely specified function as an interval `[lower, upper]`
+//! of BDDs (`lower` ⊆ cover ⊆ `upper`), [`BddManager::isop`] produces an
+//! irredundant cube cover lying inside the interval. This is the standard way
+//! of obtaining a good starting SOP from a BDD and is how the pipeline seeds
+//! the espresso-style minimizer and the 2-SPP synthesizer with an initial
+//! cover for `f`, `g` and the quotient `h`.
+
+use boolfunc::{Cover, Cube, CubeValue};
+
+use crate::manager::{Bdd, BddManager};
+
+impl BddManager {
+    /// Computes an irredundant SOP cover `F` with `lower ⊆ F ⊆ upper` using
+    /// the Minato–Morreale recursion, returning the cover together with the
+    /// BDD of the cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower ⊄ upper` (the interval is empty somewhere).
+    pub fn isop(&mut self, lower: Bdd, upper: Bdd) -> (Cover, Bdd) {
+        assert!(self.is_subset(lower, upper), "isop requires lower ⊆ upper");
+        let full = Cube::full(self.num_vars()).expect("managers never exceed cube arity");
+        self.isop_rec(lower, upper, full)
+    }
+
+    /// Computes an irredundant SOP cover of the completely specified function
+    /// `f` (interval `[f, f]`).
+    pub fn isop_exact(&mut self, f: Bdd) -> Cover {
+        self.isop(f, f).0
+    }
+
+    fn isop_rec(&mut self, lower: Bdd, upper: Bdd, cube: Cube) -> (Cover, Bdd) {
+        let n = self.num_vars();
+        if self.is_zero(lower) {
+            return (Cover::empty(n), self.zero());
+        }
+        if self.is_one(upper) {
+            return (Cover::from_cubes(n, [cube]), self.one());
+        }
+        // Branch variable: the topmost variable of either bound.
+        let var = self.top_var(lower).min(self.top_var(upper));
+        debug_assert!(var < n);
+        let (l0, l1) = self.cofactors_at(lower, var);
+        let (u0, u1) = self.cofactors_at(upper, var);
+
+        // Cubes that must contain the negative literal: on-set minterms of the
+        // 0-branch that cannot be covered from the 1-branch side.
+        let not_u1 = self.not(u1);
+        let l0_only = self.and(l0, not_u1);
+        let c0 = cube.with_value(var, CubeValue::Zero);
+        let (cover0, f0) = self.isop_rec(l0_only, u0, c0);
+
+        // Cubes that must contain the positive literal.
+        let not_u0 = self.not(u0);
+        let l1_only = self.and(l1, not_u0);
+        let c1 = cube.with_value(var, CubeValue::One);
+        let (cover1, f1) = self.isop_rec(l1_only, u1, c1);
+
+        // Remaining on-set minterms can be covered by cubes independent of the
+        // branch variable.
+        let covered0 = self.diff(l0, f0);
+        let covered1 = self.diff(l1, f1);
+        let l_rest = self.or(covered0, covered1);
+        let u_rest = self.and(u0, u1);
+        let (cover_d, fd) = self.isop_rec(l_rest, u_rest, cube);
+
+        let mut cover = cover0;
+        cover.extend(cover1);
+        cover.extend(cover_d);
+
+        // BDD of the produced cover: x'·f0 + x·f1 + fd.
+        let x = self.variable(var);
+        let branch = self.ite(x, f1, f0);
+        let total = self.or(branch, fd);
+        (cover, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::TruthTable;
+
+    fn check_cover_in_interval(mgr: &mut BddManager, cover: &Cover, lower: Bdd, upper: Bdd) {
+        let cover_bdd = mgr.cover(cover);
+        assert!(mgr.is_subset(lower, cover_bdd), "cover misses part of the lower bound");
+        assert!(mgr.is_subset(cover_bdd, upper), "cover exceeds the upper bound");
+    }
+
+    #[test]
+    fn exact_isop_covers_the_function() {
+        let mut mgr = BddManager::new(4);
+        let cover_in = Cover::from_strs(4, &["11-1", "-011", "1100"]).unwrap();
+        let f = mgr.cover(&cover_in);
+        let isop = mgr.isop_exact(f);
+        let isop_bdd = mgr.cover(&isop);
+        assert_eq!(isop_bdd, f);
+    }
+
+    #[test]
+    fn isop_exploits_dont_cares() {
+        let mut mgr = BddManager::new(4);
+        // on = x0 x1 x3 + x1' x2 x3 ; dc = everything with x3 = 0
+        let on = {
+            let c = Cover::from_strs(4, &["11-1", "-011"]).unwrap();
+            mgr.cover(&c)
+        };
+        let x3 = mgr.variable(3);
+        let dc = mgr.not(x3);
+        let upper = mgr.or(on, dc);
+        let (cover, _) = mgr.isop(on, upper);
+        check_cover_in_interval(&mut mgr, &cover, on, upper);
+        // With the whole x3=0 half as don't-care, the cover should not need the
+        // x3 literal in every cube, so its literal count must be below the
+        // exact ISOP's.
+        let exact = mgr.isop_exact(on);
+        assert!(cover.literal_count() <= exact.literal_count());
+    }
+
+    #[test]
+    fn isop_on_random_functions_is_correct_and_irredundant() {
+        for seed in 0..20u64 {
+            let mut mgr = BddManager::new(5);
+            let tt = TruthTable::from_fn(5, |m| {
+                (m.wrapping_mul(0x9E37_79B9).wrapping_add(seed * 0x85EB_CA6B)) % 7 < 3
+            });
+            let f = mgr.from_truth_table(&tt);
+            let cover = mgr.isop_exact(f);
+            let back = mgr.cover(&cover);
+            assert_eq!(back, f, "seed {seed}: cover does not equal the function");
+            // Irredundancy: removing any cube must lose some on-set minterm.
+            for skip in 0..cover.num_cubes() {
+                let reduced = Cover::from_cubes(
+                    5,
+                    cover.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, c)| *c),
+                );
+                let reduced_bdd = mgr.cover(&reduced);
+                assert_ne!(reduced_bdd, f, "seed {seed}: cube {skip} is redundant");
+            }
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let mut mgr = BddManager::new(3);
+        let zero = mgr.zero();
+        let one = mgr.one();
+        assert!(mgr.isop_exact(zero).is_empty());
+        let taut = mgr.isop_exact(one);
+        assert_eq!(taut.num_cubes(), 1);
+        assert!(taut.cubes()[0].is_full());
+    }
+}

@@ -1,0 +1,47 @@
+//! # bdd
+//!
+//! A from-scratch reduced ordered binary decision diagram (ROBDD) package,
+//! playing the role that CUDD plays in the paper's original implementation:
+//! the set operations of Table II (unions, intersections, differences and
+//! symmetric differences of on/off/dc-sets) are carried out on BDDs when the
+//! functions are too large for dense truth tables.
+//!
+//! Features:
+//!
+//! * hash-consed unique table with strict ROBDD reduction invariants,
+//! * memoized [`BddManager::ite`] (if-then-else) as the single core operator,
+//! * the usual derived operations (`and`, `or`, `xor`, `not`, `implies`, …),
+//! * cofactors/restriction, functional composition, existential and universal
+//!   quantification over variable sets,
+//! * model counting ([`BddManager::sat_count`]) and minterm enumeration,
+//! * conversion from/to [`boolfunc::TruthTable`] and [`boolfunc::Cover`],
+//! * Minato–Morreale irredundant SOP extraction ([`BddManager::isop`]),
+//! * Graphviz DOT export for debugging.
+//!
+//! ```rust
+//! use bdd::BddManager;
+//!
+//! let mut mgr = BddManager::new(3);
+//! let x0 = mgr.variable(0);
+//! let x1 = mgr.variable(1);
+//! let x2 = mgr.variable(2);
+//! let f = {
+//!     let a = mgr.and(x0, x1);
+//!     mgr.or(a, x2)
+//! };
+//! assert_eq!(mgr.sat_count(f), 5);
+//! assert!(mgr.eval(f, 0b100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count;
+mod dot;
+mod error;
+mod isop;
+mod manager;
+mod quant;
+
+pub use error::BddError;
+pub use manager::{Bdd, BddManager};

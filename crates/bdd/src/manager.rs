@@ -1,0 +1,582 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use boolfunc::{Cover, Cube, TruthTable};
+
+use crate::error::BddError;
+
+/// A handle to a node owned by a [`BddManager`].
+///
+/// Handles are plain indices: they are `Copy`, cheap to store, and only
+/// meaningful together with the manager that created them. The manager never
+/// frees nodes (no garbage collection is needed at the problem sizes of the
+/// paper's benchmarks), so handles stay valid for the manager's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// Raw index of the node inside its manager (mostly useful for debugging
+    /// and for DOT export).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) low: Bdd,
+    pub(crate) high: Bdd,
+}
+
+/// Sentinel variable index used by the two terminal nodes.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A reduced ordered BDD manager with a hash-consed unique table and a
+/// memoized ITE operator.
+///
+/// The variable order is the identity order `x0 < x1 < … < x(n-1)`; the
+/// benchmark functions used in the paper's evaluation are small enough that
+/// dynamic reordering is not required (see `DESIGN.md`).
+///
+/// ```rust
+/// use bdd::BddManager;
+///
+/// let mut mgr = BddManager::new(2);
+/// let x0 = mgr.variable(0);
+/// let x1 = mgr.variable(1);
+/// let f = mgr.xor(x0, x1);
+/// assert_eq!(mgr.sat_count(f), 2);
+/// ```
+pub struct BddManager {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+}
+
+impl BddManager {
+    /// Creates a manager for functions over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        let nodes = vec![
+            Node { var: TERMINAL_VAR, low: Bdd(0), high: Bdd(0) }, // constant 0
+            Node { var: TERMINAL_VAR, low: Bdd(1), high: Bdd(1) }, // constant 1
+        ];
+        BddManager { num_vars, nodes, unique: HashMap::new(), ite_cache: HashMap::new() }
+    }
+
+    /// Number of variables of the manager.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of nodes currently allocated (including both terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant-0 function.
+    pub fn zero(&self) -> Bdd {
+        Bdd(0)
+    }
+
+    /// The constant-1 function.
+    pub fn one(&self) -> Bdd {
+        Bdd(1)
+    }
+
+    /// Returns `true` if `f` is the constant 0.
+    pub fn is_zero(&self, f: Bdd) -> bool {
+        f == self.zero()
+    }
+
+    /// Returns `true` if `f` is the constant 1.
+    pub fn is_one(&self, f: Bdd) -> bool {
+        f == self.one()
+    }
+
+    pub(crate) fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    pub(crate) fn is_terminal(&self, f: Bdd) -> bool {
+        f.0 <= 1
+    }
+
+    /// Level (variable index) of the top node of `f`; terminals report
+    /// `usize::MAX`.
+    pub fn top_var(&self, f: Bdd) -> usize {
+        let v = self.node(f).var;
+        if v == TERMINAL_VAR {
+            usize::MAX
+        } else {
+            v as usize
+        }
+    }
+
+    fn check_var(&self, var: usize) -> Result<(), BddError> {
+        if var >= self.num_vars {
+            Err(BddError::VariableOutOfRange { variable: var, num_vars: self.num_vars })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The projection function for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`; use [`BddManager::try_variable`]
+    /// for the fallible version.
+    pub fn variable(&mut self, var: usize) -> Bdd {
+        self.try_variable(var).expect("variable index out of range")
+    }
+
+    /// Fallible version of [`BddManager::variable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::VariableOutOfRange`] if `var` is not a variable of
+    /// this manager.
+    pub fn try_variable(&mut self, var: usize) -> Result<Bdd, BddError> {
+        self.check_var(var)?;
+        Ok(self.mk_node(var as u32, Bdd(0), Bdd(1)))
+    }
+
+    /// The complemented projection function `¬x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn nvariable(&mut self, var: usize) -> Bdd {
+        self.check_var(var).expect("variable index out of range");
+        self.mk_node(var as u32, Bdd(1), Bdd(0))
+    }
+
+    /// Returns the literal `x_var` or `¬x_var` depending on `positive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn literal(&mut self, var: usize, positive: bool) -> Bdd {
+        if positive {
+            self.variable(var)
+        } else {
+            self.nvariable(var)
+        }
+    }
+
+    pub(crate) fn mk_node(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        if let Some(&existing) = self.unique.get(&(var, low, high)) {
+            return existing;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(Node { var, low, high });
+        self.unique.insert((var, low, high), id);
+        id
+    }
+
+    /// The if-then-else operator `ite(f, g, h) = f·g + f'·h`, the core of all
+    /// binary operations.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if self.is_one(f) {
+            return g;
+        }
+        if self.is_zero(f) {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if self.is_one(g) && self.is_zero(h) {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let result = self.mk_node(top as u32, low, high);
+        self.ite_cache.insert((f, g, h), result);
+        result
+    }
+
+    /// Cofactors of `f` with respect to the variable at level `level`
+    /// (identity if `f`'s top variable is below `level`).
+    pub(crate) fn cofactors_at(&self, f: Bdd, level: usize) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR || (n.var as usize) != level {
+            (f, f)
+        } else {
+            (n.low, n.high)
+        }
+    }
+
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd(0), Bdd(1))
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd(0))
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd(1), g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence `f ⊙ g` (XNOR).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Implication `f ⇒ g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd(1))
+    }
+
+    /// Joint denial `¬(f ∨ g)` (NOR).
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let o = self.or(f, g);
+        self.not(o)
+    }
+
+    /// Alternative denial `¬(f ∧ g)` (NAND).
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let a = self.and(f, g);
+        self.not(a)
+    }
+
+    /// Set difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Returns `true` if `f ⇒ g` is a tautology (i.e. the on-set of `f` is a
+    /// subset of the on-set of `g`).
+    pub fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
+        let d = self.diff(f, g);
+        self.is_zero(d)
+    }
+
+    /// Restriction (cofactor) of `f` with `var` fixed to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn restrict(&mut self, f: Bdd, var: usize, value: bool) -> Bdd {
+        self.check_var(var).expect("variable index out of range");
+        self.restrict_rec(f, var as u32, value, &mut HashMap::new())
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR || n.var > var {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let result = if n.var == var {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            let low = self.restrict_rec(n.low, var, value, memo);
+            let high = self.restrict_rec(n.high, var, value, memo);
+            self.mk_node(n.var, low, high)
+        };
+        memo.insert(f, result);
+        result
+    }
+
+    /// Functional composition: substitutes `g` for variable `var` inside `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn compose(&mut self, f: Bdd, var: usize, g: Bdd) -> Bdd {
+        let f1 = self.restrict(f, var, true);
+        let f0 = self.restrict(f, var, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Builds the BDD of a single [`Cube`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions a variable outside the manager.
+    pub fn cube(&mut self, cube: &Cube) -> Bdd {
+        let mut result = self.one();
+        // Build bottom-up (highest variable first) to avoid quadratic work.
+        for var in (0..cube.num_vars()).rev() {
+            match cube.value(var) {
+                boolfunc::CubeValue::DontCare => {}
+                boolfunc::CubeValue::One => {
+                    result = self.mk_node(var as u32, Bdd(0), result);
+                }
+                boolfunc::CubeValue::Zero => {
+                    result = self.mk_node(var as u32, result, Bdd(0));
+                }
+            }
+        }
+        result
+    }
+
+    /// Builds the BDD of a [`Cover`] (disjunction of its cubes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover mentions a variable outside the manager.
+    pub fn cover(&mut self, cover: &Cover) -> Bdd {
+        let mut result = self.zero();
+        for c in cover.iter() {
+            let cb = self.cube(c);
+            result = self.or(result, cb);
+        }
+        result
+    }
+
+    /// Builds the BDD of a dense [`TruthTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has a different number of variables than the
+    /// manager.
+    pub fn from_truth_table(&mut self, table: &TruthTable) -> Bdd {
+        assert_eq!(table.num_vars(), self.num_vars, "truth table arity mismatch");
+        self.from_table_rec(table, 0, 0)
+    }
+
+    fn from_table_rec(&mut self, table: &TruthTable, var: usize, prefix: u64) -> Bdd {
+        if var == self.num_vars {
+            return if table.get(prefix) { self.one() } else { self.zero() };
+        }
+        let low = self.from_table_rec(table, var + 1, prefix);
+        let high = self.from_table_rec(table, var + 1, prefix | (1u64 << var));
+        self.mk_node(var as u32, low, high)
+    }
+
+    /// Evaluates `f` on a minterm (bit `i` of `minterm` is the value of
+    /// variable `i`).
+    pub fn eval(&self, f: Bdd, minterm: u64) -> bool {
+        let mut cur = f;
+        loop {
+            let n = self.node(cur);
+            if n.var == TERMINAL_VAR {
+                return cur == Bdd(1);
+            }
+            cur = if minterm >> n.var & 1 == 1 { n.high } else { n.low };
+        }
+    }
+
+    /// Converts `f` into a dense truth table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::TooManyVariablesForTable`] if the manager has more
+    /// variables than the dense representation supports.
+    pub fn to_truth_table(&self, f: Bdd) -> Result<TruthTable, BddError> {
+        if self.num_vars > TruthTable::MAX_VARS {
+            return Err(BddError::TooManyVariablesForTable {
+                num_vars: self.num_vars,
+                max: TruthTable::MAX_VARS,
+            });
+        }
+        Ok(TruthTable::from_fn(self.num_vars, |m| self.eval(f, m)))
+    }
+
+    /// Number of nodes reachable from `f` (excluding terminals), the usual
+    /// BDD size measure.
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if self.is_terminal(n) || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.node(n);
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        count
+    }
+
+    /// The set of variables `f` actually depends on.
+    pub fn support(&self, f: Bdd) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if self.is_terminal(n) || !seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            vars.insert(node.var as usize);
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Clears the operation caches (the unique table is kept, so existing
+    /// handles stay valid). Useful between unrelated computations to bound
+    /// memory growth.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BddManager(vars={}, nodes={})", self.num_vars, self.nodes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_variables() {
+        let mut mgr = BddManager::new(3);
+        assert!(mgr.is_zero(mgr.zero()));
+        assert!(mgr.is_one(mgr.one()));
+        let x1 = mgr.variable(1);
+        assert_eq!(mgr.top_var(x1), 1);
+        // Hash-consing: requesting the same variable twice yields the same node.
+        assert_eq!(x1, mgr.variable(1));
+    }
+
+    #[test]
+    fn variable_out_of_range() {
+        let mut mgr = BddManager::new(2);
+        assert!(mgr.try_variable(2).is_err());
+    }
+
+    #[test]
+    fn basic_operators_match_truth_tables() {
+        let mut mgr = BddManager::new(2);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let cases: Vec<(Bdd, fn(bool, bool) -> bool)> = vec![
+            (mgr.and(x0, x1), |a, b| a && b),
+            (mgr.or(x0, x1), |a, b| a || b),
+            (mgr.xor(x0, x1), |a, b| a ^ b),
+            (mgr.xnor(x0, x1), |a, b| a == b),
+            (mgr.nand(x0, x1), |a, b| !(a && b)),
+            (mgr.nor(x0, x1), |a, b| !(a || b)),
+            (mgr.implies(x0, x1), |a, b| !a || b),
+            (mgr.diff(x0, x1), |a, b| a && !b),
+        ];
+        for (bdd, op) in cases {
+            for m in 0..4u64 {
+                let a = m & 1 == 1;
+                let b = m >> 1 & 1 == 1;
+                assert_eq!(mgr.eval(bdd, m), op(a, b), "mismatch on minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_invariants_hold() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let nx0 = mgr.not(x0);
+        // x0 or not x0 is the constant one (no redundant node survives).
+        let tautology = mgr.or(x0, nx0);
+        assert!(mgr.is_one(tautology));
+        // and(x0, x0) is x0 itself.
+        assert_eq!(mgr.and(x0, x0), x0);
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let x2 = mgr.variable(2);
+        let a = mgr.and(x0, x1);
+        let f = mgr.or(a, x2);
+        let f_x2_true = mgr.restrict(f, 2, true);
+        assert!(mgr.is_one(f_x2_true));
+        let f_x2_false = mgr.restrict(f, 2, false);
+        assert_eq!(f_x2_false, mgr.and(x0, x1));
+        // compose x2 := x0 & x1 makes f equal to x0 & x1 ... or itself
+        let g = mgr.and(x0, x1);
+        let composed = mgr.compose(f, 2, g);
+        assert_eq!(composed, g);
+    }
+
+    #[test]
+    fn cube_and_cover_conversion() {
+        let mut mgr = BddManager::new(4);
+        let cover = Cover::from_strs(4, &["11-1", "-011"]).unwrap();
+        let f = mgr.cover(&cover);
+        let tt = cover.to_truth_table();
+        for m in 0..16u64 {
+            assert_eq!(mgr.eval(f, m), tt.get(m));
+        }
+        assert_eq!(mgr.to_truth_table(f).unwrap(), tt);
+    }
+
+    #[test]
+    fn truth_table_round_trip() {
+        let mut mgr = BddManager::new(5);
+        let tt = TruthTable::from_fn(5, |m| (m * 2654435761) % 7 < 3);
+        let f = mgr.from_truth_table(&tt);
+        assert_eq!(mgr.to_truth_table(f).unwrap(), tt);
+    }
+
+    #[test]
+    fn node_count_and_support() {
+        let mut mgr = BddManager::new(4);
+        let x0 = mgr.variable(0);
+        let x3 = mgr.variable(3);
+        let f = mgr.and(x0, x3);
+        assert_eq!(mgr.node_count(f), 2);
+        assert_eq!(mgr.support(f), vec![0, 3]);
+        assert_eq!(mgr.support(mgr.one()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn subset_check() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let a = mgr.and(x0, x1);
+        assert!(mgr.is_subset(a, x0));
+        assert!(!mgr.is_subset(x0, a));
+    }
+}

@@ -1,0 +1,136 @@
+//! Existential and universal quantification over sets of variables.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, BddManager, TERMINAL_VAR};
+
+impl BddManager {
+    /// Existential quantification `∃ vars . f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range.
+    pub fn exists(&mut self, f: Bdd, vars: &[usize]) -> Bdd {
+        let mask = self.vars_mask(vars);
+        self.quant_rec(f, &mask, true, &mut HashMap::new())
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range.
+    pub fn forall(&mut self, f: Bdd, vars: &[usize]) -> Bdd {
+        let mask = self.vars_mask(vars);
+        self.quant_rec(f, &mask, false, &mut HashMap::new())
+    }
+
+    fn vars_mask(&self, vars: &[usize]) -> Vec<bool> {
+        let mut mask = vec![false; self.num_vars()];
+        for &v in vars {
+            assert!(v < self.num_vars(), "variable index {v} out of range");
+            mask[v] = true;
+        }
+        mask
+    }
+
+    fn quant_rec(
+        &mut self,
+        f: Bdd,
+        mask: &[bool],
+        existential: bool,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let low = self.quant_rec(n.low, mask, existential, memo);
+        let high = self.quant_rec(n.high, mask, existential, memo);
+        let result = if mask[n.var as usize] {
+            if existential {
+                self.or(low, high)
+            } else {
+                self.and(low, high)
+            }
+        } else {
+            self.mk_node(n.var, low, high)
+        };
+        memo.insert(f, result);
+        result
+    }
+
+    /// The positive and negative cofactors of `f` with respect to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn cofactors(&mut self, f: Bdd, var: usize) -> (Bdd, Bdd) {
+        let neg = self.restrict(f, var, false);
+        let pos = self.restrict(f, var, true);
+        (neg, pos)
+    }
+
+    /// Boolean difference `∂f/∂x_var = f|x=0 ⊕ f|x=1`: the set of minterms on
+    /// which the function is sensitive to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn boolean_difference(&mut self, f: Bdd, var: usize) -> Bdd {
+        let (neg, pos) = self.cofactors(f, var);
+        self.xor(neg, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_and_forall() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let x2 = mgr.variable(2);
+        let a = mgr.and(x0, x1);
+        let f = mgr.or(a, x2);
+        // ∃x2.f = 1 (choose x2 = 1)
+        let e = mgr.exists(f, &[2]);
+        assert!(mgr.is_one(e));
+        // ∀x2.f = x0 & x1
+        let u = mgr.forall(f, &[2]);
+        assert_eq!(u, mgr.and(x0, x1));
+        // quantifying over all variables gives a constant
+        let all = mgr.exists(f, &[0, 1, 2]);
+        assert!(mgr.is_one(all));
+        let none = mgr.forall(f, &[0, 1, 2]);
+        assert!(mgr.is_zero(none));
+    }
+
+    #[test]
+    fn quantifying_irrelevant_variable_is_identity() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let e = mgr.exists(x0, &[2]);
+        assert_eq!(e, x0);
+    }
+
+    #[test]
+    fn boolean_difference_detects_dependence() {
+        let mut mgr = BddManager::new(2);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let f = mgr.xor(x0, x1);
+        // XOR is sensitive to x0 everywhere.
+        let d = mgr.boolean_difference(f, 0);
+        assert!(mgr.is_one(d));
+        let g = mgr.and(x0, x1);
+        // AND is sensitive to x0 only when x1 = 1.
+        let d = mgr.boolean_difference(g, 0);
+        assert_eq!(d, x1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench: the end-to-end Table III/IV pipeline on single outputs of
+//! the regenerated arithmetic benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use benchmarks::arithmetic;
+use bidecomp::{ApproxStrategy, BinaryOp, DecompositionPlan};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let instances = [arithmetic::z4(), arithmetic::adr4(), arithmetic::dist()];
+    for instance in &instances {
+        let f = &instance.outputs()[1];
+        for (label, strategy) in [
+            ("full-expansion", ApproxStrategy::FullExpansion),
+            ("bounded-8pct", ApproxStrategy::Bounded { max_error_rate: 0.08 }),
+        ] {
+            group.bench_function(format!("{}/{label}", instance.name()), |b| {
+                let plan = DecompositionPlan::new(BinaryOp::And, strategy);
+                b.iter(|| {
+                    let d = plan.decompose(f).expect("AND accepts any 0→1 divisor");
+                    std::hint::black_box(d.gain_percent())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

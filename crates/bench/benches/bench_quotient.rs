@@ -1,0 +1,52 @@
+//! Criterion bench: the Table II quotient computation, dense backend vs BDD
+//! backend (ablation #1 of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bdd::BddManager;
+use bidecomp::{full_quotient_bdd, quotient_sets, BinaryOp};
+use boolfunc::{Isf, TruthTable};
+
+fn test_function(num_vars: usize) -> (Isf, TruthTable) {
+    let on = TruthTable::from_fn(num_vars, |m| m.wrapping_mul(0x9E37_79B9) % 5 < 2);
+    let f = Isf::completely_specified(on);
+    // A 0→1 over-approximation: add every third off-set minterm.
+    let mut g = f.on().clone();
+    for (i, m) in f.off().ones().enumerate() {
+        if i % 3 == 0 {
+            g.set(m, true);
+        }
+    }
+    (f, g)
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient");
+    group.sample_size(20);
+    for &num_vars in &[8usize, 10, 12] {
+        let (f, g) = test_function(num_vars);
+        group.bench_function(format!("dense/{num_vars}vars"), |b| {
+            b.iter(|| std::hint::black_box(quotient_sets(&f, &g, BinaryOp::And)));
+        });
+        group.bench_function(format!("bdd/{num_vars}vars"), |b| {
+            b.iter(|| {
+                let mut mgr = BddManager::new(num_vars);
+                let f_on = mgr.from_truth_table(f.on());
+                let f_dc = mgr.from_truth_table(f.dc());
+                let g_bdd = mgr.from_truth_table(&g);
+                std::hint::black_box(full_quotient_bdd(&mut mgr, f_on, f_dc, g_bdd, BinaryOp::And))
+            });
+        });
+        group.bench_function(format!("dense-all-ops/{num_vars}vars"), |b| {
+            b.iter(|| {
+                for op in [BinaryOp::And, BinaryOp::NonImplication, BinaryOp::Xor] {
+                    std::hint::black_box(quotient_sets(&f, &g, op));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotient);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: the espresso-style two-level minimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use boolfunc::{Isf, TruthTable};
+use sop::{complement, espresso, is_tautology};
+
+fn bench_sop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sop");
+    group.sample_size(10);
+
+    for &num_vars in &[6usize, 8] {
+        let on = TruthTable::from_fn(num_vars, |m| m.wrapping_mul(2654435761) % 3 == 0);
+        let f = Isf::completely_specified(on);
+        group.bench_function(format!("espresso/{num_vars}vars"), |b| {
+            b.iter(|| std::hint::black_box(espresso(&f)).literal_count());
+        });
+        let cover = f.on().to_minterm_cover();
+        group.bench_function(format!("complement/{num_vars}vars"), |b| {
+            b.iter(|| std::hint::black_box(complement(&cover)).num_cubes());
+        });
+        group.bench_function(format!("tautology/{num_vars}vars"), |b| {
+            let taut = cover.union(&complement(&cover));
+            b.iter(|| std::hint::black_box(is_tautology(&taut)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sop);
+criterion_main!(benches);

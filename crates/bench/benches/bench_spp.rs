@@ -1,0 +1,34 @@
+//! Criterion bench: 2-SPP synthesis and the 0→1 approximation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use benchmarks::arithmetic;
+use spp::{BoundedExpansion, FullExpansion, SppSynthesizer};
+
+fn bench_spp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spp");
+    group.sample_size(10);
+
+    let z4 = arithmetic::z4();
+    let f = &z4.outputs()[0];
+    let synthesizer = SppSynthesizer::new();
+
+    group.bench_function("synthesize/z4-out0", |b| {
+        b.iter(|| std::hint::black_box(synthesizer.synthesize(f)).literal_count());
+    });
+
+    let form = synthesizer.synthesize(f);
+    group.bench_function("bounded-expansion/z4-out0", |b| {
+        b.iter(|| std::hint::black_box(BoundedExpansion::new(0.1).approximate(&form, f)).errors);
+    });
+    group.bench_function("full-expansion/z4-out0", |b| {
+        b.iter(|| {
+            std::hint::black_box(FullExpansion::new().approximate(&form, f, &synthesizer)).errors
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_spp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Extension experiment (future work of Section V): bi-decomposition with all
+//! ten operators and the approximation kind each requires, on the smoke suite.
+
+use benchmarks::Suite;
+use bidecomp::{ApproxStrategy, BinaryOp, DecompositionPlan};
+
+fn main() {
+    println!(
+        "{:<10} {:<8} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "benchmark", "op", "err%", "area f", "area g·h", "gain%", "verified"
+    );
+    for instance in Suite::smoke().instances() {
+        let f = &instance.outputs()[0];
+        for op in BinaryOp::all() {
+            let plan = DecompositionPlan::new(op, ApproxStrategy::Bounded { max_error_rate: 0.1 });
+            match plan.decompose(f) {
+                Ok(d) => println!(
+                    "{:<10} {:<8} {:>8.2} {:>10.1} {:>10.1} {:>10.2} {:>8}",
+                    instance.name(),
+                    op.symbol(),
+                    d.error_percent(),
+                    d.area_f,
+                    d.area_bidecomposition,
+                    d.gain_percent(),
+                    d.verified
+                ),
+                Err(e) => println!("{:<10} {:<8} failed: {e}", instance.name(), op.symbol()),
+            }
+        }
+        println!();
+    }
+}

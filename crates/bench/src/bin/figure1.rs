@@ -1,0 +1,55 @@
+//! Reproduces Fig. 1 of the paper: the AND bi-decomposition of
+//! `f = x1 x2 x4 + x2 x3 x4` with the divisor `g = x2 x4` and the quotient
+//! `h = x1 + x3` (variables renamed `x0..x3`).
+
+use bidecomp::{classify_approximation, full_quotient, verify_decomposition, BinaryOp};
+use boolfunc::{Cover, Isf, TruthTable};
+
+fn print_kmap(title: &str, value: impl Fn(u64) -> char) {
+    // Gray-code ordered Karnaugh map with (x0 x1) on rows and (x2 x3) on columns.
+    const GRAY: [u64; 4] = [0b00, 0b01, 0b11, 0b10];
+    println!("{title}");
+    println!("        x2x3=00 01 11 10");
+    for &row in &GRAY {
+        print!("x0x1={}{}   ", row >> 1 & 1, row & 1);
+        for &col in &GRAY {
+            let minterm = (row >> 1 & 1) | ((row & 1) << 1) | ((col >> 1 & 1) << 2) | ((col & 1) << 3);
+            print!("  {}  ", value(minterm));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let f = Isf::from_cover_str(4, &["11-1", "-111"], &[]).expect("static cover strings are valid");
+    let g: TruthTable = Cover::from_strs(4, &["-1-1"]).expect("static cover").to_truth_table();
+
+    print_kmap("(a) f = x0 x1 x3 + x1 x2 x3", |m| if f.on().get(m) { '1' } else { '0' });
+    print_kmap("(b) g = x1 x3 (0→1 approximation of f)", |m| if g.get(m) { '1' } else { '0' });
+
+    let stats = classify_approximation(&f, &g);
+    println!("approximation: {:?}, 0→1 errors = {}", stats.kind, stats.zero_to_one);
+
+    let h = full_quotient(&f, &g, BinaryOp::And).expect("g is a valid 0→1 divisor");
+    print_kmap("(c) h (full quotient for AND)", |m| match h.value(m) {
+        Some(true) => '1',
+        Some(false) => '0',
+        None => '-',
+    });
+
+    let f_sop = sop::espresso(&f);
+    let g_sop = sop::espresso(&Isf::completely_specified(g.clone()));
+    let h_sop = sop::espresso(&h);
+    println!("minimal SOP of f: {} ({} literals)", f_sop, f_sop.literal_count());
+    println!("minimal SOP of g: {} ({} literals)", g_sop, g_sop.literal_count());
+    println!("minimal SOP of h: {} ({} literals)", h_sop, h_sop.literal_count());
+    println!(
+        "bi-decomposed form g·h uses {} literals (paper: 4)",
+        g_sop.literal_count() + h_sop.literal_count()
+    );
+    assert!(verify_decomposition(&f, &g, &h, BinaryOp::And));
+    assert_eq!(f_sop.literal_count(), 6);
+    assert_eq!(g_sop.literal_count() + h_sop.literal_count(), 4);
+    println!("verified: f = g · h for every completion of h");
+}

@@ -1,0 +1,19 @@
+//! Reproduces Table I: the ten binary operations depending on both inputs,
+//! their bi-decomposed forms, De Morgan class and the kind of approximation
+//! their divisor must be (the extra column comes from Table II).
+
+use bidecomp::approximation::divisor_requirement;
+use bidecomp::BinaryOp;
+
+fn main() {
+    println!("{:<8} {:<26} {:<10} {}", "Operator", "Bi-decomposed form", "Class", "Divisor requirement");
+    for op in BinaryOp::all() {
+        println!(
+            "{:<8} {:<26} {:<10} {}",
+            op.symbol(),
+            op.decomposed_form(),
+            format!("{:?}", op.class()),
+            divisor_requirement(op)
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! # bidecomp-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `DESIGN.md` for the experiment index) plus Criterion micro-benchmarks for
+//! the individual components.
+//!
+//! Binaries (`cargo run -p bidecomp-bench --release --bin <name>`):
+//!
+//! * `operators_table` — Table I (the ten operators and their rewritten forms);
+//! * `table2_check`   — Table II, Lemmas 1–5 and Corollaries 1–4 checked on
+//!   randomly generated functions and divisors;
+//! * `figure1`        — the worked AND example of Fig. 1;
+//! * `figure2`        — the worked 2-SPP example of Fig. 2;
+//! * `table3`         — the low-error-rate comparison (Table III);
+//! * `table4`         — the high-error-rate comparison (Table IV);
+//! * `error_sweep`    — ablation: area of `g`/`h` versus the error budget;
+//! * `all_ops_sweep`  — extension: all ten operators on the smoke suite.
+
+use std::time::Instant;
+
+use benchmarks::BenchmarkInstance;
+use bidecomp::{ApproxStrategy, BenchmarkRow, BinaryOp, DecompositionPlan, TableReport};
+
+/// Options shared by the table-reproduction binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Skip instances with more than this many inputs.
+    pub max_inputs: usize,
+    /// Use at most this many outputs per instance (areas are summed over the
+    /// outputs actually processed).
+    pub max_outputs: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions { max_inputs: 12, max_outputs: 6 }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--max-inputs N`, `--max-outputs N` and `--fast` from the
+    /// command line (unknown arguments are ignored so the binaries stay
+    /// scriptable).
+    pub fn from_args() -> Self {
+        let mut options = HarnessOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--fast" => {
+                    options.max_inputs = 10;
+                    options.max_outputs = 3;
+                }
+                "--max-inputs" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        options.max_inputs = n;
+                    }
+                    i += 1;
+                }
+                "--max-outputs" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        options.max_outputs = n;
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+}
+
+/// Runs the Table III/IV pipeline (2-SPP of `f`, approximate, quotient,
+/// 2-SPP of `g` and `h`, map, report) on one instance and returns its row.
+pub fn run_instance(
+    instance: &BenchmarkInstance,
+    strategy: ApproxStrategy,
+    options: &HarnessOptions,
+) -> Option<BenchmarkRow> {
+    if instance.num_inputs() > options.max_inputs {
+        return None;
+    }
+    let outputs: Vec<_> = instance.outputs().iter().take(options.max_outputs).collect();
+    let and_plan = DecompositionPlan::new(BinaryOp::And, strategy);
+    let nonimpl_plan = DecompositionPlan::new(BinaryOp::NonImplication, strategy);
+
+    let start = Instant::now();
+    let mut and_results = Vec::with_capacity(outputs.len());
+    let mut nonimpl_results = Vec::with_capacity(outputs.len());
+    for isf in &outputs {
+        let and = and_plan.decompose(isf).expect("AND accepts any 0→1 divisor");
+        let nonimpl = nonimpl_plan.decompose(isf).expect("⇏ accepts any 0→1 divisor");
+        assert!(and.verified && nonimpl.verified, "decomposition failed verification");
+        and_results.push(and);
+        nonimpl_results.push(nonimpl);
+    }
+    let elapsed = start.elapsed();
+    Some(BenchmarkRow::from_decompositions(
+        instance.name(),
+        instance.num_inputs(),
+        instance.num_outputs(),
+        elapsed,
+        &and_results,
+        &nonimpl_results,
+    ))
+}
+
+/// Runs a whole suite and assembles the table report.
+pub fn run_suite(
+    title: &str,
+    instances: &[BenchmarkInstance],
+    strategy: ApproxStrategy,
+    options: &HarnessOptions,
+) -> TableReport {
+    let mut report = TableReport::new(title);
+    for instance in instances {
+        if let Some(row) = run_instance(instance, strategy, options) {
+            println!("{row}");
+            report.push(row);
+        } else {
+            println!("-- skipping {instance} (more than {} inputs)", options.max_inputs);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchmarks::Suite;
+
+    #[test]
+    fn run_instance_produces_a_row_for_small_instances() {
+        let suite = Suite::smoke();
+        let options = HarnessOptions { max_inputs: 8, max_outputs: 2 };
+        let row = run_instance(&suite.instances()[0], ApproxStrategy::FullExpansion, &options);
+        let row = row.expect("smoke instances fit the limits");
+        assert!(row.area_f > 0.0);
+    }
+
+    #[test]
+    fn oversized_instances_are_skipped() {
+        let suite = Suite::table4();
+        let options = HarnessOptions { max_inputs: 4, max_outputs: 2 };
+        for inst in suite.instances() {
+            assert!(run_instance(inst, ApproxStrategy::FullExpansion, &options).is_none());
+        }
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = HarnessOptions::default();
+        assert!(o.max_inputs >= 10);
+        assert!(o.max_outputs >= 3);
+    }
+}

@@ -1,0 +1,195 @@
+use std::fmt;
+
+use boolfunc::{Cube, Isf, Pla, PlaKind, PlaOutputValue, TruthTable};
+
+/// A multi-output benchmark function: a named collection of single-output
+/// incompletely specified functions over a common input set.
+///
+/// ```rust
+/// use benchmarks::arithmetic;
+///
+/// let adr4 = arithmetic::adder("adr4", 4);
+/// assert_eq!(adr4.num_inputs(), 8);
+/// assert_eq!(adr4.num_outputs(), 5);
+/// // Output 0 is the least significant sum bit: x0 ⊕ x4 for inputs 0b0001/0b0000.
+/// assert!(adr4.outputs()[0].on().get(0b0000_0001));
+/// ```
+#[derive(Clone)]
+pub struct BenchmarkInstance {
+    name: String,
+    inputs: usize,
+    outputs: Vec<Isf>,
+}
+
+impl BenchmarkInstance {
+    /// Creates an instance from per-output functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outputs do not all share the same number of inputs, or
+    /// if there are no outputs.
+    pub fn new(name: impl Into<String>, outputs: Vec<Isf>) -> Self {
+        assert!(!outputs.is_empty(), "a benchmark needs at least one output");
+        let inputs = outputs[0].num_vars();
+        for isf in &outputs {
+            assert_eq!(isf.num_vars(), inputs, "output arity mismatch");
+        }
+        BenchmarkInstance { name: name.into(), inputs, outputs }
+    }
+
+    /// Builds an instance by evaluating `f(minterm) -> output word` for every
+    /// input assignment; output bit `o` of the word becomes output `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs` exceeds the dense-truth-table limit.
+    pub fn from_word_fn<F>(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        mut f: F,
+    ) -> Self
+    where
+        F: FnMut(u64) -> u64,
+    {
+        let mut tables = vec![TruthTable::zero(num_inputs); num_outputs];
+        for m in 0..(1u64 << num_inputs) {
+            let word = f(m);
+            for (o, table) in tables.iter_mut().enumerate() {
+                if word >> o & 1 == 1 {
+                    table.set(m, true);
+                }
+            }
+        }
+        let outputs = tables.into_iter().map(Isf::completely_specified).collect();
+        BenchmarkInstance::new(name, outputs)
+    }
+
+    /// Benchmark name (paper instance it stands in for).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The per-output incompletely specified functions.
+    pub fn outputs(&self) -> &[Isf] {
+        &self.outputs
+    }
+
+    /// Total number of on-set minterms across outputs (a rough size measure).
+    pub fn total_on_minterms(&self) -> u64 {
+        self.outputs.iter().map(|o| o.on().count_ones()).sum()
+    }
+
+    /// Renders the instance as an `fd`-type PLA (one row per on/dc minterm),
+    /// so the pipeline can exercise the same PLA parsing path as the original
+    /// flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is too large to enumerate minterm rows
+    /// (intended for the small instances used in tests and examples).
+    pub fn to_pla(&self) -> Pla {
+        let mut pla = Pla::new(self.inputs, self.outputs.len(), PlaKind::Fd)
+            .expect("instance arity already validated");
+        for m in 0..(1u64 << self.inputs) {
+            let mut row = Vec::with_capacity(self.outputs.len());
+            let mut interesting = false;
+            for isf in &self.outputs {
+                let value = match isf.value(m) {
+                    Some(true) => {
+                        interesting = true;
+                        PlaOutputValue::One
+                    }
+                    None => {
+                        interesting = true;
+                        PlaOutputValue::DontCare
+                    }
+                    Some(false) => PlaOutputValue::Zero,
+                };
+                row.push(value);
+            }
+            if interesting {
+                let cube = Cube::minterm(self.inputs, m).expect("arity already validated");
+                pla.push_row(cube, row);
+            }
+        }
+        pla.set_output_names((0..self.outputs.len()).map(|i| format!("{}_{i}", self.name)));
+        pla
+    }
+}
+
+impl fmt::Debug for BenchmarkInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BenchmarkInstance({}, {}/{}, |on|={})",
+            self.name,
+            self.inputs,
+            self.outputs.len(),
+            self.total_on_minterms()
+        )
+    }
+}
+
+impl fmt::Display for BenchmarkInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}/{})", self.name, self.inputs, self.outputs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_word_fn_builds_per_output_tables() {
+        // Two-bit adder without carry-in: 4 inputs, 3 outputs.
+        let inst = BenchmarkInstance::from_word_fn("tiny-add", 4, 3, |m| {
+            let a = m & 0b11;
+            let b = (m >> 2) & 0b11;
+            a + b
+        });
+        assert_eq!(inst.num_inputs(), 4);
+        assert_eq!(inst.num_outputs(), 3);
+        // 3 + 3 = 6 -> outputs 110.
+        let m = 0b1111;
+        assert!(!inst.outputs()[0].on().get(m));
+        assert!(inst.outputs()[1].on().get(m));
+        assert!(inst.outputs()[2].on().get(m));
+    }
+
+    #[test]
+    fn pla_round_trip_preserves_the_functions() {
+        let inst = BenchmarkInstance::from_word_fn("tiny", 3, 2, |m| m % 4);
+        let pla = inst.to_pla();
+        let text = pla.to_string();
+        let parsed: Pla = text.parse().unwrap();
+        let isfs = parsed.output_isfs().unwrap();
+        for (original, reparsed) in inst.outputs().iter().zip(&isfs) {
+            assert_eq!(original.on(), reparsed.on());
+        }
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let inst = BenchmarkInstance::from_word_fn("demo", 3, 1, |m| u64::from(m == 0));
+        assert_eq!(inst.to_string(), "demo (3/1)");
+        assert!(format!("{inst:?}").contains("demo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_output_list_is_rejected() {
+        let _ = BenchmarkInstance::new("bad", Vec::new());
+    }
+}

@@ -1,0 +1,32 @@
+//! # benchmarks
+//!
+//! Stand-ins for the LGSynth91 instances used in Tables III and IV of the
+//! paper.
+//!
+//! The original `.pla` files are not redistributed here. Two families of
+//! replacements are generated instead (see `DESIGN.md` for the substitution
+//! rationale):
+//!
+//! * [`arithmetic`] — instances whose behaviour is a public arithmetic
+//!   function (`adr4`, `add6`, `radd`, `z4`, `dist`, `clip`, `log8mod`,
+//!   `Z5xp1`, `max512`, `max1024`, `ex7`-like): these are regenerated exactly
+//!   from their arithmetic definition, scaled where necessary to stay inside
+//!   the dense-truth-table backend;
+//! * [`synthetic`] — control-dominated PLAs (`br1`, `bcb`, `alcom`, …) that
+//!   cannot be reconstructed from public information: seeded, deterministic
+//!   random covers with a comparable number of inputs, outputs and cubes.
+//!
+//! Every instance is exposed as a [`BenchmarkInstance`] (a named list of
+//! per-output incompletely specified functions plus a PLA rendering), and
+//! [`Suite`] groups them the way the paper's tables do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arithmetic;
+mod instance;
+mod suite;
+pub mod synthetic;
+
+pub use instance::BenchmarkInstance;
+pub use suite::Suite;

@@ -1,0 +1,111 @@
+use crate::arithmetic;
+use crate::instance::BenchmarkInstance;
+use crate::synthetic;
+
+/// The benchmark suites used by the experiment harness, mirroring the split
+/// of the paper's evaluation: Table III groups the instances whose
+/// approximation error rate stays below 10%, Table IV the ones above 40%.
+///
+/// ```rust
+/// use benchmarks::Suite;
+///
+/// let t4 = Suite::table4();
+/// assert!(t4.instances().iter().any(|i| i.name() == "adr4"));
+/// assert!(Suite::by_name("clip").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Suite {
+    name: String,
+    instances: Vec<BenchmarkInstance>,
+}
+
+impl Suite {
+    /// The control-dominated suite corresponding to Table III (synthetic
+    /// stand-ins; see the crate documentation for the substitution note).
+    pub fn table3() -> Self {
+        Suite { name: "table3".to_string(), instances: synthetic::table3_instances() }
+    }
+
+    /// The arithmetic suite corresponding to Table IV (regenerated from the
+    /// arithmetic definitions).
+    pub fn table4() -> Self {
+        Suite { name: "table4".to_string(), instances: arithmetic::all() }
+    }
+
+    /// Both suites concatenated.
+    pub fn all() -> Self {
+        let mut instances = synthetic::table3_instances();
+        instances.extend(arithmetic::all());
+        Suite { name: "all".to_string(), instances }
+    }
+
+    /// A small suite (few inputs, few outputs) used by the integration tests
+    /// and the quickstart example so they stay fast in debug builds.
+    pub fn smoke() -> Self {
+        Suite {
+            name: "smoke".to_string(),
+            instances: vec![
+                arithmetic::adder("adr2", 2),
+                arithmetic::z4(),
+                synthetic::control_pla(
+                    "ctrl6",
+                    synthetic::ControlPlaSpec {
+                        inputs: 6,
+                        outputs: 3,
+                        cubes: 8,
+                        literals_per_cube: 3,
+                        seed: 7,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// Suite name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instances of the suite.
+    pub fn instances(&self) -> &[BenchmarkInstance] {
+        &self.instances
+    }
+
+    /// Looks up an instance of any suite by its paper name.
+    pub fn by_name(name: &str) -> Option<BenchmarkInstance> {
+        Suite::all().instances.into_iter().find(|i| i.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_the_paper_tables() {
+        assert_eq!(Suite::table3().instances().len(), 14);
+        assert_eq!(Suite::table4().instances().len(), 11);
+        assert_eq!(Suite::all().instances().len(), 25);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(Suite::by_name("adr4").is_some());
+        assert!(Suite::by_name("bcb").is_some());
+        assert!(Suite::by_name("not-a-benchmark").is_none());
+    }
+
+    #[test]
+    fn smoke_suite_is_small() {
+        for inst in Suite::smoke().instances() {
+            assert!(inst.num_inputs() <= 7);
+        }
+    }
+
+    #[test]
+    fn every_instance_fits_the_dense_backend() {
+        for inst in Suite::all().instances() {
+            assert!(inst.num_inputs() <= boolfunc::TruthTable::MAX_VARS);
+        }
+    }
+}

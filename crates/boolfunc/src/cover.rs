@@ -1,0 +1,386 @@
+use std::fmt;
+
+use crate::cube::Cube;
+use crate::error::BoolFuncError;
+use crate::truth_table::TruthTable;
+
+/// A sum-of-products (SOP) form: a set of [`Cube`]s over a common variable
+/// set, interpreted as their disjunction.
+///
+/// `Cover` is deliberately a *container with cheap structural operations*;
+/// the algorithmically heavy transformations (espresso-style expand /
+/// irredundant / reduce, tautology checking by unate recursion) live in the
+/// `sop` crate and operate on this type.
+///
+/// ```rust
+/// use boolfunc::Cover;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let f = Cover::from_strs(4, &["11-1", "-011"])?;
+/// assert_eq!(f.num_cubes(), 2);
+/// assert_eq!(f.literal_count(), 6);
+/// assert!(f.eval(0b1011)); // x0=1,x1=1,x3=1 satisfies the first cube
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cover {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0) over `num_vars` variables.
+    pub fn empty(num_vars: usize) -> Self {
+        Cover { num_vars, cubes: Vec::new() }
+    }
+
+    /// The cover consisting of the single full cube (constant 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > Cube::MAX_VARS`.
+    pub fn tautology(num_vars: usize) -> Self {
+        Cover { num_vars, cubes: vec![Cube::full(num_vars).expect("arity validated by caller")] }
+    }
+
+    /// Builds a cover from an iterator of cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube has a different arity than `num_vars`.
+    pub fn from_cubes<I: IntoIterator<Item = Cube>>(num_vars: usize, cubes: I) -> Self {
+        let cubes: Vec<Cube> = cubes.into_iter().collect();
+        for c in &cubes {
+            assert_eq!(c.num_vars(), num_vars, "cube arity mismatch");
+        }
+        Cover { num_vars, cubes }
+    }
+
+    /// Builds a cover from PLA-style cube strings (`0`, `1`, `-`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any string cannot be parsed as a cube over
+    /// `num_vars` variables.
+    pub fn from_strs(num_vars: usize, cubes: &[&str]) -> Result<Self, BoolFuncError> {
+        let cubes = cubes
+            .iter()
+            .map(|s| Cube::parse_with_width(s, num_vars))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cover { num_vars, cubes })
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of cubes (products).
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Returns `true` if the cover has no cubes.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total number of literals, the classical two-level cost measure.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Adds a cube to the cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube arity differs from the cover arity.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube arity mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn eval(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(minterm))
+    }
+
+    /// Returns `true` if some cube of the cover contains `cube` entirely.
+    pub fn contains_cube(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.contains(cube))
+    }
+
+    /// Union of two covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert_eq!(self.num_vars, other.num_vars, "cover arity mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend(other.cubes.iter().copied());
+        Cover { num_vars: self.num_vars, cubes }
+    }
+
+    /// Pairwise intersection of two covers (the product of the two SOPs),
+    /// dropping empty intersections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn intersection(&self, other: &Cover) -> Cover {
+        assert_eq!(self.num_vars, other.num_vars, "cover arity mismatch");
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    cubes.push(c);
+                }
+            }
+        }
+        Cover { num_vars: self.num_vars, cubes }
+    }
+
+    /// Cofactor of the cover with respect to the literal (`var`, `positive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn cofactor(&self, var: usize, positive: bool) -> Cover {
+        let cubes = self.cubes.iter().filter_map(|c| c.cofactor(var, positive)).collect();
+        Cover { num_vars: self.num_vars, cubes }
+    }
+
+    /// Generalized (Shannon) cofactor of the cover with respect to a cube, as
+    /// used by the unate-recursion procedures of espresso: each cube of the
+    /// cover that intersects `cube` is kept with the literals of `cube`
+    /// removed; non-intersecting cubes are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn cofactor_cube(&self, cube: &Cube) -> Cover {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube arity mismatch");
+        let mut cubes = Vec::new();
+        for c in &self.cubes {
+            if !c.intersects(cube) {
+                continue;
+            }
+            // Remove from c every literal that is fixed by `cube`.
+            let mask = c.mask() & !cube.mask();
+            let value = c.polarity() & mask;
+            cubes.push(
+                Cube::from_masks(self.num_vars, mask, value).expect("arity already validated"),
+            );
+        }
+        Cover { num_vars: self.num_vars, cubes }
+    }
+
+    /// Removes duplicate cubes and cubes contained in another cube of the
+    /// cover (single-cube containment). Returns the number of cubes removed.
+    pub fn remove_contained_cubes(&mut self) -> usize {
+        let before = self.cubes.len();
+        self.cubes.sort();
+        self.cubes.dedup();
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        for (i, c) in cubes.iter().enumerate() {
+            let dominated = cubes
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.contains(c) && !(c.contains(other) && j > i));
+            if !dominated {
+                kept.push(*c);
+            }
+        }
+        self.cubes = kept;
+        before - self.cubes.len()
+    }
+
+    /// Converts the cover into a dense truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > TruthTable::MAX_VARS`.
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_cubes(self.num_vars, &self.cubes)
+    }
+
+    /// Checks whether the cover is a tautology by exhaustive evaluation.
+    ///
+    /// This is intended for testing and for small functions; the `sop` crate
+    /// provides the unate-recursion tautology check used by the minimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > TruthTable::MAX_VARS`.
+    pub fn is_tautology_exhaustive(&self) -> bool {
+        self.to_truth_table().is_one()
+    }
+
+    /// Number of minterms covered (computed exactly through the dense table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > TruthTable::MAX_VARS`.
+    pub fn minterm_count(&self) -> u64 {
+        self.to_truth_table().count_ones()
+    }
+
+    /// Returns the set of variables actually appearing in some cube.
+    pub fn support(&self) -> Vec<usize> {
+        let mut mask = 0u64;
+        for c in &self.cubes {
+            mask |= c.mask();
+        }
+        (0..self.num_vars).filter(|i| mask >> i & 1 == 1).collect()
+    }
+}
+
+impl IntoIterator for Cover {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Cover {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        for c in iter {
+            self.push(c);
+        }
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        let strs: Vec<String> = self.cubes.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", strs.join(" + "))
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover(n={}, cubes=[{}])", self.num_vars, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_f() -> Cover {
+        // f = x0 x1 x3 + x1' x2 x3 (Fig. 1 of the paper with 0-based variables)
+        Cover::from_strs(4, &["11-1", "-011"]).unwrap()
+    }
+
+    #[test]
+    fn literal_and_cube_counts() {
+        let f = fig1_f();
+        assert_eq!(f.num_cubes(), 2);
+        assert_eq!(f.literal_count(), 6);
+        assert_eq!(f.minterm_count(), 4);
+    }
+
+    #[test]
+    fn eval_matches_truth_table() {
+        let f = fig1_f();
+        let tt = f.to_truth_table();
+        for m in 0..16 {
+            assert_eq!(f.eval(m), tt.get(m), "mismatch on minterm {m}");
+        }
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Cover::from_strs(3, &["1--"]).unwrap();
+        let b = Cover::from_strs(3, &["-1-"]).unwrap();
+        let u = a.union(&b);
+        assert_eq!(u.num_cubes(), 2);
+        assert_eq!(u.minterm_count(), 6);
+        let i = a.intersection(&b);
+        assert_eq!(i.num_cubes(), 1);
+        assert_eq!(i.cubes()[0].to_string(), "11-");
+    }
+
+    #[test]
+    fn cofactor_literal() {
+        let f = fig1_f();
+        let f1 = f.cofactor(3, true); // x3 = 1
+        assert_eq!(f1.num_cubes(), 2);
+        let f0 = f.cofactor(3, false); // x3 = 0 kills both cubes
+        assert!(f0.is_empty());
+    }
+
+    #[test]
+    fn cofactor_cube_generalized() {
+        let f = Cover::from_strs(3, &["11-", "0-1"]).unwrap();
+        let c: Cube = "1--".parse().unwrap();
+        let cof = f.cofactor_cube(&c);
+        assert_eq!(cof.num_cubes(), 1);
+        assert_eq!(cof.cubes()[0].to_string(), "-1-");
+    }
+
+    #[test]
+    fn remove_contained_cubes_prunes_duplicates_and_subsets() {
+        let mut f = Cover::from_strs(3, &["1--", "11-", "1--", "0-1"]).unwrap();
+        let removed = f.remove_contained_cubes();
+        assert_eq!(removed, 2);
+        assert_eq!(f.num_cubes(), 2);
+        assert!(f.contains_cube(&"11-".parse().unwrap()));
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let t = Cover::from_strs(2, &["1-", "0-"]).unwrap();
+        assert!(t.is_tautology_exhaustive());
+        let nt = Cover::from_strs(2, &["1-", "01"]).unwrap();
+        assert!(!nt.is_tautology_exhaustive());
+        assert!(Cover::tautology(5).is_tautology_exhaustive());
+    }
+
+    #[test]
+    fn support_lists_used_variables() {
+        let f = Cover::from_strs(5, &["1---0", "--1--"]).unwrap();
+        assert_eq!(f.support(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = fig1_f();
+        assert_eq!(f.to_string(), "11-1 + -011");
+        assert_eq!(Cover::empty(3).to_string(), "0");
+    }
+
+    #[test]
+    fn collect_through_extend() {
+        let mut f = Cover::empty(2);
+        f.extend(vec!["1-".parse::<Cube>().unwrap(), "01".parse().unwrap()]);
+        assert_eq!(f.num_cubes(), 2);
+    }
+}

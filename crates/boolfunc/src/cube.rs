@@ -1,0 +1,443 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::BoolFuncError;
+
+/// Value of a single variable inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CubeValue {
+    /// The variable appears complemented (`0` in PLA notation).
+    Zero,
+    /// The variable appears uncomplemented (`1` in PLA notation).
+    One,
+    /// The variable does not appear in the product (`-` in PLA notation).
+    DontCare,
+}
+
+/// A product term (cube) over at most 64 Boolean variables.
+///
+/// A cube is stored as two bit masks: `mask` has a bit set for every variable
+/// that appears in the product, and `value` records the polarity of those
+/// variables (bits outside `mask` are kept at zero so that equal cubes compare
+/// equal structurally).
+///
+/// Variable `i` corresponds to bit `i`; in string form variable `0` is the
+/// *leftmost* character, matching the column order of espresso PLA files.
+///
+/// ```rust
+/// use boolfunc::Cube;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let c: Cube = "1-0".parse()?;
+/// assert_eq!(c.num_vars(), 3);
+/// assert_eq!(c.literal_count(), 2);
+/// assert!(c.contains_minterm(0b001)); // x0=1, x1=0, x2=0
+/// assert!(!c.contains_minterm(0b101)); // x2 must be 0
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    num_vars: u8,
+    mask: u64,
+    value: u64,
+}
+
+impl Cube {
+    /// Maximum number of variables a cube can range over.
+    pub const MAX_VARS: usize = 64;
+
+    /// Creates the full cube (tautology product, no literals) over `num_vars`
+    /// variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFuncError::TooManyVariables`] if `num_vars` exceeds
+    /// [`Cube::MAX_VARS`].
+    pub fn full(num_vars: usize) -> Result<Self, BoolFuncError> {
+        if num_vars > Self::MAX_VARS {
+            return Err(BoolFuncError::TooManyVariables { requested: num_vars, max: Self::MAX_VARS });
+        }
+        Ok(Cube { num_vars: num_vars as u8, mask: 0, value: 0 })
+    }
+
+    /// Creates a cube from raw masks. Bits of `value` outside `mask` are cleared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFuncError::TooManyVariables`] if `num_vars` exceeds
+    /// [`Cube::MAX_VARS`].
+    pub fn from_masks(num_vars: usize, mask: u64, value: u64) -> Result<Self, BoolFuncError> {
+        if num_vars > Self::MAX_VARS {
+            return Err(BoolFuncError::TooManyVariables { requested: num_vars, max: Self::MAX_VARS });
+        }
+        let var_mask = Self::var_mask(num_vars);
+        let mask = mask & var_mask;
+        Ok(Cube { num_vars: num_vars as u8, mask, value: value & mask })
+    }
+
+    /// Creates the cube representing the single minterm `minterm` over
+    /// `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFuncError::TooManyVariables`] if `num_vars` exceeds
+    /// [`Cube::MAX_VARS`].
+    pub fn minterm(num_vars: usize, minterm: u64) -> Result<Self, BoolFuncError> {
+        let mask = Self::var_mask(num_vars);
+        Self::from_masks(num_vars, mask, minterm)
+    }
+
+    fn var_mask(num_vars: usize) -> u64 {
+        if num_vars >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        }
+    }
+
+    /// Number of variables the cube ranges over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Number of literals in the product.
+    pub fn literal_count(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Returns `true` if the cube has no literals (it is the constant-1 product).
+    pub fn is_full(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Value of variable `var` in this cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn value(&self, var: usize) -> CubeValue {
+        assert!(var < self.num_vars(), "variable index {var} out of range");
+        let bit = 1u64 << var;
+        if self.mask & bit == 0 {
+            CubeValue::DontCare
+        } else if self.value & bit != 0 {
+            CubeValue::One
+        } else {
+            CubeValue::Zero
+        }
+    }
+
+    /// Returns a copy of the cube with variable `var` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn with_value(&self, var: usize, value: CubeValue) -> Cube {
+        assert!(var < self.num_vars(), "variable index {var} out of range");
+        let bit = 1u64 << var;
+        let mut c = *self;
+        match value {
+            CubeValue::DontCare => {
+                c.mask &= !bit;
+                c.value &= !bit;
+            }
+            CubeValue::Zero => {
+                c.mask |= bit;
+                c.value &= !bit;
+            }
+            CubeValue::One => {
+                c.mask |= bit;
+                c.value |= bit;
+            }
+        }
+        c
+    }
+
+    /// Bit mask of variables appearing in the product.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Polarity bits of the variables appearing in the product.
+    pub fn polarity(&self) -> u64 {
+        self.value
+    }
+
+    /// Returns `true` if the minterm (given as a bit vector: bit `i` is the
+    /// value of variable `i`) is covered by this cube.
+    pub fn contains_minterm(&self, minterm: u64) -> bool {
+        (minterm ^ self.value) & self.mask == 0
+    }
+
+    /// Returns `true` if `other` is contained in `self` (every minterm of
+    /// `other` is a minterm of `self`).
+    pub fn contains(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        // self's literals must be a subset of other's, with matching polarity.
+        self.mask & !other.mask == 0 && (self.value ^ other.value) & self.mask == 0
+    }
+
+    /// Intersection of two cubes, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        if (self.value ^ other.value) & self.mask & other.mask != 0 {
+            return None;
+        }
+        Some(Cube {
+            num_vars: self.num_vars,
+            mask: self.mask | other.mask,
+            value: self.value | other.value,
+        })
+    }
+
+    /// Returns `true` if the two cubes share at least one minterm.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        (self.value ^ other.value) & self.mask & other.mask == 0
+    }
+
+    /// The supercube (smallest cube containing both operands).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let agree = !(self.value ^ other.value);
+        let mask = self.mask & other.mask & agree;
+        Cube { num_vars: self.num_vars, mask, value: self.value & mask }
+    }
+
+    /// Hamming-style distance: the number of variables on which the two cubes
+    /// have opposite literals. Two cubes intersect iff their distance is 0.
+    pub fn distance(&self, other: &Cube) -> usize {
+        ((self.value ^ other.value) & self.mask & other.mask).count_ones() as usize
+    }
+
+    /// The cofactor of this cube with respect to literal (`var`, `positive`):
+    /// `None` if the cube is annihilated by the cofactor, otherwise the cube
+    /// with the literal removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn cofactor(&self, var: usize, positive: bool) -> Option<Cube> {
+        assert!(var < self.num_vars(), "variable index {var} out of range");
+        let bit = 1u64 << var;
+        if self.mask & bit != 0 {
+            let lit_positive = self.value & bit != 0;
+            if lit_positive != positive {
+                return None;
+            }
+        }
+        Some(Cube {
+            num_vars: self.num_vars,
+            mask: self.mask & !bit,
+            value: self.value & !bit,
+        })
+    }
+
+    /// Number of minterms covered by the cube.
+    pub fn minterm_count(&self) -> u64 {
+        let free = self.num_vars() - self.literal_count();
+        if free >= 64 {
+            u64::MAX
+        } else {
+            1u64 << free
+        }
+    }
+
+    /// Iterates over all minterms covered by the cube, in increasing order.
+    pub fn minterms(&self) -> CubeMinterms {
+        let free_positions: Vec<usize> =
+            (0..self.num_vars()).filter(|i| self.mask & (1u64 << i) == 0).collect();
+        CubeMinterms { base: self.value, free_positions, next: 0, total: self.minterm_count() }
+    }
+
+    /// Returns the cube over `num_vars` variables described by `s`
+    /// (characters `0`, `1`, `-`; variable 0 is the leftmost character).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the string length differs from `num_vars` or if it
+    /// contains an invalid character.
+    pub fn parse_with_width(s: &str, num_vars: usize) -> Result<Self, BoolFuncError> {
+        if s.len() != num_vars {
+            return Err(BoolFuncError::CubeWidthMismatch { expected: num_vars, found: s.len() });
+        }
+        let mut cube = Cube::full(num_vars)?;
+        for (i, ch) in s.chars().enumerate() {
+            let value = match ch {
+                '0' => CubeValue::Zero,
+                '1' => CubeValue::One,
+                '-' | '~' | '2' => CubeValue::DontCare,
+                other => return Err(BoolFuncError::InvalidCubeChar { ch: other, position: i }),
+            };
+            cube = cube.with_value(i, value);
+        }
+        Ok(cube)
+    }
+}
+
+/// Iterator over the minterms of a [`Cube`], produced by [`Cube::minterms`].
+#[derive(Debug, Clone)]
+pub struct CubeMinterms {
+    base: u64,
+    free_positions: Vec<usize>,
+    next: u64,
+    total: u64,
+}
+
+impl Iterator for CubeMinterms {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next >= self.total {
+            return None;
+        }
+        let mut m = self.base;
+        for (k, &pos) in self.free_positions.iter().enumerate() {
+            if self.next >> k & 1 != 0 {
+                m |= 1u64 << pos;
+            }
+        }
+        self.next += 1;
+        Some(m)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for CubeMinterms {}
+
+impl FromStr for Cube {
+    type Err = BoolFuncError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Cube::parse_with_width(s, s.len())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.num_vars() {
+            let ch = match self.value(i) {
+                CubeValue::Zero => '0',
+                CubeValue::One => '1',
+                CubeValue::DontCare => '-',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["1-0", "----", "0101", "1"] {
+            let c: Cube = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_characters_and_width() {
+        assert!(matches!("1x0".parse::<Cube>(), Err(BoolFuncError::InvalidCubeChar { ch: 'x', position: 1 })));
+        assert!(matches!(
+            Cube::parse_with_width("10", 3),
+            Err(BoolFuncError::CubeWidthMismatch { expected: 3, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn full_cube_has_no_literals() {
+        let c = Cube::full(5).unwrap();
+        assert!(c.is_full());
+        assert_eq!(c.literal_count(), 0);
+        assert_eq!(c.minterm_count(), 32);
+    }
+
+    #[test]
+    fn too_many_variables_rejected() {
+        assert!(Cube::full(65).is_err());
+        assert!(Cube::full(64).is_ok());
+    }
+
+    #[test]
+    fn minterm_membership() {
+        let c: Cube = "1-0".parse().unwrap();
+        // x0=1, x2=0 required.
+        assert!(c.contains_minterm(0b001));
+        assert!(c.contains_minterm(0b011));
+        assert!(!c.contains_minterm(0b000));
+        assert!(!c.contains_minterm(0b101));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let big: Cube = "1--".parse().unwrap();
+        let small: Cube = "1-0".parse().unwrap();
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert_eq!(big.intersect(&small), Some(small));
+
+        let a: Cube = "10-".parse().unwrap();
+        let b: Cube = "11-".parse().unwrap();
+        assert!(a.intersect(&b).is_none());
+        assert!(!a.intersects(&b));
+        assert_eq!(a.distance(&b), 1);
+    }
+
+    #[test]
+    fn supercube_is_smallest_enclosing_cube() {
+        let a: Cube = "101".parse().unwrap();
+        let b: Cube = "111".parse().unwrap();
+        let sc = a.supercube(&b);
+        assert_eq!(sc.to_string(), "1-1");
+        assert!(sc.contains(&a));
+        assert!(sc.contains(&b));
+    }
+
+    #[test]
+    fn cofactor_removes_or_annihilates() {
+        let c: Cube = "1-0".parse().unwrap();
+        assert_eq!(c.cofactor(0, true).unwrap().to_string(), "--0");
+        assert!(c.cofactor(0, false).is_none());
+        assert_eq!(c.cofactor(1, true).unwrap().to_string(), "1-0");
+    }
+
+    #[test]
+    fn minterm_iteration_matches_count() {
+        let c: Cube = "1--0".parse().unwrap();
+        let ms: Vec<u64> = c.minterms().collect();
+        assert_eq!(ms.len() as u64, c.minterm_count());
+        for m in ms {
+            assert!(c.contains_minterm(m));
+        }
+    }
+
+    #[test]
+    fn minterm_constructor_covers_exactly_one_point() {
+        let c = Cube::minterm(4, 0b1010).unwrap();
+        assert_eq!(c.minterm_count(), 1);
+        assert!(c.contains_minterm(0b1010));
+        assert!(!c.contains_minterm(0b1011));
+    }
+
+    #[test]
+    fn with_value_round_trips() {
+        let c = Cube::full(3).unwrap().with_value(1, CubeValue::One);
+        assert_eq!(c.value(1), CubeValue::One);
+        let c = c.with_value(1, CubeValue::DontCare);
+        assert!(c.is_full());
+    }
+}

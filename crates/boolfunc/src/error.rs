@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Error type for every fallible operation in the `boolfunc` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoolFuncError {
+    /// A cube or cover string contained a character other than `0`, `1`, `-`
+    /// or `~` (the espresso "don't happen" marker, treated as `-`).
+    InvalidCubeChar {
+        /// The offending character.
+        ch: char,
+        /// Zero-based position inside the cube string.
+        position: usize,
+    },
+    /// A cube string had a different length than the declared number of
+    /// variables.
+    CubeWidthMismatch {
+        /// Number of variables expected.
+        expected: usize,
+        /// Length of the string that was provided.
+        found: usize,
+    },
+    /// The requested number of variables exceeds what the representation
+    /// supports.
+    TooManyVariables {
+        /// Number of variables requested.
+        requested: usize,
+        /// Maximum supported by the representation that rejected the request.
+        max: usize,
+    },
+    /// Two operands were defined over a different number of variables.
+    ArityMismatch {
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// A variable index was out of range for the function it was used with.
+    VariableOutOfRange {
+        /// The offending variable index.
+        variable: usize,
+        /// Number of variables of the function.
+        arity: usize,
+    },
+    /// A PLA file could not be parsed.
+    PlaParse {
+        /// One-based line number where parsing failed.
+        line: usize,
+        /// Human readable reason.
+        reason: String,
+    },
+    /// The on-set and dc-set of an incompletely specified function overlap.
+    InconsistentIsf,
+}
+
+impl fmt::Display for BoolFuncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolFuncError::InvalidCubeChar { ch, position } => {
+                write!(f, "invalid cube character `{ch}` at position {position}")
+            }
+            BoolFuncError::CubeWidthMismatch { expected, found } => {
+                write!(f, "cube width mismatch: expected {expected} variables, found {found}")
+            }
+            BoolFuncError::TooManyVariables { requested, max } => {
+                write!(f, "too many variables: {requested} requested, at most {max} supported")
+            }
+            BoolFuncError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch between operands: {left} vs {right} variables")
+            }
+            BoolFuncError::VariableOutOfRange { variable, arity } => {
+                write!(f, "variable index {variable} out of range for a {arity}-variable function")
+            }
+            BoolFuncError::PlaParse { line, reason } => {
+                write!(f, "PLA parse error at line {line}: {reason}")
+            }
+            BoolFuncError::InconsistentIsf => {
+                write!(f, "on-set and dc-set of an incompletely specified function overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoolFuncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = BoolFuncError::InvalidCubeChar { ch: 'x', position: 3 };
+        assert!(err.to_string().contains('x'));
+        assert!(err.to_string().contains('3'));
+
+        let err = BoolFuncError::CubeWidthMismatch { expected: 4, found: 5 };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains('5'));
+
+        let err = BoolFuncError::PlaParse { line: 10, reason: "missing .i".into() };
+        assert!(err.to_string().contains("line 10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoolFuncError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! # boolfunc
+//!
+//! Representations of Boolean functions used throughout the bi-decomposition
+//! workspace:
+//!
+//! * [`Cube`] — a product term over up to 64 variables, stored as a pair of
+//!   bit masks (which variables appear, and with which polarity);
+//! * [`Cover`] — a sum of cubes (an SOP form), the unit of exchange with the
+//!   two-level minimizer;
+//! * [`TruthTable`] — a dense bit-set representation of a completely specified
+//!   function over up to [`TruthTable::MAX_VARS`] variables;
+//! * [`Isf`] — an *incompletely specified function* given by its on-set and
+//!   dc-set truth tables (the off-set is implied);
+//! * [`pla`] — reader and writer for the espresso/LGSynth91 `.pla` exchange
+//!   format, including multi-output tables.
+//!
+//! The paper manipulates three sets per function (`on`, `off`, `dc`); the
+//! [`Isf`] type is the direct counterpart and is what the quotient formulas of
+//! Table II are computed on.
+//!
+//! ```rust
+//! use boolfunc::{Cube, Cover, TruthTable, Isf};
+//!
+//! # fn main() -> Result<(), boolfunc::BoolFuncError> {
+//! // f = x0 x1 x3 + x1' x2 x3   (Fig. 1 of the paper, variables renamed 0..3)
+//! let f = Cover::from_strs(4, &["11-1", "-011"])?;
+//! let tt = f.to_truth_table();
+//! assert_eq!(tt.count_ones(), 4);
+//! let isf = Isf::completely_specified(tt);
+//! assert!(isf.dc().is_zero());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod cover;
+mod error;
+mod isf;
+mod minterm;
+pub mod pla;
+mod truth_table;
+
+pub use cover::Cover;
+pub use cube::{Cube, CubeValue};
+pub use error::BoolFuncError;
+pub use isf::Isf;
+pub use minterm::{minterm_bit, minterm_from_bits, MintermIter};
+pub use pla::{Pla, PlaKind, PlaOutputValue};
+pub use truth_table::TruthTable;

@@ -1,0 +1,105 @@
+//! Small helpers for manipulating minterms encoded as `u64` bit vectors.
+//!
+//! A minterm over `n` variables is encoded as an integer `m < 2^n` whose bit
+//! `i` holds the value of variable `i`. These helpers are shared by the dense
+//! truth-table backend, the benchmark generators and the K-map printers used
+//! in the examples.
+
+/// Returns the value of variable `var` inside the minterm `m`.
+///
+/// ```rust
+/// use boolfunc::minterm_bit;
+/// assert!(minterm_bit(0b101, 2));
+/// assert!(!minterm_bit(0b101, 1));
+/// ```
+pub fn minterm_bit(m: u64, var: usize) -> bool {
+    m >> var & 1 == 1
+}
+
+/// Builds a minterm from an iterator of variable values, variable 0 first.
+///
+/// ```rust
+/// use boolfunc::minterm_from_bits;
+/// assert_eq!(minterm_from_bits([true, false, true]), 0b101);
+/// ```
+pub fn minterm_from_bits<I: IntoIterator<Item = bool>>(bits: I) -> u64 {
+    let mut m = 0u64;
+    for (i, b) in bits.into_iter().enumerate() {
+        if b {
+            m |= 1u64 << i;
+        }
+    }
+    m
+}
+
+/// Iterator over all `2^n` minterms of an `n`-variable space.
+///
+/// ```rust
+/// use boolfunc::MintermIter;
+/// let all: Vec<u64> = MintermIter::new(2).collect();
+/// assert_eq!(all, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MintermIter {
+    next: u64,
+    total: u64,
+}
+
+impl MintermIter {
+    /// Creates an iterator over the minterms of an `n`-variable space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars >= 64`.
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars < 64, "minterm iteration limited to fewer than 64 variables");
+        MintermIter { next: 0, total: 1u64 << num_vars }
+    }
+}
+
+impl Iterator for MintermIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next >= self.total {
+            None
+        } else {
+            let m = self.next;
+            self.next += 1;
+            Some(m)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for MintermIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_extraction() {
+        assert!(minterm_bit(0b1000, 3));
+        assert!(!minterm_bit(0b1000, 0));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for m in 0..32u64 {
+            let bits: Vec<bool> = (0..5).map(|i| minterm_bit(m, i)).collect();
+            assert_eq!(minterm_from_bits(bits), m);
+        }
+    }
+
+    #[test]
+    fn iterator_is_exact() {
+        let it = MintermIter::new(4);
+        assert_eq!(it.len(), 16);
+        assert_eq!(it.count(), 16);
+    }
+}

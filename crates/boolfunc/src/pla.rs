@@ -1,0 +1,520 @@
+//! Reader and writer for the espresso / LGSynth91 `.pla` exchange format.
+//!
+//! The format is the one consumed by espresso and SIS: a header declaring the
+//! number of inputs and outputs (`.i`, `.o`), optional signal names (`.ilb`,
+//! `.ob`), an optional logic type (`.type fd|fr|fdr|f`), followed by one row
+//! per cube with an input part (`0`, `1`, `-`) and an output part (`1`, `0`,
+//! `-`, `~`).
+//!
+//! The paper's experiments consume multi-output LGSynth91 PLAs; the
+//! `benchmarks` crate regenerates comparable instances and emits them through
+//! this module so that the full pipeline exercises PLA parsing exactly as the
+//! original flow did.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::error::BoolFuncError;
+use crate::isf::Isf;
+
+/// Logic interpretation of the output part of a PLA row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlaKind {
+    /// `f`: rows describe the on-set only.
+    F,
+    /// `fd`: rows describe the on-set and dc-set (espresso default).
+    #[default]
+    Fd,
+    /// `fr`: rows describe the on-set and off-set.
+    Fr,
+    /// `fdr`: rows describe the on-set, dc-set and off-set.
+    Fdr,
+}
+
+impl PlaKind {
+    /// Parses a `.type` directive value.
+    fn parse(s: &str) -> Option<PlaKind> {
+        match s {
+            "f" => Some(PlaKind::F),
+            "fd" => Some(PlaKind::Fd),
+            "fr" => Some(PlaKind::Fr),
+            "fdr" => Some(PlaKind::Fdr),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            PlaKind::F => "f",
+            PlaKind::Fd => "fd",
+            PlaKind::Fr => "fr",
+            PlaKind::Fdr => "fdr",
+        }
+    }
+}
+
+/// Value of one output column in one PLA row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaOutputValue {
+    /// `1`: the cube belongs to the on-set of this output.
+    One,
+    /// `0`: meaning depends on the PLA kind (off-set for `fr`/`fdr`, "not in
+    /// this output" for `f`/`fd`).
+    Zero,
+    /// `-`: the cube belongs to the dc-set of this output (for `fd`/`fdr`).
+    DontCare,
+    /// `~`: the cube is not used for this output.
+    NotUsed,
+}
+
+impl PlaOutputValue {
+    fn from_char(ch: char) -> Option<Self> {
+        match ch {
+            '1' | '4' => Some(PlaOutputValue::One),
+            '0' => Some(PlaOutputValue::Zero),
+            '-' | '2' => Some(PlaOutputValue::DontCare),
+            '~' | '3' => Some(PlaOutputValue::NotUsed),
+            _ => None,
+        }
+    }
+
+    fn as_char(self) -> char {
+        match self {
+            PlaOutputValue::One => '1',
+            PlaOutputValue::Zero => '0',
+            PlaOutputValue::DontCare => '-',
+            PlaOutputValue::NotUsed => '~',
+        }
+    }
+}
+
+/// A parsed multi-output PLA.
+///
+/// ```rust
+/// use boolfunc::Pla;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let text = "\
+/// .i 3
+/// .o 2
+/// .p 2
+/// 11- 10
+/// --1 01
+/// .e
+/// ";
+/// let pla: Pla = text.parse()?;
+/// assert_eq!(pla.num_inputs(), 3);
+/// assert_eq!(pla.num_outputs(), 2);
+/// let f0 = pla.output_isf(0)?;
+/// assert_eq!(f0.on().count_ones(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pla {
+    num_inputs: usize,
+    num_outputs: usize,
+    kind: PlaKind,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    rows: Vec<(Cube, Vec<PlaOutputValue>)>,
+}
+
+impl Pla {
+    /// Creates an empty PLA with the given dimensions and default signal names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFuncError::TooManyVariables`] if `num_inputs` exceeds
+    /// [`Cube::MAX_VARS`].
+    pub fn new(num_inputs: usize, num_outputs: usize, kind: PlaKind) -> Result<Self, BoolFuncError> {
+        if num_inputs > Cube::MAX_VARS {
+            return Err(BoolFuncError::TooManyVariables { requested: num_inputs, max: Cube::MAX_VARS });
+        }
+        Ok(Pla {
+            num_inputs,
+            num_outputs,
+            kind,
+            input_names: (0..num_inputs).map(|i| format!("x{i}")).collect(),
+            output_names: (0..num_outputs).map(|i| format!("y{i}")).collect(),
+            rows: Vec::new(),
+        })
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Logic type of the PLA.
+    pub fn kind(&self) -> PlaKind {
+        self.kind
+    }
+
+    /// Input signal names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Output signal names.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// The rows (cube + output column values) of the table.
+    pub fn rows(&self) -> &[(Cube, Vec<PlaOutputValue>)] {
+        &self.rows
+    }
+
+    /// Number of rows (`.p`).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube arity or the number of output values does not match
+    /// the PLA dimensions.
+    pub fn push_row(&mut self, cube: Cube, outputs: Vec<PlaOutputValue>) {
+        assert_eq!(cube.num_vars(), self.num_inputs, "cube arity mismatch");
+        assert_eq!(outputs.len(), self.num_outputs, "output column count mismatch");
+        self.rows.push((cube, outputs));
+    }
+
+    /// Sets the input signal names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names does not match the number of inputs.
+    pub fn set_input_names<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, names: I) {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert_eq!(names.len(), self.num_inputs, "input name count mismatch");
+        self.input_names = names;
+    }
+
+    /// Sets the output signal names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names does not match the number of outputs.
+    pub fn set_output_names<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, names: I) {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert_eq!(names.len(), self.num_outputs, "output name count mismatch");
+        self.output_names = names;
+    }
+
+    /// On-set cover of output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_outputs()`.
+    pub fn output_on_cover(&self, index: usize) -> Cover {
+        self.collect_cover(index, PlaOutputValue::One)
+    }
+
+    /// Dc-set cover of output `index` (empty for `f`/`fr` PLAs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_outputs()`.
+    pub fn output_dc_cover(&self, index: usize) -> Cover {
+        match self.kind {
+            PlaKind::Fd | PlaKind::Fdr => self.collect_cover(index, PlaOutputValue::DontCare),
+            PlaKind::F | PlaKind::Fr => Cover::empty(self.num_inputs),
+        }
+    }
+
+    /// Off-set cover of output `index` (only meaningful for `fr`/`fdr` PLAs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_outputs()`.
+    pub fn output_off_cover(&self, index: usize) -> Cover {
+        match self.kind {
+            PlaKind::Fr | PlaKind::Fdr => self.collect_cover(index, PlaOutputValue::Zero),
+            PlaKind::F | PlaKind::Fd => Cover::empty(self.num_inputs),
+        }
+    }
+
+    fn collect_cover(&self, index: usize, wanted: PlaOutputValue) -> Cover {
+        assert!(index < self.num_outputs, "output index out of range");
+        let cubes = self
+            .rows
+            .iter()
+            .filter(|(_, outs)| outs[index] == wanted)
+            .map(|(c, _)| *c)
+            .collect::<Vec<_>>();
+        Cover::from_cubes(self.num_inputs, cubes)
+    }
+
+    /// Builds the dense incompletely specified function of output `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFuncError::TooManyVariables`] if the number of inputs
+    /// exceeds the dense truth-table limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_outputs()`.
+    pub fn output_isf(&self, index: usize) -> Result<Isf, BoolFuncError> {
+        use crate::truth_table::TruthTable;
+        if self.num_inputs > TruthTable::MAX_VARS {
+            return Err(BoolFuncError::TooManyVariables {
+                requested: self.num_inputs,
+                max: TruthTable::MAX_VARS,
+            });
+        }
+        Ok(Isf::from_covers(&self.output_on_cover(index), &self.output_dc_cover(index)))
+    }
+
+    /// Builds the dense ISF of every output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of inputs exceeds the dense limit.
+    pub fn output_isfs(&self) -> Result<Vec<Isf>, BoolFuncError> {
+        (0..self.num_outputs).map(|i| self.output_isf(i)).collect()
+    }
+
+    /// Parses PLA text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFuncError::PlaParse`] describing the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, BoolFuncError> {
+        let mut num_inputs: Option<usize> = None;
+        let mut num_outputs: Option<usize> = None;
+        let mut kind = PlaKind::default();
+        let mut input_names: Option<Vec<String>> = None;
+        let mut output_names: Option<Vec<String>> = None;
+        let mut rows: Vec<(Cube, Vec<PlaOutputValue>)> = Vec::new();
+
+        let err = |line: usize, reason: &str| BoolFuncError::PlaParse { line, reason: reason.to_string() };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                let directive = parts.next().unwrap_or("");
+                match directive {
+                    "i" => {
+                        let n = parts
+                            .next()
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .ok_or_else(|| err(line_no, "malformed .i directive"))?;
+                        if n > Cube::MAX_VARS {
+                            return Err(BoolFuncError::TooManyVariables { requested: n, max: Cube::MAX_VARS });
+                        }
+                        num_inputs = Some(n);
+                    }
+                    "o" => {
+                        num_outputs = Some(
+                            parts
+                                .next()
+                                .and_then(|s| s.parse::<usize>().ok())
+                                .ok_or_else(|| err(line_no, "malformed .o directive"))?,
+                        );
+                    }
+                    "p" => { /* row count hint; ignored */ }
+                    "e" | "end" => break,
+                    "type" => {
+                        let t = parts.next().ok_or_else(|| err(line_no, "missing .type value"))?;
+                        kind = PlaKind::parse(t).ok_or_else(|| err(line_no, "unknown .type value"))?;
+                    }
+                    "ilb" => input_names = Some(parts.map(str::to_string).collect()),
+                    "ob" => output_names = Some(parts.map(str::to_string).collect()),
+                    // Directives produced by some tools that we can safely skip.
+                    "label" | "phase" | "pair" | "symbolic" | "mv" | "kiss" => {}
+                    other => {
+                        return Err(err(line_no, &format!("unsupported directive .{other}")));
+                    }
+                }
+                continue;
+            }
+            // A cube row: input part then output part, optionally separated by
+            // whitespace or '|'.
+            let ni = num_inputs.ok_or_else(|| err(line_no, "cube row before .i directive"))?;
+            let no = num_outputs.ok_or_else(|| err(line_no, "cube row before .o directive"))?;
+            let compact: String = line.chars().filter(|c| !c.is_whitespace() && *c != '|').collect();
+            if compact.len() != ni + no {
+                return Err(err(
+                    line_no,
+                    &format!("row has {} symbols, expected {} inputs + {} outputs", compact.len(), ni, no),
+                ));
+            }
+            let (in_part, out_part) = compact.split_at(ni);
+            let cube = Cube::parse_with_width(in_part, ni)
+                .map_err(|e| err(line_no, &format!("bad input part: {e}")))?;
+            let outputs = out_part
+                .chars()
+                .map(|ch| {
+                    PlaOutputValue::from_char(ch)
+                        .ok_or_else(|| err(line_no, &format!("bad output character `{ch}`")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            rows.push((cube, outputs));
+        }
+
+        let num_inputs = num_inputs.ok_or_else(|| err(0, "missing .i directive"))?;
+        let num_outputs = num_outputs.ok_or_else(|| err(0, "missing .o directive"))?;
+        let mut pla = Pla::new(num_inputs, num_outputs, kind)?;
+        if let Some(names) = input_names {
+            if names.len() == num_inputs {
+                pla.set_input_names(names);
+            }
+        }
+        if let Some(names) = output_names {
+            if names.len() == num_outputs {
+                pla.set_output_names(names);
+            }
+        }
+        for (cube, outs) in rows {
+            pla.push_row(cube, outs);
+        }
+        Ok(pla)
+    }
+}
+
+impl FromStr for Pla {
+    type Err = BoolFuncError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pla::parse(s)
+    }
+}
+
+impl fmt::Display for Pla {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".i {}", self.num_inputs)?;
+        writeln!(f, ".o {}", self.num_outputs)?;
+        writeln!(f, ".ilb {}", self.input_names.join(" "))?;
+        writeln!(f, ".ob {}", self.output_names.join(" "))?;
+        writeln!(f, ".type {}", self.kind.as_str())?;
+        writeln!(f, ".p {}", self.rows.len())?;
+        for (cube, outs) in &self.rows {
+            let out_str: String = outs.iter().map(|v| v.as_char()).collect();
+            writeln!(f, "{cube} {out_str}")?;
+        }
+        writeln!(f, ".e")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small fd-type PLA
+.i 4
+.o 2
+.ilb a b c d
+.ob f g
+.type fd
+.p 3
+11-1 1-
+-011 10
+00-- 01
+.e
+";
+
+    #[test]
+    fn parse_header_and_rows() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        assert_eq!(pla.num_inputs(), 4);
+        assert_eq!(pla.num_outputs(), 2);
+        assert_eq!(pla.num_rows(), 3);
+        assert_eq!(pla.kind(), PlaKind::Fd);
+        assert_eq!(pla.input_names(), ["a", "b", "c", "d"]);
+        assert_eq!(pla.output_names(), ["f", "g"]);
+    }
+
+    #[test]
+    fn per_output_covers_respect_kind() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let on0 = pla.output_on_cover(0);
+        assert_eq!(on0.num_cubes(), 2);
+        let dc0 = pla.output_dc_cover(0);
+        assert_eq!(dc0.num_cubes(), 0); // output 0 never has a '-' column
+        let on1 = pla.output_on_cover(1);
+        assert_eq!(on1.num_cubes(), 1);
+        let dc1 = pla.output_dc_cover(1);
+        assert_eq!(dc1.num_cubes(), 1);
+    }
+
+    #[test]
+    fn output_isf_is_consistent() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        for isf in pla.output_isfs().unwrap() {
+            assert!((isf.on() & isf.dc()).is_zero());
+        }
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let text = pla.to_string();
+        let reparsed: Pla = text.parse().unwrap();
+        assert_eq!(pla, reparsed);
+    }
+
+    #[test]
+    fn f_type_has_no_dc() {
+        let text = ".i 2\n.o 1\n.type f\n11 1\n00 1\n.e\n";
+        let pla: Pla = text.parse().unwrap();
+        assert!(pla.output_dc_cover(0).is_empty());
+        let isf = pla.output_isf(0).unwrap();
+        assert!(isf.is_completely_specified());
+        assert_eq!(isf.on().count_ones(), 2);
+    }
+
+    #[test]
+    fn fr_type_zero_means_off() {
+        let text = ".i 2\n.o 1\n.type fr\n11 1\n10 0\n.e\n";
+        let pla: Pla = text.parse().unwrap();
+        assert_eq!(pla.output_off_cover(0).num_cubes(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = ".i 2\n.o 1\n11x 1\n.e\n";
+        match Pla::parse(bad) {
+            Err(BoolFuncError::PlaParse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        let bad_width = ".i 3\n.o 1\n11 1\n.e\n";
+        assert!(Pla::parse(bad_width).is_err());
+        let missing_header = "11 1\n.e\n";
+        assert!(Pla::parse(missing_header).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n.i 2\n.o 1\n# comment\n1- 1 # trailing\n.e\n";
+        let pla: Pla = text.parse().unwrap();
+        assert_eq!(pla.num_rows(), 1);
+    }
+
+    #[test]
+    fn too_many_inputs_rejected() {
+        let text = ".i 65\n.o 1\n.e\n";
+        assert!(matches!(Pla::parse(text), Err(BoolFuncError::TooManyVariables { .. })));
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+use crate::operator::BinaryOp;
+
+/// Error type of the `bidecomp` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BidecompError {
+    /// The dividend and divisor are defined over a different number of
+    /// variables.
+    ArityMismatch {
+        /// Arity of the dividend `f`.
+        dividend: usize,
+        /// Arity of the divisor `g`.
+        divisor: usize,
+    },
+    /// The divisor `g` is not an approximation of the kind required by the
+    /// operator (Table II, column "Approximation function g").
+    InvalidDivisor {
+        /// The operator of the attempted bi-decomposition.
+        op: BinaryOp,
+        /// Human-readable description of the violated side condition.
+        requirement: String,
+    },
+    /// A lower-level Boolean-function error (e.g. too many variables for the
+    /// dense backend).
+    BoolFunc(boolfunc::BoolFuncError),
+}
+
+impl fmt::Display for BidecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BidecompError::ArityMismatch { dividend, divisor } => {
+                write!(f, "dividend has {dividend} variables but divisor has {divisor}")
+            }
+            BidecompError::InvalidDivisor { op, requirement } => {
+                write!(f, "divisor is not a valid approximation for {op}: {requirement}")
+            }
+            BidecompError::BoolFunc(e) => write!(f, "boolean function error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BidecompError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BidecompError::BoolFunc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<boolfunc::BoolFuncError> for BidecompError {
+    fn from(e: boolfunc::BoolFuncError) -> Self {
+        BidecompError::BoolFunc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BidecompError::ArityMismatch { dividend: 4, divisor: 5 };
+        assert!(e.to_string().contains('4'));
+        let inner = boolfunc::BoolFuncError::InconsistentIsf;
+        let wrapped = BidecompError::from(inner);
+        assert!(std::error::Error::source(&wrapped).is_some());
+        let invalid = BidecompError::InvalidDivisor {
+            op: BinaryOp::And,
+            requirement: "f_on ⊆ g_on".into(),
+        };
+        assert!(invalid.to_string().contains("AND"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BidecompError>();
+    }
+}

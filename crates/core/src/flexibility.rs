@@ -1,0 +1,103 @@
+//! Flexibility metrics for the quotient: how much freedom the dc-set of `h`
+//! offers compared to realizing `f` directly (Section III's observation that
+//! "the more accurate the approximation, the larger the dc-set of `h`").
+
+use boolfunc::{Isf, TruthTable};
+
+use crate::operator::BinaryOp;
+use crate::quotient::quotient_sets;
+
+/// Quantitative summary of the flexibility offered by a quotient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlexibilityReport {
+    /// Number of don't-care minterms of the quotient `h`.
+    pub h_dc_count: u64,
+    /// Number of don't-care minterms of the original function `f`.
+    pub f_dc_count: u64,
+    /// Fraction of the 2^n minterms that are don't-cares of `h`.
+    pub h_dc_fraction: f64,
+    /// Number of minterms on which `h` is forced to 0 (the "errors to be
+    /// corrected"): for the AND-like operators this equals the number of
+    /// errors introduced by the approximation.
+    pub h_off_count: u64,
+    /// Number of minterms on which `h` is forced to 1.
+    pub h_on_count: u64,
+}
+
+impl FlexibilityReport {
+    /// Computes the report for `f`, `g`, `op` from the Table II sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn compute(f: &Isf, g: &TruthTable, op: BinaryOp) -> Self {
+        let sets = quotient_sets(f, g, op);
+        let total = 1u64 << f.num_vars();
+        FlexibilityReport {
+            h_dc_count: sets.dc.count_ones(),
+            f_dc_count: f.dc().count_ones(),
+            h_dc_fraction: sets.dc.count_ones() as f64 / total as f64,
+            h_off_count: sets.off.count_ones(),
+            h_on_count: sets.on.count_ones(),
+        }
+    }
+
+    /// The extra flexibility gained over implementing `f` directly
+    /// (`h_dc − f_dc` minterms).
+    pub fn gained_dc(&self) -> u64 {
+        self.h_dc_count.saturating_sub(self.f_dc_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::Cover;
+
+    #[test]
+    fn more_accurate_divisors_give_more_flexibility_for_and() {
+        // f from Fig. 1; compare the exact divisor g = f with the one-error
+        // approximation g = x1 x3 and the trivial divisor g = 1.
+        let f = Isf::from_cover_str(4, &["11-1", "-111"], &[]).unwrap();
+        let exact = FlexibilityReport::compute(&f, f.on(), BinaryOp::And);
+        let one_error = FlexibilityReport::compute(
+            &f,
+            &Cover::from_strs(4, &["-1-1"]).unwrap().to_truth_table(),
+            BinaryOp::And,
+        );
+        let trivial = FlexibilityReport::compute(&f, &TruthTable::one(4), BinaryOp::And);
+        // Theory: h_off counts the approximation errors, so it grows as the
+        // divisor gets coarser, and the dc-set shrinks accordingly.
+        assert_eq!(exact.h_off_count, 0);
+        assert_eq!(one_error.h_off_count, 1);
+        assert_eq!(trivial.h_off_count, f.off().count_ones());
+        assert!(exact.h_dc_count > one_error.h_dc_count);
+        assert!(one_error.h_dc_count > trivial.h_dc_count);
+    }
+
+    #[test]
+    fn quotient_dc_always_contains_the_original_dc() {
+        let f = Isf::from_cover_str(3, &["11-"], &["001"]).unwrap();
+        for op in BinaryOp::all() {
+            // Use a trivially valid divisor for each operator.
+            let g = match op {
+                BinaryOp::And | BinaryOp::NonImplication | BinaryOp::Implication | BinaryOp::Nand => {
+                    TruthTable::one(3)
+                }
+                _ => TruthTable::zero(3),
+            };
+            let report = FlexibilityReport::compute(&f, &g, op);
+            assert!(report.h_dc_count >= report.f_dc_count, "{op}: dc-set shrank");
+            assert_eq!(report.gained_dc(), report.h_dc_count - report.f_dc_count);
+        }
+    }
+
+    #[test]
+    fn fractions_are_consistent() {
+        let f = Isf::from_cover_str(4, &["11-1", "-111"], &[]).unwrap();
+        let g = Cover::from_strs(4, &["-1-1"]).unwrap().to_truth_table();
+        let report = FlexibilityReport::compute(&f, &g, BinaryOp::And);
+        assert!((report.h_dc_fraction - report.h_dc_count as f64 / 16.0).abs() < 1e-12);
+        assert_eq!(report.h_on_count + report.h_dc_count + report.h_off_count, 16);
+    }
+}

@@ -1,0 +1,66 @@
+//! # bidecomp
+//!
+//! The core contribution of *“Computing the full quotient in bi-decomposition
+//! by approximation”* (Bernasconi, Ciriani, Cortadella, Villa — DATE 2020):
+//! given an incompletely specified function `f`, a completely specified
+//! approximation `g`, and a two-input operator `op`, compute the incompletely
+//! specified quotient `h` with the **smallest on-set and the largest dc-set**
+//! such that `f = g op h` for *every* completion of `h` (Table II of the
+//! paper, Lemmas 1–5, Corollaries 1–4).
+//!
+//! On top of the quotient formulas the crate provides:
+//!
+//! * [`BinaryOp`] — the ten non-degenerate binary operators, grouped into
+//!   AND-like, OR-like and XOR-like classes;
+//! * [`ApproxKind`] / divisor validation — which kind of approximation
+//!   (0→1, 1→0, 0↔1) each operator requires and whether a candidate `g`
+//!   satisfies it;
+//! * [`full_quotient`] / [`full_quotient_bdd`] — the quotient on dense truth
+//!   tables and on BDDs (the two backends the paper's CUDD implementation
+//!   collapses into one);
+//! * [`verify_decomposition`] and [`verify_maximal_flexibility`] — executable
+//!   versions of the lemmas and corollaries;
+//! * [`DecompositionPlan`] — the end-to-end flow of Section IV (synthesize
+//!   `f` in 2-SPP, approximate, compute `h`, re-synthesize, map, report
+//!   areas and gains);
+//! * [`decomposition_sequence`] — the sequence of divisor/quotient pairs that
+//!   shifts logic between `g` and `h` (Section I).
+//!
+//! ```rust
+//! use bidecomp::{full_quotient, verify_decomposition, BinaryOp};
+//! use boolfunc::{Cover, Isf};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Fig. 1 of the paper: f = x0 x1 x3 + x1 x2 x3, g = x1 x3.
+//! let f = Isf::from_cover_str(4, &["11-1", "-111"], &[])?;
+//! let g = Cover::from_strs(4, &["-1-1"])?.to_truth_table();
+//! let h = full_quotient(&f, &g, BinaryOp::And)?;
+//! assert!(verify_decomposition(&f, &g, &h, BinaryOp::And));
+//! // h can be realised as x0 + x2 thanks to its large dc-set.
+//! assert_eq!(h.on(), f.on());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approximation;
+pub mod decompose;
+mod error;
+pub mod flexibility;
+pub mod operator;
+pub mod quotient;
+pub mod report;
+pub mod sequence;
+pub mod verify;
+
+pub use approximation::{classify_approximation, ApproxKind, ApproximationStats};
+pub use decompose::{ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient};
+pub use error::BidecompError;
+pub use flexibility::FlexibilityReport;
+pub use operator::{BinaryOp, OperatorClass};
+pub use quotient::{full_quotient, full_quotient_bdd, quotient_sets};
+pub use report::{BenchmarkRow, TableReport};
+pub use sequence::decomposition_sequence;
+pub use verify::{verify_decomposition, verify_maximal_flexibility};

@@ -1,0 +1,238 @@
+//! The ten non-degenerate two-input Boolean operators (Table I of the paper)
+//! and their classification into AND-like, OR-like and XOR-like families.
+
+use std::fmt;
+
+/// The class of an operator under De Morgan rewriting (Section II of the
+/// paper): every operator is an AND, an OR, or an XOR of possibly
+/// complemented arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorClass {
+    /// `AND`, `⇍`, `⇏`, `NOR` — conjunctions of possibly complemented inputs.
+    AndLike,
+    /// `OR`, `⇒`, `⇐`, `NAND` — disjunctions of possibly complemented inputs.
+    OrLike,
+    /// `XOR`, `XNOR`.
+    XorLike,
+}
+
+/// The ten binary operations depending on both inputs (Table I).
+///
+/// The names follow the paper's symbols: `⇍` (converse non-implication,
+/// `f = ḡ·h`), `⇏` (non-implication, `f = g·h̄`), `⇒` (`f = ḡ+h`) and `⇐`
+/// (`f = g+h̄`).
+///
+/// ```rust
+/// use bidecomp::{BinaryOp, OperatorClass};
+///
+/// assert_eq!(BinaryOp::And.apply(true, false), false);
+/// assert_eq!(BinaryOp::Xor.class(), OperatorClass::XorLike);
+/// assert_eq!(BinaryOp::all().len(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `f = g · h`.
+    And,
+    /// Converse non-implication `⇍`: `f = ḡ · h`.
+    ConverseNonImplication,
+    /// Non-implication `⇏`: `f = g · h̄`.
+    NonImplication,
+    /// `f = ḡ · h̄ = (g + h)'`.
+    Nor,
+    /// `f = g + h`.
+    Or,
+    /// Implication `⇒`: `f = ḡ + h`.
+    Implication,
+    /// Converse implication `⇐`: `f = g + h̄`.
+    ConverseImplication,
+    /// `f = ḡ + h̄ = (g · h)'`.
+    Nand,
+    /// `f = g ⊕ h`.
+    Xor,
+    /// `f = g ⊙ h = (g ⊕ h)'`.
+    Xnor,
+}
+
+impl BinaryOp {
+    /// All ten operators, in the order of Table I.
+    pub fn all() -> [BinaryOp; 10] {
+        [
+            BinaryOp::And,
+            BinaryOp::ConverseNonImplication,
+            BinaryOp::NonImplication,
+            BinaryOp::Nor,
+            BinaryOp::Or,
+            BinaryOp::Implication,
+            BinaryOp::ConverseImplication,
+            BinaryOp::Nand,
+            BinaryOp::Xor,
+            BinaryOp::Xnor,
+        ]
+    }
+
+    /// The operators evaluated in the paper's experiments (Section IV): the
+    /// two AND-like operators whose divisor is a 0→1 approximation of `f`.
+    pub fn experimental() -> [BinaryOp; 2] {
+        [BinaryOp::And, BinaryOp::NonImplication]
+    }
+
+    /// Applies the operator to concrete values: `g op h`.
+    pub fn apply(self, g: bool, h: bool) -> bool {
+        match self {
+            BinaryOp::And => g && h,
+            BinaryOp::ConverseNonImplication => !g && h,
+            BinaryOp::NonImplication => g && !h,
+            BinaryOp::Nor => !(g || h),
+            BinaryOp::Or => g || h,
+            BinaryOp::Implication => !g || h,
+            BinaryOp::ConverseImplication => g || !h,
+            BinaryOp::Nand => !(g && h),
+            BinaryOp::Xor => g ^ h,
+            BinaryOp::Xnor => g == h,
+        }
+    }
+
+    /// De Morgan class of the operator (Section II).
+    pub fn class(self) -> OperatorClass {
+        match self {
+            BinaryOp::And | BinaryOp::ConverseNonImplication | BinaryOp::NonImplication | BinaryOp::Nor => {
+                OperatorClass::AndLike
+            }
+            BinaryOp::Or | BinaryOp::Implication | BinaryOp::ConverseImplication | BinaryOp::Nand => {
+                OperatorClass::OrLike
+            }
+            BinaryOp::Xor | BinaryOp::Xnor => OperatorClass::XorLike,
+        }
+    }
+
+    /// Whether the divisor `g` enters the rewritten AND/OR/XOR form
+    /// complemented (e.g. `⇍` rewrites to `ḡ · h`).
+    pub fn divisor_complemented(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::ConverseNonImplication | BinaryOp::Nor | BinaryOp::Implication | BinaryOp::Nand
+        )
+    }
+
+    /// Whether the quotient `h` enters the rewritten AND/OR/XOR form
+    /// complemented (e.g. `⇏` rewrites to `g · h̄`).
+    pub fn quotient_complemented(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::NonImplication | BinaryOp::Nor | BinaryOp::ConverseImplication | BinaryOp::Nand
+        )
+    }
+
+    /// The paper's symbol for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::And => "AND",
+            BinaryOp::ConverseNonImplication => "⇍",
+            BinaryOp::NonImplication => "⇏",
+            BinaryOp::Nor => "NOR",
+            BinaryOp::Or => "OR",
+            BinaryOp::Implication => "⇒",
+            BinaryOp::ConverseImplication => "⇐",
+            BinaryOp::Nand => "NAND",
+            BinaryOp::Xor => "XOR",
+            BinaryOp::Xnor => "XNOR",
+        }
+    }
+
+    /// The bi-decomposed form as written in Table I (for reports).
+    pub fn decomposed_form(self) -> &'static str {
+        match self {
+            BinaryOp::And => "f = g · h",
+            BinaryOp::ConverseNonImplication => "f = g' · h",
+            BinaryOp::NonImplication => "f = g · h'",
+            BinaryOp::Nor => "f = g' · h' = (g + h)'",
+            BinaryOp::Or => "f = g + h",
+            BinaryOp::Implication => "f = g' + h",
+            BinaryOp::ConverseImplication => "f = g + h'",
+            BinaryOp::Nand => "f = g' + h' = (g · h)'",
+            BinaryOp::Xor => "f = g ⊕ h",
+            BinaryOp::Xnor => "f = g ⊙ h",
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_operators() {
+        let all = BinaryOp::all();
+        assert_eq!(all.len(), 10);
+        // All distinct as truth tables over (g, h).
+        let mut signatures = std::collections::HashSet::new();
+        for op in all {
+            let sig: Vec<bool> = [(false, false), (false, true), (true, false), (true, true)]
+                .iter()
+                .map(|&(g, h)| op.apply(g, h))
+                .collect();
+            assert!(signatures.insert(sig), "{op} duplicates another operator");
+        }
+    }
+
+    #[test]
+    fn every_operator_depends_on_both_inputs() {
+        for op in BinaryOp::all() {
+            let depends_on_g = (op.apply(false, false) != op.apply(true, false))
+                || (op.apply(false, true) != op.apply(true, true));
+            let depends_on_h = (op.apply(false, false) != op.apply(false, true))
+                || (op.apply(true, false) != op.apply(true, true));
+            assert!(depends_on_g && depends_on_h, "{op} is degenerate");
+        }
+    }
+
+    #[test]
+    fn de_morgan_rewriting_matches_the_classes() {
+        for op in BinaryOp::all() {
+            for g in [false, true] {
+                for h in [false, true] {
+                    let gg = if op.divisor_complemented() { !g } else { g };
+                    let hh = if op.quotient_complemented() { !h } else { h };
+                    let rewritten = match op.class() {
+                        OperatorClass::AndLike => gg && hh,
+                        OperatorClass::OrLike => gg || hh,
+                        OperatorClass::XorLike => {
+                            // XOR-like operators absorb complementations into a
+                            // single optional output complement.
+                            continue;
+                        }
+                    };
+                    assert_eq!(op.apply(g, h), rewritten, "{op} does not rewrite as claimed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_partition() {
+        let and_like = BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::AndLike).count();
+        let or_like = BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::OrLike).count();
+        let xor_like = BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::XorLike).count();
+        assert_eq!((and_like, or_like, xor_like), (4, 4, 2));
+    }
+
+    #[test]
+    fn symbols_and_forms_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in BinaryOp::all() {
+            assert!(seen.insert(op.symbol()));
+            assert!(op.decomposed_form().starts_with("f = "));
+        }
+    }
+
+    #[test]
+    fn experimental_subset() {
+        assert_eq!(BinaryOp::experimental(), [BinaryOp::And, BinaryOp::NonImplication]);
+    }
+}

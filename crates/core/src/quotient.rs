@@ -1,0 +1,303 @@
+//! The full quotient of Table II: for each of the ten operators, the
+//! incompletely specified `h` with the smallest on-set and the largest dc-set
+//! such that `f = g op h` for every completion of `h`.
+
+use bdd::{Bdd, BddManager};
+use boolfunc::{Isf, TruthTable};
+
+use crate::approximation::check_divisor;
+use crate::error::BidecompError;
+use crate::operator::BinaryOp;
+
+/// The three characteristic sets of the quotient, as dense truth tables.
+///
+/// [`quotient_sets`] exposes all three so that callers (and tests) can check
+/// them against the exact expressions printed in Table II; [`full_quotient`]
+/// packages the same information as an [`Isf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotientSets {
+    /// `h_on` — minterms on which every completion of `h` must be 1.
+    pub on: TruthTable,
+    /// `h_dc` — minterms on which `h` is free.
+    pub dc: TruthTable,
+    /// `h_off` — minterms on which every completion of `h` must be 0.
+    pub off: TruthTable,
+}
+
+/// Computes the three sets of Table II for `f`, `g` and `op`, *without*
+/// validating that `g` is an approximation of the required kind.
+///
+/// # Panics
+///
+/// Panics if the arities differ.
+pub fn quotient_sets(f: &Isf, g: &TruthTable, op: BinaryOp) -> QuotientSets {
+    assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
+    let f_on = f.on();
+    let f_dc = f.dc();
+    let f_off = f.off();
+    let g_on = g;
+    let g_off = !g;
+
+    let (on, dc) = match op {
+        // AND: h_on = f_on, h_dc = g_off ∪ f_dc.
+        BinaryOp::And => (f_on.clone(), &g_off | f_dc),
+        // ⇍ (f = g'·h): h_on = f_on, h_dc = g_on ∪ f_dc.
+        BinaryOp::ConverseNonImplication => (f_on.clone(), g_on | f_dc),
+        // ⇏ (f = g·h'): h_on = f_off \ g_off, h_dc = g_off ∪ f_dc.
+        BinaryOp::NonImplication => (f_off.difference(&g_off), &g_off | f_dc),
+        // NOR (f = g'·h'): h_on = f_off \ g_on, h_dc = g_on ∪ f_dc.
+        BinaryOp::Nor => (f_off.difference(g_on), g_on | f_dc),
+        // OR: h_on = f_on \ g_on, h_dc = g_on ∪ f_dc.
+        BinaryOp::Or => (f_on.difference(g_on), g_on | f_dc),
+        // ⇒ (f = g'+h): h_on = f_on \ g_off, h_dc = g_off ∪ f_dc.
+        BinaryOp::Implication => (f_on.difference(&g_off), &g_off | f_dc),
+        // ⇐ (f = g+h'): h_on = f_off, h_dc = g_on ∪ f_dc.
+        BinaryOp::ConverseImplication => (f_off.clone(), g_on | f_dc),
+        // NAND (f = g'+h'): h_on = f_off, h_dc = g_off ∪ f_dc.
+        BinaryOp::Nand => (f_off.clone(), &g_off | f_dc),
+        // XOR: h_on = f_on ⊕ g_on (restricted to the care set), h_dc = f_dc.
+        BinaryOp::Xor => ((&(f_on ^ g_on)).difference(f_dc), f_dc.clone()),
+        // XNOR: h_on = f_off ⊕ g_on (restricted to the care set), h_dc = f_dc.
+        BinaryOp::Xnor => ((&(&f_off ^ g_on)).difference(f_dc), f_dc.clone()),
+    };
+    // The dc-set always wins over the on-set (for the AND/OR families the two
+    // are already disjoint; keeping the subtraction makes the function total).
+    let on = on.difference(&dc);
+    let off = !&(&on | &dc);
+    QuotientSets { on, dc, off }
+}
+
+/// Computes the full quotient `h` (Table II) after validating the divisor.
+///
+/// # Errors
+///
+/// Returns [`BidecompError::ArityMismatch`] if `f` and `g` have different
+/// arities, or [`BidecompError::InvalidDivisor`] if `g` is not an
+/// approximation of the kind required by `op`.
+///
+/// ```rust
+/// use bidecomp::{full_quotient, BinaryOp};
+/// use boolfunc::{Cover, Isf};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = Isf::from_cover_str(4, &["11-1", "-111"], &[])?;
+/// let g = Cover::from_strs(4, &["-1-1"])?.to_truth_table();
+/// let h = full_quotient(&f, &g, BinaryOp::And)?;
+/// // h_off is exactly the error introduced by the approximation (1 minterm).
+/// assert_eq!(h.off().count_ones(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn full_quotient(f: &Isf, g: &TruthTable, op: BinaryOp) -> Result<Isf, BidecompError> {
+    check_divisor(f, g, op)?;
+    let sets = quotient_sets(f, g, op);
+    Ok(Isf::new(sets.on, sets.dc)?)
+}
+
+/// The BDD-backend version of [`quotient_sets`]: all operands and results are
+/// BDDs in the same manager. Returns `(h_on, h_dc)` (the off-set is the
+/// complement of their union).
+///
+/// This mirrors how the paper's implementation computes the quotient "with
+/// OBDD operations" on functions too large for dense truth tables.
+pub fn full_quotient_bdd(
+    mgr: &mut BddManager,
+    f_on: Bdd,
+    f_dc: Bdd,
+    g: Bdd,
+    op: BinaryOp,
+) -> (Bdd, Bdd) {
+    let f_care = mgr.not(f_dc);
+    let f_off = {
+        let on_or_dc = mgr.or(f_on, f_dc);
+        mgr.not(on_or_dc)
+    };
+    let g_off = mgr.not(g);
+
+    let (on_raw, dc) = match op {
+        BinaryOp::And => (f_on, mgr.or(g_off, f_dc)),
+        BinaryOp::ConverseNonImplication => (f_on, mgr.or(g, f_dc)),
+        BinaryOp::NonImplication => (mgr.diff(f_off, g_off), mgr.or(g_off, f_dc)),
+        BinaryOp::Nor => (mgr.diff(f_off, g), mgr.or(g, f_dc)),
+        BinaryOp::Or => (mgr.diff(f_on, g), mgr.or(g, f_dc)),
+        BinaryOp::Implication => (mgr.diff(f_on, g_off), mgr.or(g_off, f_dc)),
+        BinaryOp::ConverseImplication => (f_off, mgr.or(g, f_dc)),
+        BinaryOp::Nand => (f_off, mgr.or(g_off, f_dc)),
+        BinaryOp::Xor => {
+            let x = mgr.xor(f_on, g);
+            (mgr.and(x, f_care), f_dc)
+        }
+        BinaryOp::Xnor => {
+            let x = mgr.xor(f_off, g);
+            (mgr.and(x, f_care), f_dc)
+        }
+    };
+    let on = mgr.diff(on_raw, dc);
+    (on, dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_decomposition, verify_maximal_flexibility};
+    use boolfunc::Cover;
+
+    fn fig1() -> (Isf, TruthTable) {
+        let f = Isf::from_cover_str(4, &["11-1", "-111"], &[]).unwrap();
+        let g = Cover::from_strs(4, &["-1-1"]).unwrap().to_truth_table();
+        (f, g)
+    }
+
+    #[test]
+    fn fig1_and_quotient_matches_the_paper() {
+        let (f, g) = fig1();
+        let h = full_quotient(&f, &g, BinaryOp::And).unwrap();
+        // h_on = f_on (3 minterms), h_off = the single error minterm,
+        // h_dc = everything else (12 minterms).
+        assert_eq!(h.on(), f.on());
+        assert_eq!(h.off().count_ones(), 1);
+        assert_eq!(h.dc().count_ones(), 12);
+        // The minimal SOP of h is x0 + x2 (2 literals), as in the paper.
+        let m = sop::espresso(&h);
+        assert!(m.literal_count() <= 2);
+    }
+
+    #[test]
+    fn partition_property_for_all_operators() {
+        let (f, _) = fig1();
+        // Use divisors valid for each operator.
+        for op in BinaryOp::all() {
+            let g = valid_divisor_for(&f, op);
+            let sets = quotient_sets(&f, &g, op);
+            let n = f.num_vars();
+            let total = 1u64 << n;
+            assert!((&sets.on & &sets.dc).is_zero(), "{op}: on∩dc non-empty");
+            assert!((&sets.on & &sets.off).is_zero(), "{op}: on∩off non-empty");
+            assert!((&sets.dc & &sets.off).is_zero(), "{op}: dc∩off non-empty");
+            assert_eq!(
+                sets.on.count_ones() + sets.dc.count_ones() + sets.off.count_ones(),
+                total,
+                "{op}: sets do not partition the space"
+            );
+        }
+    }
+
+    /// Builds a divisor satisfying the Table II side condition for `op`,
+    /// introducing at least one error whenever the condition allows it.
+    fn valid_divisor_for(f: &Isf, op: BinaryOp) -> TruthTable {
+        let on = f.on().clone();
+        let off = f.off();
+        match op {
+            BinaryOp::And | BinaryOp::NonImplication => {
+                // over-approximate: add the first off-set minterm.
+                let mut g = on.clone();
+                if let Some(m) = off.ones().next() {
+                    g.set(m, true);
+                }
+                g
+            }
+            BinaryOp::Or | BinaryOp::ConverseImplication => {
+                // under-approximate: drop the first on-set minterm.
+                let mut g = on.clone();
+                if let Some(m) = on.ones().next() {
+                    g.set(m, false);
+                }
+                g
+            }
+            BinaryOp::ConverseNonImplication | BinaryOp::Nor => {
+                // g_on ⊆ f_off: take a subset of the off-set.
+                let mut g = TruthTable::zero(f.num_vars());
+                if let Some(m) = off.ones().next() {
+                    g.set(m, true);
+                }
+                g
+            }
+            BinaryOp::Implication | BinaryOp::Nand => {
+                // f_off ⊆ g_on: take the off-set plus one on-set minterm.
+                let mut g = off.clone();
+                if let Some(m) = on.ones().next() {
+                    g.set(m, true);
+                }
+                g
+            }
+            BinaryOp::Xor | BinaryOp::Xnor => {
+                // any 0↔1 approximation: flip a couple of care minterms.
+                let mut g = on.clone();
+                if let Some(m) = off.ones().next() {
+                    g.set(m, true);
+                }
+                if let Some(m) = on.ones().next() {
+                    g.set(m, false);
+                }
+                g
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_verifies_for_every_operator_and_divisor() {
+        let (f, _) = fig1();
+        for op in BinaryOp::all() {
+            let g = valid_divisor_for(&f, op);
+            let h = full_quotient(&f, &g, op).unwrap();
+            assert!(verify_decomposition(&f, &g, &h, op), "{op}: decomposition does not hold");
+            assert!(
+                verify_maximal_flexibility(&f, &g, &h, op),
+                "{op}: quotient is not maximally flexible"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_divisors_are_rejected() {
+        let (f, g) = fig1();
+        // g is an over-approximation, so it is invalid for OR (needs under-).
+        assert!(full_quotient(&f, &g, BinaryOp::Or).is_err());
+        assert!(full_quotient(&f, &g, BinaryOp::Nor).is_err());
+        assert!(full_quotient(&f, &g, BinaryOp::And).is_ok());
+    }
+
+    #[test]
+    fn exact_divisor_gives_maximum_flexibility_for_and() {
+        // With g = f (no error), the AND quotient must have an empty off-set:
+        // the quotient can be the constant 1.
+        let (f, _) = fig1();
+        let h = full_quotient(&f, f.on(), BinaryOp::And).unwrap();
+        assert!(h.off().is_zero());
+        assert_eq!(h.on(), f.on());
+    }
+
+    #[test]
+    fn bdd_backend_agrees_with_the_dense_backend() {
+        let (f, _) = fig1();
+        for op in BinaryOp::all() {
+            let g = valid_divisor_for(&f, op);
+            let dense = quotient_sets(&f, &g, op);
+
+            let mut mgr = BddManager::new(f.num_vars());
+            let f_on = mgr.from_truth_table(f.on());
+            let f_dc = mgr.from_truth_table(f.dc());
+            let g_bdd = mgr.from_truth_table(&g);
+            let (h_on, h_dc) = full_quotient_bdd(&mut mgr, f_on, f_dc, g_bdd, op);
+            assert_eq!(mgr.to_truth_table(h_on).unwrap(), dense.on, "{op}: on-sets differ");
+            assert_eq!(mgr.to_truth_table(h_dc).unwrap(), dense.dc, "{op}: dc-sets differ");
+        }
+    }
+
+    #[test]
+    fn table2_off_set_expressions_hold() {
+        // Spot-check the h_off column of Table II for the AND and OR rows.
+        let (f, g) = fig1();
+        let and_sets = quotient_sets(&f, &g, BinaryOp::And);
+        assert_eq!(and_sets.off, g.difference(&(f.on() | f.dc())), "AND: h_off ≠ g_on \\ (f_on ∪ f_dc)");
+
+        let g_under = {
+            let mut t = f.on().clone();
+            let m = f.on().ones().next().unwrap();
+            t.set(m, false);
+            t
+        };
+        let or_sets = quotient_sets(&f, &g_under, BinaryOp::Or);
+        assert_eq!(or_sets.off, f.off(), "OR: h_off ≠ f_off");
+    }
+}

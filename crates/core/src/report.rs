@@ -1,0 +1,212 @@
+//! Tabular reports in the format of Tables III and IV of the paper.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::decompose::BiDecomposition;
+
+/// One row of Table III / Table IV: a benchmark instance with its areas,
+/// error rate and gains for the AND and `⇏` decompositions.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of inputs.
+    pub inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// Wall-clock time spent constructing `g` and `h` for all outputs.
+    pub time: Duration,
+    /// Mapped area of the 2-SPP form of `f` (summed over outputs).
+    pub area_f: f64,
+    /// Mapped area of the 2-SPP form of `g`.
+    pub area_g: f64,
+    /// Error rate of the approximation, in percent.
+    pub error_percent: f64,
+    /// `(area_f − area_g) / area_f`, in percent.
+    pub divisor_reduction_percent: f64,
+    /// Mapped area of `g AND h`.
+    pub area_and: f64,
+    /// Gain of the AND decomposition, in percent.
+    pub gain_and_percent: f64,
+    /// Mapped area of `g ⇏ h`.
+    pub area_nonimplication: f64,
+    /// Gain of the `⇏` decomposition, in percent.
+    pub gain_nonimplication_percent: f64,
+}
+
+impl BenchmarkRow {
+    /// Assembles a row from the AND and `⇏` decompositions of every output of
+    /// a benchmark (areas are summed across outputs, as SIS does when mapping
+    /// the whole network).
+    pub fn from_decompositions(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        time: Duration,
+        and_results: &[BiDecomposition],
+        nonimpl_results: &[BiDecomposition],
+    ) -> Self {
+        let area_f: f64 = and_results.iter().map(|d| d.area_f).sum();
+        let area_g: f64 = and_results.iter().map(|d| d.area_g).sum();
+        let area_and: f64 = and_results.iter().map(|d| d.area_bidecomposition).sum();
+        let area_nonimpl: f64 = nonimpl_results.iter().map(|d| d.area_bidecomposition).sum();
+        let total_minterms: f64 = and_results.len().max(1) as f64;
+        let error_percent: f64 =
+            and_results.iter().map(BiDecomposition::error_percent).sum::<f64>() / total_minterms;
+        let pct = |num: f64| if area_f > 0.0 { num / area_f * 100.0 } else { 0.0 };
+        BenchmarkRow {
+            name: name.into(),
+            inputs,
+            outputs,
+            time,
+            area_f,
+            area_g,
+            error_percent,
+            divisor_reduction_percent: pct(area_f - area_g),
+            area_and,
+            gain_and_percent: pct(area_f - area_and),
+            area_nonimplication: area_nonimpl,
+            gain_nonimplication_percent: pct(area_f - area_nonimpl),
+        }
+    }
+
+    /// Header matching the columns of Tables III and IV.
+    pub fn header() -> String {
+        format!(
+            "{:<18} {:>8} {:>9} {:>9} {:>8} {:>14} {:>9} {:>9} {:>9} {:>9}",
+            "Benchmark", "Time(s)", "Area f", "Area g", "%Errors", "%(f-g)/f", "AreaAND", "GainAND%", "Area⇏", "Gain⇏%"
+        )
+    }
+}
+
+impl fmt::Display for BenchmarkRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} {:>8.2} {:>9.1} {:>9.1} {:>8.2} {:>14.2} {:>9.1} {:>9.2} {:>9.1} {:>9.2}",
+            format!("{} ({}/{})", self.name, self.inputs, self.outputs),
+            self.time.as_secs_f64(),
+            self.area_f,
+            self.area_g,
+            self.error_percent,
+            self.divisor_reduction_percent,
+            self.area_and,
+            self.gain_and_percent,
+            self.area_nonimplication,
+            self.gain_nonimplication_percent,
+        )
+    }
+}
+
+/// A complete table: a titled collection of rows with a couple of aggregate
+/// statistics, printable in the layout of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct TableReport {
+    /// Table title (e.g. "Table III — error rate < 10%").
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<BenchmarkRow>,
+}
+
+impl TableReport {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TableReport { title: title.into(), rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: BenchmarkRow) {
+        self.rows.push(row);
+    }
+
+    /// Average gain of the AND decomposition across rows.
+    pub fn average_gain_and(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.gain_and_percent).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Number of rows with a positive AND gain.
+    pub fn wins_and(&self) -> usize {
+        self.rows.iter().filter(|r| r.gain_and_percent > 0.0).count()
+    }
+}
+
+impl fmt::Display for TableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", BenchmarkRow::header())?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        writeln!(
+            f,
+            "-- {} instances, {} with positive AND gain, average AND gain {:.2}%",
+            self.rows.len(),
+            self.wins_and(),
+            self.average_gain_and()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{ApproxStrategy, DecompositionPlan};
+    use crate::operator::BinaryOp;
+    use boolfunc::Isf;
+
+    fn sample_row() -> BenchmarkRow {
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[]).unwrap();
+        let and = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::FullExpansion)
+            .decompose(&f)
+            .unwrap();
+        let nonimpl = DecompositionPlan::new(BinaryOp::NonImplication, ApproxStrategy::FullExpansion)
+            .decompose(&f)
+            .unwrap();
+        BenchmarkRow::from_decompositions("fig2", 4, 1, Duration::from_millis(5), &[and], &[nonimpl])
+    }
+
+    #[test]
+    fn row_aggregates_areas_and_gains() {
+        let row = sample_row();
+        assert_eq!(row.name, "fig2");
+        assert!(row.area_f > 0.0);
+        let expected_gain = (row.area_f - row.area_and) / row.area_f * 100.0;
+        assert!((row.gain_and_percent - expected_gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_formatting_contains_all_rows_and_summary() {
+        let mut report = TableReport::new("Table III (reproduction)");
+        report.push(sample_row());
+        let text = report.to_string();
+        assert!(text.contains("Table III"));
+        assert!(text.contains("fig2"));
+        assert!(text.contains("average AND gain"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn aggregates_on_empty_report_are_zero() {
+        let report = TableReport::new("empty");
+        assert_eq!(report.average_gain_and(), 0.0);
+        assert_eq!(report.wins_and(), 0);
+    }
+
+    #[test]
+    fn header_and_rows_have_matching_column_counts() {
+        let header = BenchmarkRow::header();
+        assert!(header.contains("Area f"));
+        assert!(header.contains("Gain"));
+        let row = sample_row().to_string();
+        // "name (i/o)" + 9 numeric columns.
+        assert_eq!(row.split_whitespace().count(), 11);
+        // Every numeric column parses as a number.
+        for token in row.split_whitespace().skip(2) {
+            assert!(token.parse::<f64>().is_ok(), "column `{token}` is not numeric");
+        }
+    }
+}

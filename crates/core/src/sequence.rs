@@ -1,0 +1,85 @@
+//! Decomposition sequences (Section I): a family of decompositions
+//! `f = g_i op h_i` in which logic is progressively shifted from the divisor
+//! to the quotient, from `g_0 = f, h_0 = 1` to `g_n = 1, h_n = f`, letting an
+//! optimization loop pick the best trade-off.
+
+use boolfunc::Isf;
+
+use crate::decompose::{ApproxStrategy, BiDecomposition, DecompositionPlan};
+use crate::error::BidecompError;
+use crate::operator::BinaryOp;
+
+/// Generates a sequence of AND-like decompositions of `f` with increasing
+/// error budgets for the divisor approximation (so the divisor gets smaller
+/// and the quotient absorbs more of the logic as the sequence progresses).
+///
+/// The endpoints match the introduction of the paper: a zero budget keeps
+/// `g` exact (quotient reducible to the constant 1), while a 100% budget lets
+/// `g` collapse towards the constant 1 so that the quotient has to realize
+/// `f` on its own.
+///
+/// # Errors
+///
+/// Propagates any error from the individual decompositions (which cannot
+/// happen for the AND-like operators used here unless `f` has more variables
+/// than the dense backend supports).
+pub fn decomposition_sequence(
+    f: &Isf,
+    op: BinaryOp,
+    budgets: &[f64],
+) -> Result<Vec<BiDecomposition>, BidecompError> {
+    let mut results = Vec::with_capacity(budgets.len());
+    for &budget in budgets {
+        let plan = DecompositionPlan::new(op, ApproxStrategy::Bounded { max_error_rate: budget });
+        results.push(plan.decompose(f)?);
+    }
+    Ok(results)
+}
+
+/// A convenient default budget ladder: 0%, 1%, 2%, 5%, 10%, 20%, 40%, 100%.
+pub fn default_budgets() -> Vec<f64> {
+    vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_endpoints_match_the_introduction() {
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[]).unwrap();
+        let seq = decomposition_sequence(&f, BinaryOp::And, &[0.0, 1.0]).unwrap();
+        assert_eq!(seq.len(), 2);
+        // Zero budget: the divisor is exact (no errors), so the quotient's
+        // off-set is empty and it can be realised as the constant 1.
+        assert_eq!(seq[0].approximation.total_errors(), 0);
+        assert!(seq[0].h.off().is_zero());
+        // Full budget: the divisor absorbs errors and shrinks; the quotient's
+        // off-set equals the number of 0→1 errors.
+        assert!(seq[1].approximation.zero_to_one >= seq[0].approximation.zero_to_one);
+        assert_eq!(seq[1].h.off().count_ones(), seq[1].approximation.zero_to_one);
+        for d in &seq {
+            assert!(d.verified);
+        }
+    }
+
+    #[test]
+    fn errors_grow_monotonically_with_the_budget() {
+        let f = Isf::from_cover_str(4, &["11-1", "-111", "0-00"], &[]).unwrap();
+        let seq = decomposition_sequence(&f, BinaryOp::And, &default_budgets()).unwrap();
+        for pair in seq.windows(2) {
+            assert!(
+                pair[0].approximation.total_errors() <= pair[1].approximation.total_errors(),
+                "error count must not decrease along the sequence"
+            );
+        }
+    }
+
+    #[test]
+    fn default_budgets_are_sorted_and_bounded() {
+        let budgets = default_budgets();
+        assert!(budgets.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*budgets.first().unwrap(), 0.0);
+        assert_eq!(*budgets.last().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Executable versions of the paper's Lemmas 1–5 (correctness of the
+//! decomposition) and Corollaries 1–4 (maximality of the quotient's
+//! flexibility).
+
+use boolfunc::{Isf, TruthTable};
+
+use crate::operator::BinaryOp;
+
+/// Checks Lemmas 1–5: `f = g op h` holds for **every** completion of the
+/// incompletely specified quotient `h`, on every care minterm of `f`.
+///
+/// # Panics
+///
+/// Panics if the arities differ.
+///
+/// ```rust
+/// use bidecomp::{full_quotient, verify_decomposition, BinaryOp};
+/// use boolfunc::{Cover, Isf};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = Isf::from_cover_str(4, &["11-1", "-111"], &[])?;
+/// let g = Cover::from_strs(4, &["-1-1"])?.to_truth_table();
+/// let h = full_quotient(&f, &g, BinaryOp::And)?;
+/// assert!(verify_decomposition(&f, &g, &h, BinaryOp::And));
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_decomposition(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> bool {
+    assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch between f and g");
+    assert_eq!(f.num_vars(), h.num_vars(), "arity mismatch between f and h");
+    for m in 0..(1u64 << f.num_vars()) {
+        let Some(fv) = f.value(m) else { continue };
+        let gv = g.get(m);
+        let allowed: &[bool] = match h.value(m) {
+            Some(true) => &[true],
+            Some(false) => &[false],
+            None => &[false, true],
+        };
+        if allowed.iter().any(|&hv| op.apply(gv, hv) != fv) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks Corollaries 1–4: `h` is the quotient with the *smallest on-set and
+/// the largest dc-set*, i.e. every specified minterm of `h` is genuinely
+/// forced by the decomposition and every don't-care is genuinely free.
+///
+/// Together with [`verify_decomposition`] this pins `h` down uniquely: it must
+/// coincide with the canonical quotient on every minterm.
+///
+/// # Panics
+///
+/// Panics if the arities differ.
+pub fn verify_maximal_flexibility(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> bool {
+    assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch between f and g");
+    assert_eq!(f.num_vars(), h.num_vars(), "arity mismatch between f and h");
+    for m in 0..(1u64 << f.num_vars()) {
+        let gv = g.get(m);
+        let forced = match f.value(m) {
+            // On a don't-care of f nothing is forced: h must be free there.
+            None => None,
+            Some(fv) => {
+                let ok_with_0 = op.apply(gv, false) == fv;
+                let ok_with_1 = op.apply(gv, true) == fv;
+                match (ok_with_0, ok_with_1) {
+                    (true, true) => None,
+                    (false, true) => Some(true),
+                    (true, false) => Some(false),
+                    // Neither value works: no quotient exists (invalid divisor);
+                    // maximality is vacuously violated.
+                    (false, false) => return false,
+                }
+            }
+        };
+        if h.value(m) != forced {
+            return false;
+        }
+    }
+    true
+}
+
+/// The canonical full quotient computed minterm-by-minterm from the defining
+/// property (rather than from the closed-form expressions of Table II). Used
+/// as an independent oracle in tests and available to callers who want the
+/// quotient for a divisor that does not satisfy the Table II side conditions
+/// everywhere.
+///
+/// Returns `None` if for some care minterm neither value of `h` realizes `f`
+/// (which happens exactly when `g` is not a valid divisor for `op`).
+pub fn canonical_quotient(f: &Isf, g: &TruthTable, op: BinaryOp) -> Option<Isf> {
+    assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch between f and g");
+    let n = f.num_vars();
+    let mut on = TruthTable::zero(n);
+    let mut dc = TruthTable::zero(n);
+    for m in 0..(1u64 << n) {
+        let gv = g.get(m);
+        match f.value(m) {
+            None => dc.set(m, true),
+            Some(fv) => {
+                let ok_with_0 = op.apply(gv, false) == fv;
+                let ok_with_1 = op.apply(gv, true) == fv;
+                match (ok_with_0, ok_with_1) {
+                    (true, true) => dc.set(m, true),
+                    (false, true) => on.set(m, true),
+                    (true, false) => {}
+                    (false, false) => return None,
+                }
+            }
+        }
+    }
+    Some(Isf::new(on, dc).expect("on and dc are disjoint by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quotient::full_quotient;
+    use boolfunc::Cover;
+
+    fn fig1() -> (Isf, TruthTable) {
+        let f = Isf::from_cover_str(4, &["11-1", "-111"], &[]).unwrap();
+        let g = Cover::from_strs(4, &["-1-1"]).unwrap().to_truth_table();
+        (f, g)
+    }
+
+    #[test]
+    fn fig1_quotient_verifies_and_any_tampering_breaks_it() {
+        let (f, g) = fig1();
+        let h = full_quotient(&f, &g, BinaryOp::And).unwrap();
+        assert!(verify_decomposition(&f, &g, &h, BinaryOp::And));
+        assert!(verify_maximal_flexibility(&f, &g, &h, BinaryOp::And));
+
+        // Moving the error minterm from off to dc breaks correctness.
+        let tampered = Isf::new(h.on().clone(), h.dc() | &h.off()).unwrap();
+        assert!(!verify_decomposition(&f, &g, &tampered, BinaryOp::And));
+
+        // Declaring an extra on-set minterm keeps correctness but loses
+        // maximality.
+        let extra_on = {
+            let mut on = h.on().clone();
+            let spare = h.dc().ones().next().unwrap();
+            on.set(spare, true);
+            Isf::new(on, h.dc().difference(&TruthTable::from_fn(4, |m| m == h.dc().ones().next().unwrap()))).unwrap()
+        };
+        assert!(verify_decomposition(&f, &g, &extra_on, BinaryOp::And));
+        assert!(!verify_maximal_flexibility(&f, &g, &extra_on, BinaryOp::And));
+    }
+
+    #[test]
+    fn canonical_quotient_agrees_with_table_ii() {
+        let (f, g) = fig1();
+        for op in [BinaryOp::And, BinaryOp::NonImplication, BinaryOp::Xor, BinaryOp::Xnor] {
+            let canonical = canonical_quotient(&f, &g, op).unwrap();
+            let table = full_quotient(&f, &g, op).unwrap();
+            assert_eq!(canonical.on(), table.on(), "{op}: on-sets differ");
+            assert_eq!(canonical.dc(), table.dc(), "{op}: dc-sets differ");
+        }
+    }
+
+    #[test]
+    fn canonical_quotient_detects_invalid_divisors() {
+        let (f, g) = fig1();
+        // g is an over-approximation: no quotient exists for OR.
+        assert!(canonical_quotient(&f, &g, BinaryOp::Or).is_none());
+        assert!(canonical_quotient(&f, &g, BinaryOp::And).is_some());
+    }
+
+    #[test]
+    fn trivial_decompositions_of_the_introduction() {
+        // g0 = f, h0 = 1  and  gn = 1, hn = f (the endpoints of the sequence
+        // described in Section I for the AND operator).
+        let (f, _) = fig1();
+        let one = TruthTable::one(4);
+        let h_for_g_equals_f = full_quotient(&f, f.on(), BinaryOp::And).unwrap();
+        assert!(h_for_g_equals_f.is_completion(&one));
+        let h_for_g_equals_one = full_quotient(&f, &one, BinaryOp::And).unwrap();
+        assert_eq!(h_for_g_equals_one.on(), f.on());
+        assert_eq!(&h_for_g_equals_one.off(), &f.off());
+    }
+
+    #[test]
+    fn xor_quotient_is_the_error_function() {
+        let (f, g) = fig1();
+        let h = full_quotient(&f, &g, BinaryOp::Xor).unwrap();
+        // h_on must be exactly the set of care minterms where f and g differ.
+        let expected = &(f.on() ^ &g) & &f.care();
+        assert_eq!(h.on(), &expected);
+        assert_eq!(h.dc(), f.dc());
+    }
+}

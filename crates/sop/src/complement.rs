@@ -1,0 +1,162 @@
+//! Cover complementation by Shannon expansion.
+//!
+//! The espresso EXPAND step needs the off-set of the function, which is the
+//! complement of `on ∪ dc`. The complement is computed with the same
+//! unate-recursion skeleton as the tautology check: pick the most binate
+//! variable, complement the two cofactors, and reassemble with the branching
+//! literal. Single-cube covers are complemented directly by De Morgan.
+
+use boolfunc::{Cover, Cube, CubeValue};
+
+use crate::tautology::most_binate_variable;
+
+/// Complements a cover.
+///
+/// ```rust
+/// use boolfunc::Cover;
+/// use sop::complement;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let f = Cover::from_strs(3, &["11-"])?;
+/// let not_f = complement(&f);
+/// assert_eq!(not_f.minterm_count(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn complement(cover: &Cover) -> Cover {
+    let n = cover.num_vars();
+    if cover.is_empty() {
+        return Cover::tautology(n);
+    }
+    if cover.iter().any(Cube::is_full) {
+        return Cover::empty(n);
+    }
+    if cover.num_cubes() == 1 {
+        return complement_cube(&cover.cubes()[0]);
+    }
+    // Shannon expansion on the most binate variable (fall back to the first
+    // variable of the support when the cover is unate).
+    let var = most_binate_variable(cover)
+        .or_else(|| cover.support().first().copied())
+        .expect("non-empty cover without full cubes has a non-empty support");
+    let comp0 = complement(&cover.cofactor(var, false));
+    let comp1 = complement(&cover.cofactor(var, true));
+    let mut result = Cover::empty(n);
+    for c in comp0.iter() {
+        result.push(c.with_value(var, CubeValue::Zero));
+    }
+    for c in comp1.iter() {
+        result.push(c.with_value(var, CubeValue::One));
+    }
+    result.remove_contained_cubes();
+    result
+}
+
+/// Complements a single cube (De Morgan): the complement of `l1·l2·…·lk` is
+/// `l1' + l1·l2' + l1·l2·l3' + …`, which produces a disjoint cover.
+fn complement_cube(cube: &Cube) -> Cover {
+    let n = cube.num_vars();
+    let mut result = Cover::empty(n);
+    let mut prefix = Cube::full(n).expect("arity bounded by the input cube");
+    for var in 0..n {
+        match cube.value(var) {
+            CubeValue::DontCare => {}
+            CubeValue::One => {
+                result.push(prefix.with_value(var, CubeValue::Zero));
+                prefix = prefix.with_value(var, CubeValue::One);
+            }
+            CubeValue::Zero => {
+                result.push(prefix.with_value(var, CubeValue::One));
+                prefix = prefix.with_value(var, CubeValue::Zero);
+            }
+        }
+    }
+    result
+}
+
+/// Computes the off-set cover of an incompletely specified function given by
+/// its on-set and dc-set covers: `complement(on ∪ dc)`.
+pub fn off_set(on: &Cover, dc: &Cover) -> Cover {
+    complement(&on.union(dc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::TruthTable;
+
+    fn check_complement(cover: &Cover) {
+        let comp = complement(cover);
+        let tt = cover.to_truth_table();
+        let comp_tt = comp.to_truth_table();
+        assert_eq!(comp_tt, !&tt, "complement mismatch for {cover}");
+    }
+
+    #[test]
+    fn complement_of_constants() {
+        assert!(complement(&Cover::tautology(3)).is_empty());
+        assert!(complement(&Cover::empty(3)).is_tautology_exhaustive());
+    }
+
+    #[test]
+    fn complement_of_single_cube_is_disjoint() {
+        let cube: Cube = "1-01".parse().unwrap();
+        let comp = complement_cube(&cube);
+        // Disjointness: no two cubes intersect.
+        for (i, a) in comp.iter().enumerate() {
+            for b in comp.iter().skip(i + 1) {
+                assert!(!a.intersects(b));
+            }
+        }
+        let total: u64 = comp.iter().map(Cube::minterm_count).sum();
+        assert_eq!(total, 16 - cube.minterm_count());
+    }
+
+    #[test]
+    fn complement_of_example_covers() {
+        check_complement(&Cover::from_strs(4, &["11-1", "-011"]).unwrap());
+        check_complement(&Cover::from_strs(3, &["1--", "-1-", "--1"]).unwrap());
+        check_complement(&Cover::from_strs(4, &["0000"]).unwrap());
+    }
+
+    #[test]
+    fn complement_of_random_covers_matches_truth_table() {
+        let mut lcg = 0xDEADBEEFu64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for _ in 0..100 {
+            let num_cubes = (next() % 5 + 1) as usize;
+            let mut cubes = Vec::new();
+            for _ in 0..num_cubes {
+                let s: String = (0..5)
+                    .map(|_| match next() % 3 {
+                        0 => '0',
+                        1 => '1',
+                        _ => '-',
+                    })
+                    .collect();
+                cubes.push(s);
+            }
+            let refs: Vec<&str> = cubes.iter().map(String::as_str).collect();
+            check_complement(&Cover::from_strs(5, &refs).unwrap());
+        }
+    }
+
+    #[test]
+    fn off_set_combines_on_and_dc() {
+        let on = Cover::from_strs(2, &["11"]).unwrap();
+        let dc = Cover::from_strs(2, &["10"]).unwrap();
+        let off = off_set(&on, &dc);
+        let expected = TruthTable::from_fn(2, |m| m & 1 == 0);
+        assert_eq!(off.to_truth_table(), expected);
+    }
+
+    #[test]
+    fn double_complement_is_identity_as_a_function() {
+        let f = Cover::from_strs(4, &["1-0-", "01-1", "--11"]).unwrap();
+        let back = complement(&complement(&f));
+        assert_eq!(back.to_truth_table(), f.to_truth_table());
+    }
+}

@@ -1,0 +1,258 @@
+//! Exact two-level minimization for small functions: Quine–McCluskey prime
+//! implicant generation followed by a covering step (essential primes, then a
+//! branch-and-bound search on small instances, greedy otherwise).
+//!
+//! The exact minimizer is used as the reference point in tests (the heuristic
+//! [`crate::espresso`] result should never have fewer literals than the exact
+//! one claims impossible) and for the tiny worked examples of the paper
+//! (Figs. 1 and 2).
+
+use std::collections::HashSet;
+
+use boolfunc::{Cover, Cube, Isf};
+
+/// Generates every prime implicant of the incompletely specified function
+/// (the primes of `on ∪ dc`).
+pub fn prime_implicants(f: &Isf) -> Vec<Cube> {
+    let n = f.num_vars();
+    let care_on = f.max_completion();
+    let mut current: HashSet<Cube> = care_on
+        .ones()
+        .map(|m| Cube::minterm(n, m).expect("arity checked by the ISF"))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; cubes.len()];
+        let mut next: HashSet<Cube> = HashSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(m) = merge_adjacent(&cubes[i], &cubes[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, cube) in cubes.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.push(*cube);
+            }
+        }
+        current = next;
+    }
+    primes.sort();
+    primes.dedup();
+    primes
+}
+
+/// Merges two cubes that have identical literal sets except for exactly one
+/// variable on which they take opposite values.
+fn merge_adjacent(a: &Cube, b: &Cube) -> Option<Cube> {
+    if a.mask() != b.mask() {
+        return None;
+    }
+    let diff = a.polarity() ^ b.polarity();
+    if diff.count_ones() != 1 {
+        return None;
+    }
+    Cube::from_masks(a.num_vars(), a.mask() & !diff, a.polarity() & !diff).ok()
+}
+
+/// Exactly minimizes a small incompletely specified function, returning a
+/// minimum-cube (ties broken by literal count) prime cover of the on-set.
+///
+/// # Panics
+///
+/// Panics if the function has more than 16 variables (the exact covering step
+/// is exponential; use [`crate::espresso`] for anything larger).
+///
+/// ```rust
+/// use boolfunc::Isf;
+/// use sop::exact_minimize;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let f = Isf::from_cover_str(3, &["11-", "1-1", "-11"], &[])?;
+/// let m = exact_minimize(&f);
+/// assert_eq!(m.num_cubes(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_minimize(f: &Isf) -> Cover {
+    assert!(f.num_vars() <= 16, "exact minimization limited to 16 variables");
+    let n = f.num_vars();
+    let primes = prime_implicants(f);
+    let required: Vec<u64> = f.on().ones().collect();
+    if required.is_empty() {
+        return Cover::empty(n);
+    }
+
+    // Covering matrix: for each required minterm, the primes covering it.
+    let covers_of: Vec<Vec<usize>> = required
+        .iter()
+        .map(|&m| {
+            primes
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.contains_minterm(m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    // Essential primes: the only cover of some minterm.
+    let mut chosen: HashSet<usize> = HashSet::new();
+    for options in &covers_of {
+        if options.len() == 1 {
+            chosen.insert(options[0]);
+        }
+    }
+    let still_uncovered: Vec<usize> = (0..required.len())
+        .filter(|&mi| !covers_of[mi].iter().any(|p| chosen.contains(p)))
+        .collect();
+
+    // Remaining covering problem, solved exactly when small, greedily otherwise.
+    let extra = if still_uncovered.len() <= 20 && primes.len() <= 24 {
+        branch_and_bound(&covers_of, &still_uncovered, primes.len())
+    } else {
+        greedy_cover(&covers_of, &still_uncovered, primes.len())
+    };
+    chosen.extend(extra);
+
+    let mut cover = Cover::from_cubes(n, chosen.iter().map(|&i| primes[i]));
+    cover.remove_contained_cubes();
+    cover
+}
+
+fn greedy_cover(covers_of: &[Vec<usize>], uncovered: &[usize], num_primes: usize) -> Vec<usize> {
+    let mut remaining: HashSet<usize> = uncovered.iter().copied().collect();
+    let mut chosen = Vec::new();
+    while !remaining.is_empty() {
+        let mut best = (0usize, 0usize);
+        for p in 0..num_primes {
+            let count = remaining.iter().filter(|&&mi| covers_of[mi].contains(&p)).count();
+            if count > best.1 {
+                best = (p, count);
+            }
+        }
+        if best.1 == 0 {
+            break;
+        }
+        chosen.push(best.0);
+        remaining.retain(|&mi| !covers_of[mi].contains(&best.0));
+    }
+    chosen
+}
+
+fn branch_and_bound(
+    covers_of: &[Vec<usize>],
+    uncovered: &[usize],
+    num_primes: usize,
+) -> Vec<usize> {
+    let mut best: Option<Vec<usize>> = None;
+    let mut current: Vec<usize> = Vec::new();
+    fn recurse(
+        covers_of: &[Vec<usize>],
+        remaining: &[usize],
+        num_primes: usize,
+        current: &mut Vec<usize>,
+        best: &mut Option<Vec<usize>>,
+    ) {
+        if let Some(b) = best {
+            if current.len() >= b.len() {
+                return;
+            }
+        }
+        let Some(&first) = remaining.first() else {
+            *best = Some(current.clone());
+            return;
+        };
+        // Branch on the ways to cover the first uncovered minterm.
+        for &p in &covers_of[first] {
+            if current.contains(&p) {
+                continue;
+            }
+            current.push(p);
+            let next: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&mi| !covers_of[mi].contains(&p))
+                .collect();
+            recurse(covers_of, &next, num_primes, current, best);
+            current.pop();
+        }
+    }
+    recurse(covers_of, uncovered, num_primes, &mut current, &mut best);
+    best.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::espresso::{espresso, verify_cover};
+    use boolfunc::TruthTable;
+
+    #[test]
+    fn primes_of_a_simple_function() {
+        // f = x0 x1 + x0 x1' -> the only prime is x0.
+        let f = Isf::from_cover_str(2, &["11", "10"], &[]).unwrap();
+        let primes = prime_implicants(&f);
+        assert_eq!(primes.len(), 1);
+        assert_eq!(primes[0].to_string(), "1-");
+    }
+
+    #[test]
+    fn primes_of_xor_are_the_minterms() {
+        let f = Isf::from_cover_str(2, &["10", "01"], &[]).unwrap();
+        let primes = prime_implicants(&f);
+        assert_eq!(primes.len(), 2);
+    }
+
+    #[test]
+    fn exact_result_is_valid_and_optimal_for_majority() {
+        let f = Isf::from_cover_str(3, &["11-", "1-1", "-11"], &[]).unwrap();
+        let m = exact_minimize(&f);
+        assert!(verify_cover(&f, &m));
+        assert_eq!(m.num_cubes(), 3);
+    }
+
+    #[test]
+    fn exact_exploits_dont_cares() {
+        // With the x0 x1 x2' quarter as don't-care the two on-set cubes merge
+        // into the single prime x0 x1.
+        let f = Isf::from_cover_str(4, &["1111", "1110"], &["110-"]).unwrap();
+        let m = exact_minimize(&f);
+        assert!(verify_cover(&f, &m));
+        assert_eq!(m.num_cubes(), 1);
+        assert!(m.literal_count() <= 2);
+    }
+
+    #[test]
+    fn espresso_never_beats_exact_on_cube_count_for_small_functions() {
+        let mut lcg = 0x13572468u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for _ in 0..20 {
+            let on = TruthTable::from_fn(4, |_| next() % 3 == 0);
+            let f = Isf::completely_specified(on);
+            let exact = exact_minimize(&f);
+            let heur = espresso(&f);
+            assert!(verify_cover(&f, &exact));
+            assert!(verify_cover(&f, &heur));
+            assert!(exact.num_cubes() <= heur.num_cubes());
+        }
+    }
+
+    #[test]
+    fn empty_and_constant_functions() {
+        let zero = Isf::completely_specified(TruthTable::zero(3));
+        assert!(exact_minimize(&zero).is_empty());
+        let one = Isf::completely_specified(TruthTable::one(3));
+        let m = exact_minimize(&one);
+        assert_eq!(m.num_cubes(), 1);
+        assert_eq!(m.literal_count(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The espresso EXPAND step.
+//!
+//! Each cube of the cover is enlarged (literals are removed) as long as the
+//! enlarged cube stays disjoint from the off-set of the function. Enlarged
+//! cubes frequently swallow other cubes of the cover, which are then dropped.
+
+use boolfunc::{Cover, Cube, CubeValue};
+
+/// Expands every cube of `cover` against the off-set `off`, removing covered
+/// cubes along the way.
+///
+/// `cover` must be a cover of the on-set (possibly using some don't-cares)
+/// and `off` must be a cover of the off-set; the result is a prime-ish cover
+/// whose cubes do not intersect `off`.
+///
+/// ```rust
+/// use boolfunc::Cover;
+/// use sop::{complement, expand};
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// // f = x0 x1 + x0 x1': both cubes expand to x0.
+/// let f = Cover::from_strs(2, &["11", "10"])?;
+/// let off = complement(&f);
+/// let expanded = expand(&f, &off);
+/// assert_eq!(expanded.num_cubes(), 1);
+/// assert_eq!(expanded.literal_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expand(cover: &Cover, off: &Cover) -> Cover {
+    let n = cover.num_vars();
+    // Process cubes from largest to smallest: big cubes are more likely to
+    // expand into primes that swallow the small ones.
+    let mut order: Vec<usize> = (0..cover.num_cubes()).collect();
+    order.sort_by_key(|&i| cover.cubes()[i].literal_count());
+
+    let mut covered = vec![false; cover.num_cubes()];
+    let mut result = Cover::empty(n);
+
+    for &idx in &order {
+        if covered[idx] {
+            continue;
+        }
+        let expanded = expand_cube(&cover.cubes()[idx], off);
+        // Mark every remaining cube swallowed by the expansion.
+        for (j, cube) in cover.cubes().iter().enumerate() {
+            if !covered[j] && expanded.contains(cube) {
+                covered[j] = true;
+            }
+        }
+        result.push(expanded);
+    }
+    result.remove_contained_cubes();
+    result
+}
+
+/// Expands a single cube against the off-set: literals are removed greedily
+/// (in an order that prefers freeing the variable blocking the fewest off-set
+/// cubes) while the cube stays disjoint from `off`.
+pub fn expand_cube(cube: &Cube, off: &Cover) -> Cube {
+    let mut current = *cube;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Candidate literals, cheapest (least blocking) first.
+        let mut candidates: Vec<(usize, usize)> = (0..current.num_vars())
+            .filter(|&v| current.value(v) != CubeValue::DontCare)
+            .map(|v| {
+                let relaxed = current.with_value(v, CubeValue::DontCare);
+                let blocking = off.iter().filter(|o| relaxed.intersects(o)).count();
+                (blocking, v)
+            })
+            .collect();
+        candidates.sort();
+        for (blocking, var) in candidates {
+            if blocking > 0 {
+                continue;
+            }
+            let relaxed = current.with_value(var, CubeValue::DontCare);
+            // Safe to raise: the relaxed cube still avoids the off-set.
+            if off.iter().all(|o| !relaxed.intersects(o)) {
+                current = relaxed;
+                changed = true;
+                break;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complement::complement;
+
+    #[test]
+    fn expand_cube_reaches_a_prime() {
+        // f = x0 (off-set is x0'), the cube x0 x1 must expand to x0.
+        let off = Cover::from_strs(2, &["0-"]).unwrap();
+        let cube: Cube = "11".parse().unwrap();
+        assert_eq!(expand_cube(&cube, &off).to_string(), "1-");
+    }
+
+    #[test]
+    fn expand_does_not_touch_the_off_set() {
+        let on = Cover::from_strs(4, &["1100", "1111", "0011"]).unwrap();
+        let off = complement(&on);
+        let expanded = expand(&on, &off);
+        let off_tt = off.to_truth_table();
+        for cube in expanded.iter() {
+            for m in cube.minterms() {
+                assert!(!off_tt.get(m), "expanded cube {cube} hits off-set minterm {m}");
+            }
+        }
+        // Every original on-set minterm is still covered.
+        assert!(on.to_truth_table().is_subset_of(&expanded.to_truth_table()));
+    }
+
+    #[test]
+    fn expansion_uses_dont_cares() {
+        // on = x0 x1, dc = x0 x1'; with the dc available, the cube expands to x0.
+        let on = Cover::from_strs(2, &["11"]).unwrap();
+        let dc = Cover::from_strs(2, &["10"]).unwrap();
+        let off = complement(&on.union(&dc));
+        let expanded = expand(&on, &off);
+        assert_eq!(expanded.num_cubes(), 1);
+        assert_eq!(expanded.cubes()[0].to_string(), "1-");
+    }
+
+    #[test]
+    fn expanded_cover_swallows_contained_cubes() {
+        let on = Cover::from_strs(3, &["111", "110", "101", "100"]).unwrap();
+        let off = complement(&on);
+        let expanded = expand(&on, &off);
+        assert_eq!(expanded.num_cubes(), 1);
+        assert_eq!(expanded.cubes()[0].to_string(), "1--");
+    }
+
+    #[test]
+    fn already_prime_cover_is_unchanged_functionally() {
+        let on = Cover::from_strs(3, &["11-", "0-1"]).unwrap();
+        let off = complement(&on);
+        let expanded = expand(&on, &off);
+        assert_eq!(expanded.to_truth_table(), on.to_truth_table());
+    }
+}

@@ -1,0 +1,103 @@
+//! The espresso IRREDUNDANT step: greedy removal of cubes that are covered by
+//! the rest of the cover together with the don't-care set.
+
+use boolfunc::Cover;
+
+use crate::tautology::covers_cube;
+
+/// Removes redundant cubes: a cube is redundant when the remaining cubes plus
+/// the dc-set still cover it. Cubes are examined from largest literal count
+/// (most specific) to smallest, so large prime cubes are preferentially kept.
+///
+/// ```rust
+/// use boolfunc::Cover;
+/// use sop::irredundant;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// // The middle cube x0 x2 is covered by the other two (consensus) only with
+/// // the dc-set empty it is NOT redundant; with a full dc-set it is.
+/// let f = Cover::from_strs(3, &["11-", "-01", "1-1"])?;
+/// let kept = irredundant(&f, &Cover::empty(3));
+/// assert_eq!(kept.num_cubes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn irredundant(cover: &Cover, dc: &Cover) -> Cover {
+    let n = cover.num_vars();
+    let mut cubes: Vec<_> = cover.cubes().to_vec();
+    // Try to drop the most specific (largest literal count) cubes first.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+
+    let mut keep = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        // Build the cover of everything else that is still kept.
+        let rest = Cover::from_cubes(
+            n,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i && keep[*j])
+                .map(|(_, c)| *c),
+        );
+        if covers_cube(&rest, dc, &cubes[i]) {
+            keep[i] = false;
+        }
+    }
+    Cover::from_cubes(
+        n,
+        cubes.iter().enumerate().filter(|(j, _)| keep[*j]).map(|(_, c)| *c),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_cube_is_removed() {
+        // x0 x1 + x1' x2 + x0 x2 : the consensus term x0 x2 is redundant.
+        let f = Cover::from_strs(3, &["11-", "-01", "1-1"]).unwrap();
+        let r = irredundant(&f, &Cover::empty(3));
+        assert_eq!(r.num_cubes(), 2);
+        assert_eq!(r.to_truth_table(), f.to_truth_table());
+    }
+
+    #[test]
+    fn nothing_removed_from_an_irredundant_cover() {
+        let f = Cover::from_strs(3, &["11-", "-01"]).unwrap();
+        let r = irredundant(&f, &Cover::empty(3));
+        assert_eq!(r.num_cubes(), 2);
+    }
+
+    #[test]
+    fn dc_set_enables_removal() {
+        // on = x0x1 + x0x1' ; with dc covering all of x0, one cube suffices…
+        // actually each cube alone is needed; make dc cover the second cube.
+        let f = Cover::from_strs(2, &["11", "10"]).unwrap();
+        let dc = Cover::from_strs(2, &["10"]).unwrap();
+        let r = irredundant(&f, &dc);
+        assert_eq!(r.num_cubes(), 1);
+        assert_eq!(r.cubes()[0].to_string(), "11");
+    }
+
+    #[test]
+    fn result_still_covers_the_on_set_minus_dc() {
+        let f = Cover::from_strs(4, &["11--", "1-1-", "1--1", "-111"]).unwrap();
+        let dc = Cover::from_strs(4, &["0000"]).unwrap();
+        let r = irredundant(&f, &dc);
+        let f_tt = f.to_truth_table();
+        let dc_tt = dc.to_truth_table();
+        let r_tt = r.to_truth_table();
+        // Every on-set minterm outside dc is still covered.
+        assert!(f_tt.difference(&dc_tt).is_subset_of(&r_tt));
+        // Nothing outside on ∪ dc got added (irredundant only removes cubes).
+        assert!(r_tt.is_subset_of(&(&f_tt | &dc_tt)));
+    }
+
+    #[test]
+    fn duplicate_cubes_are_collapsed() {
+        let f = Cover::from_strs(3, &["1-1", "1-1", "0--"]).unwrap();
+        let r = irredundant(&f, &Cover::empty(3));
+        assert_eq!(r.num_cubes(), 2);
+    }
+}

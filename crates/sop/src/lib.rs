@@ -1,0 +1,53 @@
+//! # sop
+//!
+//! An espresso-style heuristic two-level minimizer, playing the role of
+//! espresso inside the SIS flow used by the paper's evaluation: whenever a
+//! function (the dividend `f`, the divisor `g`, or the quotient `h`) has to
+//! be realised as a sum of products, this crate produces the cover.
+//!
+//! The implementation follows the classical structure:
+//!
+//! * [`tautology`] — unate-recursive tautology check (the workhorse predicate);
+//! * [`complement`] — cover complementation by Shannon expansion with unate
+//!   shortcuts;
+//! * [`expand`] — cube expansion against the off-set;
+//! * [`irredundant`] — removal of cubes covered by the rest of the cover;
+//! * [`reduce`] — cube reduction to escape local minima;
+//! * [`espresso`] — the EXPAND → IRREDUNDANT → REDUCE iteration;
+//! * [`exact`] — Quine–McCluskey prime generation plus unate covering, used as
+//!   a reference minimizer for small functions in tests and examples.
+//!
+//! ```rust
+//! use boolfunc::{Cover, Isf};
+//! use sop::espresso;
+//!
+//! # fn main() -> Result<(), boolfunc::BoolFuncError> {
+//! // f = x0 x1 + x0 x1' = x0, minimization should find the single-literal cover.
+//! let f = Isf::from_cover_str(2, &["11", "10"], &[])?;
+//! let minimized = espresso(&f);
+//! assert_eq!(minimized.num_cubes(), 1);
+//! assert_eq!(minimized.literal_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complement;
+pub mod cost;
+pub mod espresso;
+pub mod exact;
+pub mod expand;
+pub mod irredundant;
+pub mod reduce;
+pub mod tautology;
+
+pub use complement::complement;
+pub use cost::Cost;
+pub use espresso::{espresso, espresso_cover, EspressoOptions};
+pub use exact::exact_minimize;
+pub use expand::expand;
+pub use irredundant::irredundant;
+pub use reduce::reduce;
+pub use tautology::is_tautology;

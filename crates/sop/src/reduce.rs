@@ -1,0 +1,149 @@
+//! The espresso REDUCE step: each cube is shrunk to the smallest cube that
+//! still covers the minterms no other cube (nor the dc-set) takes care of.
+//! Reduction never changes the function; it un-does primality so that the
+//! following EXPAND can escape a local minimum by growing in a different
+//! direction.
+
+use boolfunc::{Cover, Cube};
+
+use crate::complement::complement;
+use crate::tautology::is_tautology;
+
+/// Reduces every cube of the cover in place (functionally the cover still
+/// covers `on \ dc`, assuming it did before).
+///
+/// ```rust
+/// use boolfunc::Cover;
+/// use sop::reduce;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let f = Cover::from_strs(3, &["1--", "-1-"])?;
+/// let reduced = reduce(&f, &Cover::empty(3));
+/// // The overlap x0 x1 is assigned to one of the two cubes only.
+/// assert_eq!(reduced.minterm_count(), f.minterm_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn reduce(cover: &Cover, dc: &Cover) -> Cover {
+    let n = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Reduce the largest cubes first: they have the most freedom to shrink.
+    cubes.sort_by_key(|c| c.literal_count());
+
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for i in 0..cubes.len() {
+        let cube = cubes[i];
+        // Everything else: the cubes already reduced plus the not-yet-processed
+        // ones plus the dc-set.
+        let mut rest = Cover::from_cubes(
+            n,
+            result
+                .iter()
+                .copied()
+                .chain(cubes.iter().skip(i + 1).copied()),
+        );
+        rest = rest.union(dc);
+        let q = rest.cofactor_cube(&cube);
+        if is_tautology(&q) {
+            // The cube is entirely covered by the others: it reduces to nothing.
+            continue;
+        }
+        // Part of `cube` only this cube covers: cube ∧ ¬q. The smallest cube
+        // containing it is cube ∩ supercube(¬q).
+        let not_q = complement(&q);
+        let mut super_cube: Option<Cube> = None;
+        for c in not_q.iter() {
+            super_cube = Some(match super_cube {
+                None => *c,
+                Some(s) => s.supercube(c),
+            });
+        }
+        let reduced = match super_cube {
+            None => cube,
+            Some(s) => cube.intersect(&s).unwrap_or(cube),
+        };
+        result.push(reduced);
+    }
+    Cover::from_cubes(n, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn function_preserved(before: &Cover, after: &Cover, dc: &Cover) {
+        let before_tt = before.to_truth_table();
+        let after_tt = after.to_truth_table();
+        let dc_tt = dc.to_truth_table();
+        // The reduced cover may only lose minterms that are don't-cares or
+        // covered by other cubes — as a whole it must still cover on \ dc.
+        assert!(before_tt.difference(&dc_tt).is_subset_of(&after_tt));
+        assert!(after_tt.is_subset_of(&before_tt));
+    }
+
+    #[test]
+    fn overlapping_cubes_shrink() {
+        let f = Cover::from_strs(3, &["1--", "-1-"]).unwrap();
+        let r = reduce(&f, &Cover::empty(3));
+        function_preserved(&f, &r, &Cover::empty(3));
+        // At least one of the cubes must have gained a literal.
+        assert!(r.literal_count() > f.literal_count());
+    }
+
+    #[test]
+    fn disjoint_cover_is_unchanged() {
+        let f = Cover::from_strs(3, &["11-", "00-"]).unwrap();
+        let r = reduce(&f, &Cover::empty(3));
+        assert_eq!(r.to_truth_table(), f.to_truth_table());
+        assert_eq!(r.literal_count(), f.literal_count());
+    }
+
+    #[test]
+    fn contained_cube_forces_the_big_one_to_shrink() {
+        // "1--" overlaps "11-": reduction keeps the function but carves the
+        // overlap out of the larger cube.
+        let f = Cover::from_strs(3, &["1--", "11-"]).unwrap();
+        let r = reduce(&f, &Cover::empty(3));
+        function_preserved(&f, &r, &Cover::empty(3));
+        assert_eq!(r.num_cubes(), 2);
+        assert!(r.literal_count() > f.literal_count());
+        assert_eq!(r.to_truth_table(), f.to_truth_table());
+    }
+
+    #[test]
+    fn reduction_respects_dc() {
+        let f = Cover::from_strs(2, &["1-"]).unwrap();
+        let dc = Cover::from_strs(2, &["10"]).unwrap();
+        let r = reduce(&f, &dc);
+        // The only required minterm is x0 x1; the cube may shrink to it.
+        let required = Cover::from_strs(2, &["11"]).unwrap().to_truth_table();
+        assert!(required.is_subset_of(&r.to_truth_table()));
+    }
+
+    #[test]
+    fn random_covers_keep_their_function() {
+        let mut lcg = 0xC0FFEEu64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for _ in 0..50 {
+            let num_cubes = (next() % 5 + 2) as usize;
+            let mut cubes = Vec::new();
+            for _ in 0..num_cubes {
+                let s: String = (0..4)
+                    .map(|_| match next() % 3 {
+                        0 => '0',
+                        1 => '1',
+                        _ => '-',
+                    })
+                    .collect();
+                cubes.push(s);
+            }
+            let refs: Vec<&str> = cubes.iter().map(String::as_str).collect();
+            let f = Cover::from_strs(4, &refs).unwrap();
+            let r = reduce(&f, &Cover::empty(4));
+            function_preserved(&f, &r, &Cover::empty(4));
+        }
+    }
+}

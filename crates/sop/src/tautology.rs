@@ -1,0 +1,165 @@
+//! Unate-recursive tautology check.
+//!
+//! The tautology predicate (`does a cover evaluate to 1 everywhere?`) is the
+//! primitive on which containment tests, irredundancy and reduction are all
+//! built. The implementation is the classical unate-recursion paradigm:
+//! cofactor on the most binate variable and recurse, with unate covers
+//! resolved immediately.
+
+use boolfunc::{Cover, Cube, CubeValue};
+
+/// Returns `true` if the cover evaluates to 1 on every minterm.
+///
+/// ```rust
+/// use boolfunc::Cover;
+/// use sop::is_tautology;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// assert!(is_tautology(&Cover::from_strs(2, &["1-", "0-"])?));
+/// assert!(!is_tautology(&Cover::from_strs(2, &["1-", "01"])?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_tautology(cover: &Cover) -> bool {
+    // Any full cube makes the cover a tautology outright.
+    if cover.iter().any(Cube::is_full) {
+        return true;
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    match most_binate_variable(cover) {
+        None => {
+            // The cover is unate and contains no full cube: a unate cover is a
+            // tautology iff it contains the full cube, so it is not one.
+            false
+        }
+        Some(var) => {
+            is_tautology(&cover.cofactor(var, false)) && is_tautology(&cover.cofactor(var, true))
+        }
+    }
+}
+
+/// Returns `true` if `cover ∪ dc` covers every minterm of `cube`.
+///
+/// This is the containment test used by EXPAND (to check that an enlarged
+/// cube stays inside `on ∪ dc`) and IRREDUNDANT (to check that a cube is
+/// covered by the other cubes). It reduces to a tautology check of the
+/// generalized cofactor with respect to `cube`.
+pub fn covers_cube(cover: &Cover, dc: &Cover, cube: &Cube) -> bool {
+    let combined = cover.union(dc);
+    is_tautology(&combined.cofactor_cube(cube))
+}
+
+/// Picks the *most binate* variable of the cover: the variable appearing in
+/// both polarities, maximising the number of cubes in which it appears.
+/// Returns `None` if the cover is unate (no variable appears in both
+/// polarities).
+pub(crate) fn most_binate_variable(cover: &Cover) -> Option<usize> {
+    let n = cover.num_vars();
+    let mut pos = vec![0usize; n];
+    let mut neg = vec![0usize; n];
+    for cube in cover.iter() {
+        for var in 0..n {
+            match cube.value(var) {
+                CubeValue::One => pos[var] += 1,
+                CubeValue::Zero => neg[var] += 1,
+                CubeValue::DontCare => {}
+            }
+        }
+    }
+    let mut best: Option<(usize, usize)> = None;
+    for var in 0..n {
+        if pos[var] > 0 && neg[var] > 0 {
+            let score = pos[var] + neg[var];
+            if best.map_or(true, |(_, s)| score > s) {
+                best = Some((var, score));
+            }
+        }
+    }
+    best.map(|(var, _)| var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_tautology(cover: &Cover) -> bool {
+        cover.is_tautology_exhaustive()
+    }
+
+    #[test]
+    fn simple_cases() {
+        assert!(is_tautology(&Cover::tautology(4)));
+        assert!(!is_tautology(&Cover::empty(4)));
+        let c = Cover::from_strs(1, &["1", "0"]).unwrap();
+        assert!(is_tautology(&c));
+    }
+
+    #[test]
+    fn three_variable_tautology() {
+        // x0 + x0'x1 + x0'x1' is a tautology.
+        let c = Cover::from_strs(3, &["1--", "01-", "00-"]).unwrap();
+        assert!(is_tautology(&c));
+        // Dropping the last cube breaks it.
+        let c = Cover::from_strs(3, &["1--", "01-"]).unwrap();
+        assert!(!is_tautology(&c));
+    }
+
+    #[test]
+    fn unate_cover_without_full_cube_is_not_tautology() {
+        let c = Cover::from_strs(3, &["1--", "-1-", "--1"]).unwrap();
+        assert!(!is_tautology(&c));
+        assert!(!exhaustive_tautology(&c));
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_check_on_random_covers() {
+        let mut lcg = 0x2545F491u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for _ in 0..200 {
+            let num_cubes = (next() % 6 + 1) as usize;
+            let mut cubes = Vec::new();
+            for _ in 0..num_cubes {
+                let s: String = (0..4)
+                    .map(|_| match next() % 3 {
+                        0 => '0',
+                        1 => '1',
+                        _ => '-',
+                    })
+                    .collect();
+                cubes.push(s);
+            }
+            let refs: Vec<&str> = cubes.iter().map(String::as_str).collect();
+            let cover = Cover::from_strs(4, &refs).unwrap();
+            assert_eq!(
+                is_tautology(&cover),
+                exhaustive_tautology(&cover),
+                "disagreement on cover {cover}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_cube_checks_containment_with_dc() {
+        let on = Cover::from_strs(3, &["11-"]).unwrap();
+        let dc = Cover::from_strs(3, &["10-"]).unwrap();
+        let cube: Cube = "1--".parse().unwrap();
+        // on alone does not cover x0, but on ∪ dc does.
+        assert!(!covers_cube(&on, &Cover::empty(3), &cube));
+        assert!(covers_cube(&on, &dc, &cube));
+    }
+
+    #[test]
+    fn most_binate_variable_selection() {
+        let c = Cover::from_strs(3, &["1-0", "0-1", "1-1"]).unwrap();
+        // x0 appears positively twice and negatively once; x2 likewise; x1 never.
+        let v = most_binate_variable(&c).unwrap();
+        assert!(v == 0 || v == 2);
+        let unate = Cover::from_strs(3, &["1--", "-1-"]).unwrap();
+        assert_eq!(most_binate_variable(&unate), None);
+    }
+}

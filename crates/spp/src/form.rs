@@ -1,0 +1,260 @@
+use std::fmt;
+
+use boolfunc::{Cover, Isf, TruthTable};
+
+use crate::pseudoproduct::Pseudoproduct;
+
+/// A 2-SPP form: the disjunction (OR) of a set of [`Pseudoproduct`]s, i.e. a
+/// three-level XOR-AND-OR expression with XOR factors of at most two literals.
+///
+/// ```rust
+/// use spp::{Pseudoproduct, SppForm, XorFactor};
+///
+/// // Fig. 2 of the paper: g = x2 ⊕ x3 (after expansion of the first
+/// // pseudoproduct of f).
+/// let g = SppForm::new(4, vec![Pseudoproduct::new(4, vec![XorFactor::xor(2, 3, false)])]);
+/// assert_eq!(g.literal_count(), 2);
+/// assert_eq!(g.to_truth_table().count_ones(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SppForm {
+    num_vars: usize,
+    pseudoproducts: Vec<Pseudoproduct>,
+}
+
+impl SppForm {
+    /// Creates a form from a list of pseudoproducts (duplicates are removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pseudoproduct lives in a different variable space.
+    pub fn new(num_vars: usize, mut pseudoproducts: Vec<Pseudoproduct>) -> Self {
+        for pp in &pseudoproducts {
+            assert_eq!(pp.num_vars(), num_vars, "pseudoproduct arity mismatch");
+        }
+        pseudoproducts.sort();
+        pseudoproducts.dedup();
+        SppForm { num_vars, pseudoproducts }
+    }
+
+    /// The empty form (constant 0).
+    pub fn zero(num_vars: usize) -> Self {
+        SppForm { num_vars, pseudoproducts: Vec::new() }
+    }
+
+    /// The form consisting of the single empty pseudoproduct (constant 1).
+    pub fn one(num_vars: usize) -> Self {
+        SppForm { num_vars, pseudoproducts: vec![Pseudoproduct::one(num_vars)] }
+    }
+
+    /// Builds a form from a plain SOP cover (one pseudoproduct per cube).
+    pub fn from_cover(cover: &Cover) -> Self {
+        let pps = cover.iter().map(Pseudoproduct::from_cube).collect();
+        SppForm::new(cover.num_vars(), pps)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The pseudoproducts of the form.
+    pub fn pseudoproducts(&self) -> &[Pseudoproduct] {
+        &self.pseudoproducts
+    }
+
+    /// Number of pseudoproducts.
+    pub fn num_pseudoproducts(&self) -> usize {
+        self.pseudoproducts.len()
+    }
+
+    /// Returns `true` if the form has no pseudoproducts (constant 0).
+    pub fn is_zero(&self) -> bool {
+        self.pseudoproducts.is_empty()
+    }
+
+    /// Total literal count — the 2-SPP cost measure used in the paper's
+    /// examples and as a proxy for area before technology mapping.
+    pub fn literal_count(&self) -> usize {
+        self.pseudoproducts.iter().map(Pseudoproduct::literal_count).sum()
+    }
+
+    /// Number of two-literal XOR factors across the form.
+    pub fn xor_factor_count(&self) -> usize {
+        self.pseudoproducts
+            .iter()
+            .map(|pp| pp.factors().iter().filter(|f| f.is_xor()).count())
+            .sum()
+    }
+
+    /// Evaluates the form on a minterm.
+    pub fn eval(&self, minterm: u64) -> bool {
+        self.pseudoproducts.iter().any(|pp| pp.eval(minterm))
+    }
+
+    /// Dense truth table of the form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of variables exceeds the dense limit.
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.num_vars, |m| self.eval(m))
+    }
+
+    /// Returns `true` if the form is a legal realization of the incompletely
+    /// specified function `f` (covers the on-set, avoids the off-set).
+    pub fn matches(&self, f: &Isf) -> bool {
+        let tt = self.to_truth_table();
+        f.on().is_subset_of(&tt) && tt.is_subset_of(&f.max_completion())
+    }
+
+    /// Adds a pseudoproduct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pseudoproduct lives in a different variable space.
+    pub fn push(&mut self, pp: Pseudoproduct) {
+        assert_eq!(pp.num_vars(), self.num_vars, "pseudoproduct arity mismatch");
+        self.pseudoproducts.push(pp);
+    }
+
+    /// Removes pseudoproducts whose minterms are entirely covered by the rest
+    /// of the form; returns how many were dropped.
+    pub fn remove_covered(&mut self) -> usize {
+        let before = self.pseudoproducts.len();
+        let tables: Vec<TruthTable> =
+            self.pseudoproducts.iter().map(Pseudoproduct::to_truth_table).collect();
+        let mut removed = vec![false; before];
+        for i in 0..before {
+            let mut rest = TruthTable::zero(self.num_vars);
+            for (j, t) in tables.iter().enumerate() {
+                if j != i && !removed[j] {
+                    rest = &rest | t;
+                }
+            }
+            if tables[i].is_subset_of(&rest) {
+                removed[i] = true;
+            }
+        }
+        let mut kept = Vec::with_capacity(before);
+        for (i, pp) in self.pseudoproducts.drain(..).enumerate() {
+            if !removed[i] {
+                kept.push(pp);
+            }
+        }
+        self.pseudoproducts = kept;
+        before - self.pseudoproducts.len()
+    }
+
+    /// Iterates over the pseudoproducts.
+    pub fn iter(&self) -> std::slice::Iter<'_, Pseudoproduct> {
+        self.pseudoproducts.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SppForm {
+    type Item = &'a Pseudoproduct;
+    type IntoIter = std::slice::Iter<'a, Pseudoproduct>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pseudoproducts.iter()
+    }
+}
+
+impl fmt::Display for SppForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pseudoproducts.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> = self.pseudoproducts.iter().map(|pp| pp.to_string()).collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xor_factor::XorFactor;
+
+    fn fig2_f() -> SppForm {
+        // f = x0 (x2 ⊕ x3) + x1 (x2 ⊙ x3)
+        SppForm::new(
+            4,
+            vec![
+                Pseudoproduct::new(4, vec![XorFactor::literal(0, true), XorFactor::xor(2, 3, false)]),
+                Pseudoproduct::new(4, vec![XorFactor::literal(1, true), XorFactor::xor(2, 3, true)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn costs_of_the_fig2_form() {
+        let f = fig2_f();
+        assert_eq!(f.num_pseudoproducts(), 2);
+        assert_eq!(f.literal_count(), 6);
+        assert_eq!(f.xor_factor_count(), 2);
+    }
+
+    #[test]
+    fn evaluation_matches_the_sop() {
+        let f = fig2_f();
+        let sop = Cover::from_strs(4, &["1-10", "1-01", "-111", "-100"]).unwrap();
+        assert_eq!(f.to_truth_table(), sop.to_truth_table());
+        assert_eq!(sop.literal_count(), 12); // the SOP needs 12 literals vs 6
+    }
+
+    #[test]
+    fn constants() {
+        assert!(SppForm::zero(3).is_zero());
+        assert!(SppForm::one(3).to_truth_table().is_one());
+        assert_eq!(SppForm::one(3).literal_count(), 0);
+    }
+
+    #[test]
+    fn from_cover_is_a_faithful_embedding() {
+        let cover = Cover::from_strs(3, &["11-", "0-1"]).unwrap();
+        let form = SppForm::from_cover(&cover);
+        assert_eq!(form.to_truth_table(), cover.to_truth_table());
+        assert_eq!(form.literal_count(), cover.literal_count());
+    }
+
+    #[test]
+    fn matches_checks_on_and_off_sets() {
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[]).unwrap();
+        assert!(fig2_f().matches(&f));
+        let wrong = SppForm::one(4);
+        assert!(!wrong.matches(&f));
+        // With a full dc-set everything matches.
+        let free = Isf::from_cover_str(4, &[], &["----"]).unwrap();
+        assert!(SppForm::one(4).matches(&free));
+        assert!(SppForm::zero(4).matches(&free));
+    }
+
+    #[test]
+    fn remove_covered_drops_redundant_pseudoproducts() {
+        let mut f = fig2_f();
+        // Add a pseudoproduct strictly inside the first one.
+        f.push(Pseudoproduct::new(
+            4,
+            vec![
+                XorFactor::literal(0, true),
+                XorFactor::literal(1, true),
+                XorFactor::xor(2, 3, false),
+            ],
+        ));
+        let before_tt = f.to_truth_table();
+        let removed = f.remove_covered();
+        assert_eq!(removed, 1);
+        assert_eq!(f.to_truth_table(), before_tt);
+        assert_eq!(f.num_pseudoproducts(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let f = fig2_f();
+        let s = f.to_string();
+        assert!(s.contains("x0·(x2⊕x3)"));
+        assert!(s.contains(" + "));
+        assert_eq!(SppForm::zero(2).to_string(), "0");
+    }
+}

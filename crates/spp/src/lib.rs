@@ -1,0 +1,50 @@
+//! # spp
+//!
+//! 2-SPP forms: three-level XOR-AND-OR expressions in which the products
+//! (*pseudoproducts*) are ANDs of literals and of XOR factors with at most two
+//! literals. This is the representation used throughout Section IV of the
+//! paper: the function `f`, its 0→1 approximation `g`, and the quotient `h`
+//! are all synthesized as 2-SPP forms before the area comparison.
+//!
+//! The crate provides:
+//!
+//! * [`XorFactor`] and [`Pseudoproduct`] — the syntactic building blocks;
+//! * [`SppForm`] — a sum of pseudoproducts with evaluation, cost metrics and
+//!   verification helpers;
+//! * [`SppSynthesizer`] — a heuristic 2-SPP minimizer seeded by an
+//!   espresso-minimized SOP cover, merging cube pairs into XOR factors
+//!   (the practical trade-off of the 2-SPP papers [5], [1] cited by the
+//!   DATE 2020 paper);
+//! * [`approx`] — the 0→1 over-approximation of a 2-SPP form by pseudoproduct
+//!   expansion, both in the error-rate-bounded variant of [2] and in the
+//!   "expand everything and re-synthesize with the extended dc-set" variant
+//!   actually used in the paper's experiments.
+//!
+//! ```rust
+//! use boolfunc::Isf;
+//! use spp::SppSynthesizer;
+//!
+//! # fn main() -> Result<(), boolfunc::BoolFuncError> {
+//! // Fig. 2 of the paper: f = x0 (x2 ⊕ x3) + x1 (x2 ⊙ x3).
+//! let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[])?;
+//! let form = SppSynthesizer::new().synthesize(&f);
+//! assert!(form.literal_count() <= 8); // the SOP needs 12 literals
+//! assert!(form.matches(&f));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+mod form;
+mod pseudoproduct;
+mod synth;
+mod xor_factor;
+
+pub use approx::{ApproximationOutcome, BoundedExpansion, FullExpansion};
+pub use form::SppForm;
+pub use pseudoproduct::Pseudoproduct;
+pub use synth::{SppSynthesizer, SynthesisOptions};
+pub use xor_factor::XorFactor;

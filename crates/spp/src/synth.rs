@@ -1,0 +1,312 @@
+//! Heuristic 2-SPP synthesis.
+//!
+//! The synthesizer follows the practical recipe of the 2-SPP literature the
+//! paper builds on: start from a two-level (SOP) cover minimized with the
+//! don't-care set, then repeatedly merge pairs of pseudoproducts whose union
+//! is again a pseudoproduct — either because the two differ in a single
+//! complemented factor (ordinary cube merging) or because they differ in two
+//! literals over the same pair of variables with both polarities flipped,
+//! which is exactly an XOR/XNOR factor. Both rules are exact (they never
+//! change the function), so the result always realizes the input ISF.
+
+use boolfunc::{Cover, Isf};
+use sop::{espresso_cover, EspressoOptions};
+
+use crate::form::SppForm;
+use crate::pseudoproduct::Pseudoproduct;
+use crate::xor_factor::XorFactor;
+
+/// Options controlling 2-SPP synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Options passed to the underlying espresso run that produces the seed
+    /// SOP cover.
+    pub espresso: EspressoOptions,
+    /// Whether to apply the two-literal XOR merging rule; disabling it makes
+    /// the synthesizer degrade to plain SOP (useful as an ablation baseline).
+    pub xor_merging: bool,
+    /// Upper bound on merge rounds (each round scans all pairs once).
+    pub max_merge_rounds: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            espresso: EspressoOptions::default(),
+            xor_merging: true,
+            max_merge_rounds: 16,
+        }
+    }
+}
+
+/// Heuristic synthesizer producing [`SppForm`]s from incompletely specified
+/// functions.
+///
+/// ```rust
+/// use boolfunc::Isf;
+/// use spp::SppSynthesizer;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let f = Isf::from_cover_str(3, &["110", "101", "011", "000"], &[])?;
+/// // f is the complement of a parity-ish function; 2-SPP needs far fewer
+/// // literals than the 12-literal SOP.
+/// let form = SppSynthesizer::new().synthesize(&f);
+/// assert!(form.matches(&f));
+/// assert!(form.literal_count() <= 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SppSynthesizer {
+    options: SynthesisOptions,
+}
+
+impl SppSynthesizer {
+    /// Creates a synthesizer with default options.
+    pub fn new() -> Self {
+        SppSynthesizer { options: SynthesisOptions::default() }
+    }
+
+    /// Creates a synthesizer with explicit options.
+    pub fn with_options(options: SynthesisOptions) -> Self {
+        SppSynthesizer { options }
+    }
+
+    /// The options used by this synthesizer.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Synthesizes a 2-SPP form realizing the ISF `f`.
+    pub fn synthesize(&self, f: &Isf) -> SppForm {
+        let on = f.on().to_minterm_cover();
+        let dc = f.dc().to_minterm_cover();
+        self.synthesize_from_covers(&on, &dc)
+    }
+
+    /// Synthesizes a 2-SPP form from on-set/dc-set covers (without building
+    /// dense truth tables of the inputs first).
+    pub fn synthesize_from_covers(&self, on: &Cover, dc: &Cover) -> SppForm {
+        let seed = espresso_cover(on, dc, self.options.espresso);
+        self.improve_cover(&seed)
+    }
+
+    /// Runs only the pseudoproduct-merging phase on an existing SOP cover.
+    pub fn improve_cover(&self, cover: &Cover) -> SppForm {
+        let mut form = SppForm::from_cover(cover);
+        if !self.options.xor_merging {
+            return form;
+        }
+        for _ in 0..self.options.max_merge_rounds {
+            if !self.merge_round(&mut form) {
+                break;
+            }
+        }
+        form.remove_covered();
+        form
+    }
+
+    /// One pass over all pairs; returns `true` if at least one merge happened.
+    fn merge_round(&self, form: &mut SppForm) -> bool {
+        let pps: Vec<Pseudoproduct> = form.pseudoproducts().to_vec();
+        let n = form.num_vars();
+        let mut used = vec![false; pps.len()];
+        let mut merged_any = false;
+        let mut result: Vec<Pseudoproduct> = Vec::with_capacity(pps.len());
+        for i in 0..pps.len() {
+            if used[i] {
+                continue;
+            }
+            let mut merged: Option<Pseudoproduct> = None;
+            for j in (i + 1)..pps.len() {
+                if used[j] {
+                    continue;
+                }
+                if let Some(m) = try_merge(&pps[i], &pps[j]) {
+                    used[j] = true;
+                    merged = Some(m);
+                    merged_any = true;
+                    break;
+                }
+            }
+            used[i] = true;
+            result.push(merged.unwrap_or_else(|| pps[i].clone()));
+        }
+        *form = SppForm::new(n, result);
+        merged_any
+    }
+}
+
+/// Tries to merge two pseudoproducts into a single one covering exactly their
+/// union. Returns `None` if no exact merge rule applies.
+pub(crate) fn try_merge(p: &Pseudoproduct, q: &Pseudoproduct) -> Option<Pseudoproduct> {
+    let only_p: Vec<XorFactor> =
+        p.factors().iter().copied().filter(|f| !q.factors().contains(f)).collect();
+    let only_q: Vec<XorFactor> =
+        q.factors().iter().copied().filter(|f| !p.factors().contains(f)).collect();
+    let common: Vec<XorFactor> =
+        p.factors().iter().copied().filter(|f| q.factors().contains(f)).collect();
+
+    match (only_p.len(), only_q.len()) {
+        // Rule 1: the two products differ in one factor and those factors are
+        // complements of each other: C·F + C·F' = C.
+        (1, 1) if only_q[0] == only_p[0].complement() => {
+            Some(Pseudoproduct::new(p.num_vars(), common))
+        }
+        // Rule 2: the two products differ in two plain literals over the same
+        // two variables, with both polarities flipped:
+        //   C·(xa=va)(xb=vb) + C·(xa=!va)(xb=!vb) = C·(xa ⊕ xb or xa ⊙ xb).
+        (2, 2) => {
+            let lits_p = as_literal_pair(&only_p)?;
+            let lits_q = as_literal_pair(&only_q)?;
+            let ((pa, va), (pb, vb)) = lits_p;
+            let ((qa, wa), (qb, wb)) = lits_q;
+            if pa != qa || pb != qb {
+                return None;
+            }
+            if va == !wa && vb == !wb {
+                // Same-polarity pair ⇒ XNOR, opposite-polarity pair ⇒ XOR.
+                let complemented = va == vb;
+                let factor = XorFactor::xor(pa, pb, complemented);
+                let mut factors = common;
+                factors.push(factor);
+                Some(Pseudoproduct::new(p.num_vars(), factors))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Interprets a two-element factor slice as a pair of plain literals, sorted
+/// by variable index; returns `((var_a, pol_a), (var_b, pol_b))`.
+fn as_literal_pair(factors: &[XorFactor]) -> Option<((usize, bool), (usize, bool))> {
+    if factors.len() != 2 {
+        return None;
+    }
+    let lit = |f: &XorFactor| match *f {
+        XorFactor::Literal { var, positive } => Some((var, positive)),
+        XorFactor::Xor { .. } => None,
+    };
+    let a = lit(&factors[0])?;
+    let b = lit(&factors[1])?;
+    if a.0 == b.0 {
+        return None;
+    }
+    Some(if a.0 < b.0 { (a, b) } else { (b, a) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::TruthTable;
+
+    #[test]
+    fn cube_merge_rule() {
+        let n = 3;
+        let p = Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, true)]);
+        let q = Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, false)]);
+        let m = try_merge(&p, &q).unwrap();
+        assert_eq!(m.factors(), &[XorFactor::literal(0, true)]);
+    }
+
+    #[test]
+    fn xor_merge_rule() {
+        let n = 4;
+        // x0 x2 x3' + x0 x2' x3 = x0 (x2 ⊕ x3)
+        let p = Pseudoproduct::new(
+            n,
+            vec![XorFactor::literal(0, true), XorFactor::literal(2, true), XorFactor::literal(3, false)],
+        );
+        let q = Pseudoproduct::new(
+            n,
+            vec![XorFactor::literal(0, true), XorFactor::literal(2, false), XorFactor::literal(3, true)],
+        );
+        let m = try_merge(&p, &q).unwrap();
+        assert!(m.factors().contains(&XorFactor::xor(2, 3, false)));
+        let expected = &p.to_truth_table() | &q.to_truth_table();
+        assert_eq!(m.to_truth_table(), expected);
+    }
+
+    #[test]
+    fn xnor_merge_rule() {
+        let n = 4;
+        // x1 x2 x3 + x1 x2' x3' = x1 (x2 ⊙ x3)
+        let p = Pseudoproduct::new(
+            n,
+            vec![XorFactor::literal(1, true), XorFactor::literal(2, true), XorFactor::literal(3, true)],
+        );
+        let q = Pseudoproduct::new(
+            n,
+            vec![XorFactor::literal(1, true), XorFactor::literal(2, false), XorFactor::literal(3, false)],
+        );
+        let m = try_merge(&p, &q).unwrap();
+        assert!(m.factors().contains(&XorFactor::xor(2, 3, true)));
+        let expected = &p.to_truth_table() | &q.to_truth_table();
+        assert_eq!(m.to_truth_table(), expected);
+    }
+
+    #[test]
+    fn no_merge_when_rules_do_not_apply() {
+        let n = 3;
+        let p = Pseudoproduct::new(n, vec![XorFactor::literal(0, true)]);
+        let q = Pseudoproduct::new(n, vec![XorFactor::literal(1, true)]);
+        assert!(try_merge(&p, &q).is_none());
+        let r = Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, true)]);
+        assert!(try_merge(&p, &r).is_none());
+    }
+
+    #[test]
+    fn synthesize_fig2() {
+        // f = x0 (x2 ⊕ x3) + x1 (x2 ⊙ x3): 12 SOP literals, 6 2-SPP literals.
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[]).unwrap();
+        let form = SppSynthesizer::new().synthesize(&f);
+        assert!(form.matches(&f));
+        assert!(form.literal_count() <= 8, "got {} literals: {form}", form.literal_count());
+        assert!(form.xor_factor_count() >= 1);
+    }
+
+    #[test]
+    fn parity_of_two_variables_collapses_to_one_pseudoproduct() {
+        let f = Isf::from_cover_str(2, &["10", "01"], &[]).unwrap();
+        let form = SppSynthesizer::new().synthesize(&f);
+        assert!(form.matches(&f));
+        assert_eq!(form.num_pseudoproducts(), 1);
+        assert_eq!(form.literal_count(), 2);
+    }
+
+    #[test]
+    fn disabling_xor_merging_gives_plain_sop() {
+        let f = Isf::from_cover_str(2, &["10", "01"], &[]).unwrap();
+        let opts = SynthesisOptions { xor_merging: false, ..SynthesisOptions::default() };
+        let form = SppSynthesizer::with_options(opts).synthesize(&f);
+        assert!(form.matches(&f));
+        assert_eq!(form.num_pseudoproducts(), 2);
+        assert_eq!(form.literal_count(), 4);
+    }
+
+    #[test]
+    fn synthesized_forms_match_on_random_functions() {
+        let mut lcg = 0x51u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for _ in 0..20 {
+            let on = TruthTable::from_fn(4, |_| next() % 3 == 0);
+            let dc = TruthTable::from_fn(4, |_| next() % 5 == 0).difference(&on);
+            let f = Isf::new(on, dc).unwrap();
+            let form = SppSynthesizer::new().synthesize(&f);
+            assert!(form.matches(&f), "form {form} does not realize {f:?}");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_the_sop_seed() {
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100", "0000"], &[]).unwrap();
+        let sop = sop::espresso(&f);
+        let form = SppSynthesizer::new().synthesize(&f);
+        assert!(form.literal_count() <= sop.literal_count());
+    }
+}

@@ -1,0 +1,212 @@
+use boolfunc::Cover;
+use spp::SppForm;
+
+use crate::library::GateLibrary;
+use crate::mapper::{Mapper, MappingResult};
+use crate::network::Network;
+
+/// The binary operator combining the divisor and quotient networks when the
+/// bi-decomposed form `g op h` is mapped.
+///
+/// Only the operator's *gate structure* matters here (which top gate is
+/// instantiated); the semantic side of the ten operators lives in the
+/// `bidecomp` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombineOp {
+    /// `g · h`.
+    And,
+    /// `g · h'` (the `⇏` operator).
+    AndNotRight,
+    /// `g' · h` (the `⇍` operator).
+    AndNotLeft,
+    /// `(g + h)'`.
+    Nor,
+    /// `g + h`.
+    Or,
+    /// `g' + h` (the `⇒` operator).
+    OrNotLeft,
+    /// `g + h'` (the `⇐` operator).
+    OrNotRight,
+    /// `(g · h)'`.
+    Nand,
+    /// `g ⊕ h`.
+    Xor,
+    /// `(g ⊕ h)'`.
+    Xnor,
+}
+
+/// Convenience façade bundling a [`GateLibrary`] and a [`Mapper`] and exposing
+/// the three area queries the experiments need: area of an SOP cover, of a
+/// 2-SPP form, and of a bi-decomposed form `g op h`.
+///
+/// ```rust
+/// use boolfunc::Cover;
+/// use techmap::AreaModel;
+///
+/// # fn main() -> Result<(), boolfunc::BoolFuncError> {
+/// let model = AreaModel::mcnc();
+/// let area = model.cover_area(&Cover::from_strs(3, &["11-", "0-1"])?);
+/// assert!(area > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    mapper: Mapper,
+}
+
+impl AreaModel {
+    /// Creates an area model over the embedded mcnc-like library.
+    pub fn mcnc() -> Self {
+        AreaModel { mapper: Mapper::new(GateLibrary::mcnc()) }
+    }
+
+    /// Creates an area model over a custom library.
+    pub fn new(library: GateLibrary) -> Self {
+        AreaModel { mapper: Mapper::new(library) }
+    }
+
+    /// The underlying mapper.
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+
+    /// Mapped area of an SOP cover.
+    pub fn cover_area(&self, cover: &Cover) -> f64 {
+        self.cover_mapping(cover).area
+    }
+
+    /// Full mapping result of an SOP cover.
+    pub fn cover_mapping(&self, cover: &Cover) -> MappingResult {
+        let mut net = Network::new(cover.num_vars());
+        net.add_cover(cover);
+        self.mapper.map(&net)
+    }
+
+    /// Mapped area of a 2-SPP form.
+    pub fn spp_area(&self, form: &SppForm) -> f64 {
+        self.spp_mapping(form).area
+    }
+
+    /// Full mapping result of a 2-SPP form.
+    pub fn spp_mapping(&self, form: &SppForm) -> MappingResult {
+        let mut net = Network::new(form.num_vars());
+        net.add_spp(form);
+        self.mapper.map(&net)
+    }
+
+    /// Mapped area of the bi-decomposed form `g op h` where both components
+    /// are given as 2-SPP forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two forms have a different number of variables.
+    pub fn bidecomposition_area(&self, g: &SppForm, h: &SppForm, op: CombineOp) -> f64 {
+        self.bidecomposition_mapping(g, h, op).area
+    }
+
+    /// Full mapping result of the bi-decomposed form `g op h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two forms have a different number of variables.
+    pub fn bidecomposition_mapping(&self, g: &SppForm, h: &SppForm, op: CombineOp) -> MappingResult {
+        assert_eq!(g.num_vars(), h.num_vars(), "divisor/quotient arity mismatch");
+        let mut net = Network::new(g.num_vars());
+        let g_root = net.add_spp(g);
+        let h_root = net.add_spp(h);
+        let combined = match op {
+            CombineOp::And => net.and(g_root, h_root),
+            CombineOp::AndNotRight => {
+                let nh = net.not(h_root);
+                net.and(g_root, nh)
+            }
+            CombineOp::AndNotLeft => {
+                let ng = net.not(g_root);
+                net.and(ng, h_root)
+            }
+            CombineOp::Nor => {
+                let o = net.or(g_root, h_root);
+                net.not(o)
+            }
+            CombineOp::Or => net.or(g_root, h_root),
+            CombineOp::OrNotLeft => {
+                let ng = net.not(g_root);
+                net.or(ng, h_root)
+            }
+            CombineOp::OrNotRight => {
+                let nh = net.not(h_root);
+                net.or(g_root, nh)
+            }
+            CombineOp::Nand => {
+                let a = net.and(g_root, h_root);
+                net.not(a)
+            }
+            CombineOp::Xor => net.xor(g_root, h_root),
+            CombineOp::Xnor => {
+                let x = net.xor(g_root, h_root);
+                net.not(x)
+            }
+        };
+        net.add_output(combined);
+        self.mapper.map(&net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::Isf;
+    use spp::SppSynthesizer;
+
+    #[test]
+    fn cover_and_spp_areas_track_literal_counts() {
+        let model = AreaModel::mcnc();
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[]).unwrap();
+        let sop = sop::espresso(&f);
+        let form = SppSynthesizer::new().synthesize(&f);
+        // The 2-SPP form has half the literals of the SOP; its mapped area must
+        // also be smaller.
+        assert!(form.literal_count() < sop.literal_count());
+        assert!(model.spp_area(&form) < model.cover_area(&sop));
+    }
+
+    #[test]
+    fn bidecomposition_area_includes_the_top_gate() {
+        let model = AreaModel::mcnc();
+        let f = Isf::from_cover_str(2, &["11"], &[]).unwrap();
+        let g_form = SppSynthesizer::new().synthesize(&f);
+        let one = SppForm::one(2);
+        let plain = model.spp_area(&g_form);
+        let with_and = model.bidecomposition_area(&g_form, &one, CombineOp::And);
+        // g AND 1 folds away the top gate entirely.
+        assert!((with_and - plain).abs() < 1e-9);
+        let with_or = model.bidecomposition_area(&g_form, &g_form, CombineOp::Xor);
+        // g XOR g collapses to the constant 0 thanks to structural hashing.
+        assert!(with_or < plain + 1e-9);
+    }
+
+    #[test]
+    fn all_combine_ops_produce_finite_area() {
+        let model = AreaModel::mcnc();
+        let f = Isf::from_cover_str(3, &["11-"], &[]).unwrap();
+        let g = Isf::from_cover_str(3, &["1--"], &[]).unwrap();
+        let f_form = SppSynthesizer::new().synthesize(&f);
+        let g_form = SppSynthesizer::new().synthesize(&g);
+        for op in [
+            CombineOp::And,
+            CombineOp::AndNotRight,
+            CombineOp::AndNotLeft,
+            CombineOp::Nor,
+            CombineOp::Or,
+            CombineOp::OrNotLeft,
+            CombineOp::OrNotRight,
+            CombineOp::Nand,
+            CombineOp::Xor,
+            CombineOp::Xnor,
+        ] {
+            let area = model.bidecomposition_area(&g_form, &f_form, op);
+            assert!(area.is_finite() && area >= 0.0, "bad area for {op:?}");
+        }
+    }
+}

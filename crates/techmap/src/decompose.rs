@@ -1,0 +1,115 @@
+//! Technology-independent decomposition of a [`Network`] into an AIG
+//! (AND/INV graph), the subject-graph form classical mappers start from.
+//!
+//! The mapper in this crate works directly on the AND/OR/XOR/NOT network (it
+//! recognises NAND/NOR/XNOR peepholes), but the AIG size is still a useful
+//! technology-independent cost and serves as an ablation baseline for the
+//! area model.
+
+use std::collections::HashMap;
+
+use crate::network::{Network, NodeId, NodeKind};
+
+/// Converts a network into an AIG: only `Input`, `Const`, `Not` and `And`
+/// nodes remain (ORs by De Morgan, XORs by the standard 3-AND expansion).
+/// Output markers are carried over.
+pub fn to_aig(network: &Network) -> Network {
+    let mut aig = Network::new(network.num_inputs());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for index in 0..network.num_nodes() {
+        let id = NodeId::from_raw(index as u32);
+        let mapped = match network.kind(id) {
+            NodeKind::Input(v) => aig.input(v),
+            NodeKind::Const(b) => aig.constant(b),
+            NodeKind::Not(a) => {
+                let a = map[&a];
+                aig.not(a)
+            }
+            NodeKind::And(a, b) => {
+                let (a, b) = (map[&a], map[&b]);
+                aig.and(a, b)
+            }
+            NodeKind::Or(a, b) => {
+                let (a, b) = (map[&a], map[&b]);
+                let na = aig.not(a);
+                let nb = aig.not(b);
+                let nab = aig.and(na, nb);
+                aig.not(nab)
+            }
+            NodeKind::Xor(a, b) => {
+                let (a, b) = (map[&a], map[&b]);
+                let na = aig.not(a);
+                let nb = aig.not(b);
+                let left = aig.and(a, nb);
+                let right = aig.and(na, b);
+                let nleft = aig.not(left);
+                let nright = aig.not(right);
+                let both = aig.and(nleft, nright);
+                aig.not(both)
+            }
+        };
+        map.insert(id, mapped);
+    }
+    for &out in network.outputs() {
+        let mapped = map[&out];
+        aig.add_output(mapped);
+    }
+    aig
+}
+
+/// Number of AND nodes of the AIG of `network` — a classical
+/// technology-independent size estimate.
+pub fn aig_size(network: &Network) -> usize {
+    let aig = to_aig(network);
+    (0..aig.num_nodes())
+        .filter(|&i| matches!(aig.kind(NodeId::from_raw(i as u32)), NodeKind::And(_, _)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::Cover;
+
+    #[test]
+    fn aig_preserves_functionality() {
+        let cover = Cover::from_strs(4, &["11-1", "-011", "0-10"]).unwrap();
+        let mut net = Network::new(4);
+        net.add_cover(&cover);
+        let aig = to_aig(&net);
+        for m in 0..16u64 {
+            assert_eq!(net.eval(m), aig.eval(m), "mismatch on minterm {m}");
+        }
+    }
+
+    #[test]
+    fn aig_has_only_and_inv_nodes() {
+        let mut net = Network::new(3);
+        let x0 = net.input(0);
+        let x1 = net.input(1);
+        let x2 = net.input(2);
+        let x = net.xor(x0, x1);
+        let o = net.or(x, x2);
+        net.add_output(o);
+        let aig = to_aig(&net);
+        for i in 0..aig.num_nodes() {
+            let kind = aig.kind(NodeId::from_raw(i as u32));
+            assert!(
+                !matches!(kind, NodeKind::Or(_, _) | NodeKind::Xor(_, _)),
+                "unexpected node {kind:?} in AIG"
+            );
+        }
+        for m in 0..8u64 {
+            assert_eq!(net.eval(m), aig.eval(m));
+        }
+    }
+
+    #[test]
+    fn aig_size_grows_with_function_complexity() {
+        let mut simple = Network::new(3);
+        simple.add_cover(&Cover::from_strs(3, &["1--"]).unwrap());
+        let mut complex = Network::new(3);
+        complex.add_cover(&Cover::from_strs(3, &["110", "101", "011"]).unwrap());
+        assert!(aig_size(&simple) < aig_size(&complex));
+    }
+}

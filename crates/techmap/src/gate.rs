@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// The logic function of a library gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+}
+
+impl GateKind {
+    /// Number of inputs of the gate.
+    pub fn num_inputs(self) -> usize {
+        match self {
+            GateKind::Inv => 1,
+            GateKind::Nand2 | GateKind::Nor2 | GateKind::And2 | GateKind::Or2 | GateKind::Xor2 | GateKind::Xnor2 => 2,
+            GateKind::Nand3 => 3,
+            GateKind::Nand4 => 4,
+        }
+    }
+}
+
+/// A gate of the technology library: a logic function with an area (and a
+/// name used when printing mapped netlists).
+///
+/// ```rust
+/// use techmap::{Gate, GateKind};
+///
+/// let g = Gate::new("nand2", GateKind::Nand2, 2.0);
+/// assert_eq!(g.kind().num_inputs(), 2);
+/// assert_eq!(g.area(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    name: String,
+    kind: GateKind,
+    area: f64,
+}
+
+impl Gate {
+    /// Creates a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not finite and positive.
+    pub fn new<S: Into<String>>(name: S, kind: GateKind, area: f64) -> Self {
+        assert!(area.is_finite() && area > 0.0, "gate area must be positive and finite");
+        Gate { name: name.into(), kind, area }
+    }
+
+    /// Gate name (as it would appear in a genlib file).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logic function of the gate.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Gate area in library units.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (area {})", self.name, self.area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_accessors() {
+        let g = Gate::new("inv", GateKind::Inv, 1.0);
+        assert_eq!(g.name(), "inv");
+        assert_eq!(g.kind(), GateKind::Inv);
+        assert_eq!(g.area(), 1.0);
+        assert_eq!(g.to_string(), "inv (area 1)");
+    }
+
+    #[test]
+    fn input_counts() {
+        assert_eq!(GateKind::Inv.num_inputs(), 1);
+        assert_eq!(GateKind::Nand3.num_inputs(), 3);
+        assert_eq!(GateKind::Nand4.num_inputs(), 4);
+        assert_eq!(GateKind::Xor2.num_inputs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_is_rejected() {
+        let _ = Gate::new("bad", GateKind::Inv, 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # techmap
+//!
+//! Area estimation by technology mapping, standing in for the
+//! `SIS + mcnc.genlib` step of the paper's evaluation (Tables III and IV
+//! report gate areas after mapping with `mcnc.genlib`).
+//!
+//! The flow mirrors the classical tree-covering mapper:
+//!
+//! 1. a [`Network`] of AND/OR/XOR/NOT nodes is built from an SOP cover, a
+//!    2-SPP form, or a bi-decomposition `g op h`;
+//! 2. the network is decomposed into an INV/NAND2 *subject graph*
+//!    ([`decompose`]);
+//! 3. a dynamic-programming tree-covering pass ([`Mapper`]) covers the subject
+//!    graph with gates from a [`GateLibrary`] (an embedded `mcnc.genlib`-like
+//!    set) and reports the total mapped area.
+//!
+//! Absolute areas are not comparable with the paper's SIS numbers (different
+//! library scaling), but ratios — which is what the paper's "gain" columns
+//! report — are, because every form is mapped by the same mapper with the
+//! same library.
+//!
+//! ```rust
+//! use boolfunc::Cover;
+//! use techmap::AreaModel;
+//!
+//! # fn main() -> Result<(), boolfunc::BoolFuncError> {
+//! let model = AreaModel::mcnc();
+//! let small = model.cover_area(&Cover::from_strs(3, &["1--"])?);
+//! let large = model.cover_area(&Cover::from_strs(3, &["11-", "1-1", "-11"])?);
+//! assert!(small < large);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+pub mod decompose;
+mod gate;
+mod library;
+mod mapper;
+mod network;
+
+pub use area::{AreaModel, CombineOp};
+pub use gate::{Gate, GateKind};
+pub use library::GateLibrary;
+pub use mapper::{Mapper, MappingResult};
+pub use network::{Network, NodeId, NodeKind};

@@ -1,0 +1,120 @@
+use std::fmt;
+
+use crate::gate::{Gate, GateKind};
+
+/// A technology library: a set of [`Gate`]s the mapper may instantiate.
+///
+/// [`GateLibrary::mcnc`] returns an embedded library with the gate set and
+/// the relative areas of the classical `mcnc.genlib` used by SIS (scaled so
+/// that an inverter has area 1).
+///
+/// ```rust
+/// use techmap::{GateLibrary, GateKind};
+///
+/// let lib = GateLibrary::mcnc();
+/// assert!(lib.best(GateKind::Nand2).is_some());
+/// assert!(lib.best(GateKind::Xor2).unwrap().area() > lib.best(GateKind::Nand2).unwrap().area());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLibrary {
+    name: String,
+    gates: Vec<Gate>,
+}
+
+impl GateLibrary {
+    /// Creates an empty library with a name.
+    pub fn new<S: Into<String>>(name: S) -> Self {
+        GateLibrary { name: name.into(), gates: Vec::new() }
+    }
+
+    /// The embedded `mcnc.genlib`-like library (areas relative to an inverter).
+    ///
+    /// The original genlib measures areas in layout units where `inv = 928`,
+    /// `nand2 = 1392`, `xor = 2896`, …; the ratios below are those ratios
+    /// rounded to convenient values, which is all the gain computation needs.
+    pub fn mcnc() -> Self {
+        let mut lib = GateLibrary::new("mcnc");
+        lib.add(Gate::new("inv", GateKind::Inv, 1.0));
+        lib.add(Gate::new("nand2", GateKind::Nand2, 1.5));
+        lib.add(Gate::new("nand3", GateKind::Nand3, 2.0));
+        lib.add(Gate::new("nand4", GateKind::Nand4, 2.5));
+        lib.add(Gate::new("nor2", GateKind::Nor2, 1.5));
+        lib.add(Gate::new("and2", GateKind::And2, 2.0));
+        lib.add(Gate::new("or2", GateKind::Or2, 2.0));
+        lib.add(Gate::new("xor2", GateKind::Xor2, 3.0));
+        lib.add(Gate::new("xnor2", GateKind::Xnor2, 3.0));
+        lib
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a gate to the library.
+    pub fn add(&mut self, gate: Gate) {
+        self.gates.push(gate);
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The cheapest gate implementing `kind`, if any.
+    pub fn best(&self, kind: GateKind) -> Option<&Gate> {
+        self.gates
+            .iter()
+            .filter(|g| g.kind() == kind)
+            .min_by(|a, b| a.area().partial_cmp(&b.area()).expect("areas are finite"))
+    }
+
+    /// The area of the cheapest gate implementing `kind`, or `None`.
+    pub fn area_of(&self, kind: GateKind) -> Option<f64> {
+        self.best(kind).map(Gate::area)
+    }
+}
+
+impl fmt::Display for GateLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library {} with {} gates", self.name, self.gates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcnc_has_all_kinds_the_mapper_needs() {
+        let lib = GateLibrary::mcnc();
+        for kind in [
+            GateKind::Inv,
+            GateKind::Nand2,
+            GateKind::Nand3,
+            GateKind::Nand4,
+            GateKind::Nor2,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+        ] {
+            assert!(lib.best(kind).is_some(), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn best_picks_the_cheapest_variant() {
+        let mut lib = GateLibrary::new("test");
+        lib.add(Gate::new("nand2_slow", GateKind::Nand2, 2.0));
+        lib.add(Gate::new("nand2_small", GateKind::Nand2, 1.0));
+        assert_eq!(lib.best(GateKind::Nand2).unwrap().name(), "nand2_small");
+        assert_eq!(lib.area_of(GateKind::Nand2), Some(1.0));
+        assert_eq!(lib.area_of(GateKind::Xor2), None);
+    }
+
+    #[test]
+    fn display() {
+        assert!(GateLibrary::mcnc().to_string().contains("mcnc"));
+    }
+}

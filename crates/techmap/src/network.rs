@@ -1,0 +1,406 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use boolfunc::{Cover, CubeValue};
+use spp::{SppForm, XorFactor};
+
+/// Identifier of a node inside a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index (useful for debugging).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index (crate-internal: node ids are plain
+    /// positions in creation order).
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Kind of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Primary input `x_i`.
+    Input(usize),
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// 2-input AND.
+    And(NodeId, NodeId),
+    /// 2-input OR.
+    Or(NodeId, NodeId),
+    /// 2-input XOR.
+    Xor(NodeId, NodeId),
+}
+
+/// A multi-level combinational logic network over AND/OR/XOR/NOT nodes with
+/// structural hashing (identical sub-expressions are shared).
+///
+/// This is the technology-independent netlist handed to the mapper; it is
+/// built from SOP covers, 2-SPP forms, or a bi-decomposition `g op h`.
+///
+/// ```rust
+/// use techmap::Network;
+///
+/// let mut net = Network::new(3);
+/// let x0 = net.input(0);
+/// let x1 = net.input(1);
+/// let x2 = net.input(2);
+/// let a = net.and(x0, x1);
+/// let f = net.or(a, x2);
+/// net.add_output(f);
+/// assert_eq!(net.eval(0b100), vec![true]);
+/// assert_eq!(net.gate_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    num_inputs: usize,
+    nodes: Vec<NodeKind>,
+    hash: HashMap<NodeKind, NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Network {
+    /// Creates an empty network with `num_inputs` primary inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        Network { num_inputs, nodes: Vec::new(), hash: HashMap::new(), outputs: Vec::new() }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The declared outputs.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Registers `node` as a primary output.
+    pub fn add_output(&mut self, node: NodeId) {
+        self.outputs.push(node);
+    }
+
+    /// Kind of a node.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()]
+    }
+
+    /// Total number of nodes (including inputs and constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of logic nodes (everything except inputs and constants) — a
+    /// technology-independent size measure.
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|k| !matches!(k, NodeKind::Input(_) | NodeKind::Const(_)))
+            .count()
+    }
+
+    fn intern(&mut self, kind: NodeKind) -> NodeId {
+        if let Some(&id) = self.hash.get(&kind) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(kind);
+        self.hash.insert(kind, id);
+        id
+    }
+
+    /// The node for primary input `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_inputs()`.
+    pub fn input(&mut self, var: usize) -> NodeId {
+        assert!(var < self.num_inputs, "input index {var} out of range");
+        self.intern(NodeKind::Input(var))
+    }
+
+    /// The constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.intern(NodeKind::Const(value))
+    }
+
+    /// An inverter (double negations are folded).
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        match self.kind(a) {
+            NodeKind::Const(v) => self.constant(!v),
+            NodeKind::Not(inner) => inner,
+            _ => self.intern(NodeKind::Not(a)),
+        }
+    }
+
+    /// A 2-input AND (with constant folding and operand normalization).
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.kind(a), self.kind(b)) {
+            (NodeKind::Const(false), _) | (_, NodeKind::Const(false)) => self.constant(false),
+            (NodeKind::Const(true), _) => b,
+            (_, NodeKind::Const(true)) => a,
+            _ if a == b => a,
+            _ => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                self.intern(NodeKind::And(lo, hi))
+            }
+        }
+    }
+
+    /// A 2-input OR.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.kind(a), self.kind(b)) {
+            (NodeKind::Const(true), _) | (_, NodeKind::Const(true)) => self.constant(true),
+            (NodeKind::Const(false), _) => b,
+            (_, NodeKind::Const(false)) => a,
+            _ if a == b => a,
+            _ => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                self.intern(NodeKind::Or(lo, hi))
+            }
+        }
+    }
+
+    /// A 2-input XOR.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.kind(a), self.kind(b)) {
+            (NodeKind::Const(false), _) => b,
+            (_, NodeKind::Const(false)) => a,
+            (NodeKind::Const(true), _) => self.not(b),
+            (_, NodeKind::Const(true)) => self.not(a),
+            _ if a == b => self.constant(false),
+            _ => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                self.intern(NodeKind::Xor(lo, hi))
+            }
+        }
+    }
+
+    /// Balanced AND of a list of nodes (empty list = constant 1).
+    pub fn and_many(&mut self, nodes: &[NodeId]) -> NodeId {
+        self.reduce_balanced(nodes, true)
+    }
+
+    /// Balanced OR of a list of nodes (empty list = constant 0).
+    pub fn or_many(&mut self, nodes: &[NodeId]) -> NodeId {
+        self.reduce_balanced(nodes, false)
+    }
+
+    fn reduce_balanced(&mut self, nodes: &[NodeId], is_and: bool) -> NodeId {
+        match nodes.len() {
+            0 => self.constant(is_and),
+            1 => nodes[0],
+            _ => {
+                let mid = nodes.len() / 2;
+                let left = self.reduce_balanced(&nodes[..mid], is_and);
+                let right = self.reduce_balanced(&nodes[mid..], is_and);
+                if is_and {
+                    self.and(left, right)
+                } else {
+                    self.or(left, right)
+                }
+            }
+        }
+    }
+
+    /// Builds (and registers as an output) the network of an SOP cover,
+    /// returning the root node.
+    pub fn add_cover(&mut self, cover: &Cover) -> NodeId {
+        assert_eq!(cover.num_vars(), self.num_inputs, "cover arity mismatch");
+        let mut products = Vec::with_capacity(cover.num_cubes());
+        for cube in cover.iter() {
+            let mut lits = Vec::new();
+            for var in 0..cover.num_vars() {
+                match cube.value(var) {
+                    CubeValue::DontCare => {}
+                    CubeValue::One => lits.push(self.input(var)),
+                    CubeValue::Zero => {
+                        let x = self.input(var);
+                        lits.push(self.not(x));
+                    }
+                }
+            }
+            products.push(self.and_many(&lits));
+        }
+        let root = self.or_many(&products);
+        self.add_output(root);
+        root
+    }
+
+    /// Builds (and registers as an output) the network of a 2-SPP form,
+    /// returning the root node.
+    pub fn add_spp(&mut self, form: &SppForm) -> NodeId {
+        assert_eq!(form.num_vars(), self.num_inputs, "form arity mismatch");
+        let mut products = Vec::with_capacity(form.num_pseudoproducts());
+        for pp in form.iter() {
+            let mut factors = Vec::new();
+            for factor in pp.factors() {
+                let node = match *factor {
+                    XorFactor::Literal { var, positive } => {
+                        let x = self.input(var);
+                        if positive {
+                            x
+                        } else {
+                            self.not(x)
+                        }
+                    }
+                    XorFactor::Xor { a, b, complemented } => {
+                        let xa = self.input(a);
+                        let xb = self.input(b);
+                        let x = self.xor(xa, xb);
+                        if complemented {
+                            self.not(x)
+                        } else {
+                            x
+                        }
+                    }
+                };
+                factors.push(node);
+            }
+            products.push(self.and_many(&factors));
+        }
+        let root = self.or_many(&products);
+        self.add_output(root);
+        root
+    }
+
+    /// Evaluates every declared output on a minterm.
+    pub fn eval(&self, minterm: u64) -> Vec<bool> {
+        let mut values = vec![false; self.nodes.len()];
+        for (i, kind) in self.nodes.iter().enumerate() {
+            values[i] = match *kind {
+                NodeKind::Input(var) => minterm >> var & 1 == 1,
+                NodeKind::Const(v) => v,
+                NodeKind::Not(a) => !values[a.index()],
+                NodeKind::And(a, b) => values[a.index()] && values[b.index()],
+                NodeKind::Or(a, b) => values[a.index()] || values[b.index()],
+                NodeKind::Xor(a, b) => values[a.index()] ^ values[b.index()],
+            };
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Fanout count of every node (used by the mapper to find tree roots).
+    pub fn fanouts(&self) -> Vec<usize> {
+        let mut fanout = vec![0usize; self.nodes.len()];
+        for kind in &self.nodes {
+            match *kind {
+                NodeKind::Not(a) => fanout[a.index()] += 1,
+                NodeKind::And(a, b) | NodeKind::Or(a, b) | NodeKind::Xor(a, b) => {
+                    fanout[a.index()] += 1;
+                    fanout[b.index()] += 1;
+                }
+                NodeKind::Input(_) | NodeKind::Const(_) => {}
+            }
+        }
+        for out in &self.outputs {
+            fanout[out.index()] += 1;
+        }
+        fanout
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "network with {} inputs, {} gates, {} outputs",
+            self.num_inputs,
+            self.gate_count(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfunc::Isf;
+    use spp::SppSynthesizer;
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut net = Network::new(2);
+        let x0 = net.input(0);
+        let x1 = net.input(1);
+        let a = net.and(x0, x1);
+        let b = net.and(x1, x0);
+        assert_eq!(a, b, "commutative operands must hash to the same node");
+        assert_eq!(net.gate_count(), 1);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut net = Network::new(2);
+        let x0 = net.input(0);
+        let one = net.constant(true);
+        let zero = net.constant(false);
+        assert_eq!(net.and(x0, one), x0);
+        assert_eq!(net.and(x0, zero), zero);
+        assert_eq!(net.or(x0, zero), x0);
+        let nx0 = net.not(x0);
+        assert_eq!(net.not(nx0), x0);
+        assert_eq!(net.xor(x0, x0), zero);
+        assert_eq!(net.xor(x0, zero), x0);
+    }
+
+    #[test]
+    fn cover_network_evaluates_like_the_cover() {
+        let cover = Cover::from_strs(4, &["11-1", "-011"]).unwrap();
+        let mut net = Network::new(4);
+        net.add_cover(&cover);
+        for m in 0..16u64 {
+            assert_eq!(net.eval(m)[0], cover.eval(m));
+        }
+    }
+
+    #[test]
+    fn spp_network_evaluates_like_the_form() {
+        let f = Isf::from_cover_str(4, &["1-10", "1-01", "-111", "-100"], &[]).unwrap();
+        let form = SppSynthesizer::new().synthesize(&f);
+        let mut net = Network::new(4);
+        net.add_spp(&form);
+        let tt = form.to_truth_table();
+        for m in 0..16u64 {
+            assert_eq!(net.eval(m)[0], tt.get(m));
+        }
+    }
+
+    #[test]
+    fn multi_output_network() {
+        let mut net = Network::new(2);
+        let a = net.add_cover(&Cover::from_strs(2, &["11"]).unwrap());
+        let b = net.add_cover(&Cover::from_strs(2, &["1-", "-1"]).unwrap());
+        assert_ne!(a, b);
+        assert_eq!(net.outputs().len(), 2);
+        assert_eq!(net.eval(0b01), vec![false, true]);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut net = Network::new(2);
+        let x0 = net.input(0);
+        let x1 = net.input(1);
+        let a = net.and(x0, x1);
+        let o = net.or(a, x0);
+        net.add_output(o);
+        let fanouts = net.fanouts();
+        assert_eq!(fanouts[x0.index()], 2);
+        assert_eq!(fanouts[a.index()], 1);
+        assert_eq!(fanouts[o.index()], 1);
+    }
+
+    #[test]
+    fn empty_cover_is_constant_zero() {
+        let mut net = Network::new(3);
+        net.add_cover(&Cover::empty(3));
+        assert_eq!(net.eval(0b000), vec![false]);
+        assert_eq!(net.eval(0b111), vec![false]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Sweep the approximation error budget and watch the trade-off the paper
+//! discusses: a coarser divisor is cheaper, but the quotient has to correct
+//! more errors, so the overall bi-decomposed area bottoms out somewhere in
+//! between.
+//!
+//! Run with `cargo run --example error_rate_sweep`.
+
+use bidecomposition::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = benchmarks::arithmetic::dist();
+    let f = &instance.outputs()[2];
+
+    println!("benchmark {} output 2 ({} inputs)", instance.name(), instance.num_inputs());
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "budget%", "err%", "area g", "area h", "area g·h", "gain%"
+    );
+    for budget in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
+        let plan = DecompositionPlan::new(
+            BinaryOp::And,
+            bidecomp::ApproxStrategy::Bounded { max_error_rate: budget },
+        );
+        let d = plan.decompose(f)?;
+        assert!(d.verified);
+        println!(
+            "{:>8.1} {:>10.2} {:>10.1} {:>10.1} {:>10.1} {:>8.2}",
+            budget * 100.0,
+            d.error_percent(),
+            d.area_g,
+            d.area_h,
+            d.area_bidecomposition,
+            d.gain_percent()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: compute the full quotient of a bi-decomposition and check it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use bidecomposition::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The function of Fig. 1 of the paper: f = x0 x1 x3 + x1 x2 x3.
+    let f = Isf::from_cover_str(4, &["11-1", "-111"], &[])?;
+
+    // A 0→1 over-approximation obtained by adding one minterm: g = x1 x3.
+    let g = Cover::from_strs(4, &["-1-1"])?.to_truth_table();
+
+    // The full quotient for the AND operator (Table II, first row).
+    let h = full_quotient(&f, &g, BinaryOp::And)?;
+    println!("h_on  has {} minterms", h.on().count_ones());
+    println!("h_dc  has {} minterms (the flexibility)", h.dc().count_ones());
+    println!("h_off has {} minterms (the errors to correct)", h.off().count_ones());
+
+    // The decomposition holds for every completion of h.
+    assert!(verify_decomposition(&f, &g, &h, BinaryOp::And));
+
+    // Exploit the flexibility: minimize h as an SOP and as a 2-SPP form.
+    let h_sop = sop::espresso(&h);
+    let h_spp = SppSynthesizer::new().synthesize(&h);
+    println!("h minimized as SOP:   {h_sop} ({} literals)", h_sop.literal_count());
+    println!("h minimized as 2-SPP: {h_spp} ({} literals)", h_spp.literal_count());
+
+    // Or run the whole paper pipeline (synthesize, approximate, divide, map).
+    let plan = DecompositionPlan::new(BinaryOp::And, bidecomp::ApproxStrategy::FullExpansion);
+    let result = plan.decompose(&f)?;
+    println!(
+        "pipeline: area(f) = {:.1}, area(g·h) = {:.1}, gain = {:.1}%, error rate = {:.1}%",
+        result.area_f,
+        result.area_bidecomposition,
+        result.gain_percent(),
+        result.error_percent()
+    );
+    Ok(())
+}

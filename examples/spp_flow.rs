@@ -1,0 +1,43 @@
+//! The 2-SPP flow of Fig. 2 and Section IV: synthesize `f` as a three-level
+//! XOR-AND-OR form, over-approximate it by pseudoproduct expansion, and let
+//! the quotient correct the introduced errors.
+//!
+//! Run with `cargo run --example spp_flow`.
+
+use bidecomposition::prelude::*;
+use spp::BoundedExpansion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // f = x0 (x2 ⊕ x3) + x1 (x2 ⊕ x3): 12 SOP literals, 6 2-SPP literals.
+    let f = Isf::from_cover_str(4, &["1-10", "1-01", "-110", "-101"], &[])?;
+
+    let synthesizer = SppSynthesizer::new();
+    let f_sop = sop::espresso(&f);
+    let f_spp = synthesizer.synthesize(&f);
+    println!("SOP of f:    {f_sop}  ({} literals)", f_sop.literal_count());
+    println!("2-SPP of f:  {f_spp}  ({} literals)", f_spp.literal_count());
+
+    // Over-approximate by expanding pseudoproducts within a 25% error budget.
+    let approx = BoundedExpansion::new(0.25).approximate(&f_spp, &f);
+    println!(
+        "expansion picks g = {}  ({} literals, {} 0→1 errors)",
+        approx.g,
+        approx.g.literal_count(),
+        approx.errors
+    );
+
+    // The quotient corrects exactly those errors.
+    let h = full_quotient(&f, &approx.g_table, BinaryOp::And)?;
+    assert_eq!(h.off().count_ones(), approx.errors);
+    let h_spp = synthesizer.synthesize(&h);
+    println!("quotient h = {h_spp}  ({} literals)", h_spp.literal_count());
+
+    assert!(verify_decomposition(&f, &approx.g_table, &h, BinaryOp::And));
+
+    // Map everything with the mcnc-like library and compare areas.
+    let model = AreaModel::mcnc();
+    let area_f = model.spp_area(&f_spp);
+    let area_bidec = model.bidecomposition_area(&approx.g, &h_spp, techmap::CombineOp::And);
+    println!("mapped area: f = {area_f:.1}, g·h = {area_bidec:.1}");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Cross-crate integration tests: PLA parsing → 2-SPP synthesis →
+//! approximation → full quotient → re-synthesis → technology mapping,
+//! exercised end-to-end on the smoke benchmark suite.
+
+use bidecomposition::prelude::*;
+use bidecomp::ApproxStrategy;
+
+#[test]
+fn full_pipeline_on_the_smoke_suite_produces_verified_decompositions() {
+    for instance in Suite::smoke().instances() {
+        for (o, f) in instance.outputs().iter().enumerate() {
+            for op in BinaryOp::experimental() {
+                let plan = DecompositionPlan::new(op, ApproxStrategy::FullExpansion);
+                let d = plan
+                    .decompose(f)
+                    .unwrap_or_else(|e| panic!("{instance} output {o} {op}: {e}"));
+                assert!(d.verified, "{instance} output {o} {op}: verification failed");
+                assert!(d.approximation.one_to_zero == 0, "{op} requires a 0→1 approximation");
+                assert!(d.area_f.is_finite() && d.area_bidecomposition.is_finite());
+                // The realized forms must actually implement their functions.
+                assert!(d.h_form.matches(&d.h), "h_form does not realize the quotient");
+            }
+        }
+    }
+}
+
+#[test]
+fn pla_round_trip_feeds_the_same_functions_into_the_pipeline() {
+    let instance = benchmarks::arithmetic::adder("adr2", 2);
+    let pla_text = instance.to_pla().to_string();
+    let parsed: boolfunc::Pla = pla_text.parse().expect("generated PLA must parse");
+    let reparsed = parsed.output_isfs().expect("within dense limits");
+    assert_eq!(reparsed.len(), instance.num_outputs());
+    for (original, back) in instance.outputs().iter().zip(&reparsed) {
+        assert_eq!(original.on(), back.on());
+        assert_eq!(original.dc(), back.dc());
+    }
+}
+
+#[test]
+fn bounded_strategy_never_exceeds_its_budget_on_benchmarks() {
+    let budget = 0.05;
+    let instance = benchmarks::arithmetic::z4();
+    for f in instance.outputs() {
+        let plan = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::Bounded { max_error_rate: budget });
+        let d = plan.decompose(f).expect("AND accepts any 0→1 divisor");
+        assert!(d.approximation.error_rate <= budget + 1e-9);
+        assert!(d.verified);
+    }
+}
+
+#[test]
+fn quotient_flexibility_grows_with_the_error_rate() {
+    // Theory (Section III): the larger the divisor's on-set, the larger the
+    // dc-set of the quotient for AND decompositions.
+    let instance = benchmarks::arithmetic::adr4();
+    let f = &instance.outputs()[0];
+    let tight = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::Bounded { max_error_rate: 0.0 })
+        .decompose(f)
+        .unwrap();
+    let loose = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::FullExpansion)
+        .decompose(f)
+        .unwrap();
+    assert!(loose.approximation.zero_to_one >= tight.approximation.zero_to_one);
+    assert_eq!(tight.h.off().count_ones(), tight.approximation.zero_to_one);
+    assert_eq!(loose.h.off().count_ones(), loose.approximation.zero_to_one);
+}
+
+#[test]
+fn bdd_and_dense_backends_agree_on_benchmark_outputs() {
+    use bdd::BddManager;
+    let instance = benchmarks::arithmetic::z4();
+    let f = &instance.outputs()[1];
+    let g = {
+        // Over-approximate by dropping the most-significant input from an SOP.
+        let cover = sop::espresso(f);
+        let expanded: Vec<_> = cover
+            .iter()
+            .map(|c| c.cofactor(0, true).unwrap_or(*c))
+            .collect();
+        boolfunc::Cover::from_cubes(7, expanded).to_truth_table() | f.on().clone()
+    };
+    let dense = bidecomp::quotient_sets(f, &g, BinaryOp::And);
+    let mut mgr = BddManager::new(7);
+    let f_on = mgr.from_truth_table(f.on());
+    let f_dc = mgr.from_truth_table(f.dc());
+    let g_bdd = mgr.from_truth_table(&g);
+    let (h_on, h_dc) = bidecomp::full_quotient_bdd(&mut mgr, f_on, f_dc, g_bdd, BinaryOp::And);
+    assert_eq!(mgr.to_truth_table(h_on).unwrap(), dense.on);
+    assert_eq!(mgr.to_truth_table(h_dc).unwrap(), dense.dc);
+}
