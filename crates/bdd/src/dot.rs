@@ -24,7 +24,8 @@ impl BddManager {
             }
             let node = self.node(n);
             let _ = writeln!(out, "  node{} [label=\"x{}\", shape=circle];", n.index(), node.var);
-            let _ = writeln!(out, "  node{} -> node{} [style=dashed];", n.index(), node.low.index());
+            let _ =
+                writeln!(out, "  node{} -> node{} [style=dashed];", n.index(), node.low.index());
             let _ = writeln!(out, "  node{} -> node{};", n.index(), node.high.index());
             stack.push(node.low);
             stack.push(node.high);

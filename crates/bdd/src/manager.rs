@@ -198,10 +198,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let top = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
@@ -290,13 +287,7 @@ impl BddManager {
         self.restrict_rec(f, var as u32, value, &mut HashMap::new())
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Bdd,
-        var: u32,
-        value: bool,
-        memo: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
         let n = self.node(f);
         if n.var == TERMINAL_VAR || n.var > var {
             return f;
@@ -374,15 +365,15 @@ impl BddManager {
     /// manager.
     pub fn from_truth_table(&mut self, table: &TruthTable) -> Bdd {
         assert_eq!(table.num_vars(), self.num_vars, "truth table arity mismatch");
-        self.from_table_rec(table, 0, 0)
+        self.table_rec(table, 0, 0)
     }
 
-    fn from_table_rec(&mut self, table: &TruthTable, var: usize, prefix: u64) -> Bdd {
+    fn table_rec(&mut self, table: &TruthTable, var: usize, prefix: u64) -> Bdd {
         if var == self.num_vars {
             return if table.get(prefix) { self.one() } else { self.zero() };
         }
-        let low = self.from_table_rec(table, var + 1, prefix);
-        let high = self.from_table_rec(table, var + 1, prefix | (1u64 << var));
+        let low = self.table_rec(table, var + 1, prefix);
+        let high = self.table_rec(table, var + 1, prefix | (1u64 << var));
         self.mk_node(var as u32, low, high)
     }
 
@@ -490,7 +481,8 @@ mod tests {
         let mut mgr = BddManager::new(2);
         let x0 = mgr.variable(0);
         let x1 = mgr.variable(1);
-        let cases: Vec<(Bdd, fn(bool, bool) -> bool)> = vec![
+        type BoolOp = fn(bool, bool) -> bool;
+        let cases: Vec<(Bdd, BoolOp)> = vec![
             (mgr.and(x0, x1), |a, b| a && b),
             (mgr.or(x0, x1), |a, b| a || b),
             (mgr.xor(x0, x1), |a, b| a ^ b),

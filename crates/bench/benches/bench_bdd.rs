@@ -1,6 +1,6 @@
 //! Criterion bench: core BDD operations (the CUDD stand-in).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bidecomp_bench::{criterion_group, criterion_main, Criterion};
 
 use bdd::BddManager;
 use boolfunc::Cover;

@@ -1,7 +1,7 @@
 //! Criterion bench: the end-to-end Table III/IV pipeline on single outputs of
 //! the regenerated arithmetic benchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bidecomp_bench::{criterion_group, criterion_main, Criterion};
 
 use benchmarks::arithmetic;
 use bidecomp::{ApproxStrategy, BinaryOp, DecompositionPlan};

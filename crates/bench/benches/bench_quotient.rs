@@ -1,7 +1,7 @@
 //! Criterion bench: the Table II quotient computation, dense backend vs BDD
 //! backend (ablation #1 of DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bidecomp_bench::{criterion_group, criterion_main, Criterion};
 
 use bdd::BddManager;
 use bidecomp::{full_quotient_bdd, quotient_sets, BinaryOp};

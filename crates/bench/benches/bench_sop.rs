@@ -1,6 +1,6 @@
 //! Criterion bench: the espresso-style two-level minimizer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bidecomp_bench::{criterion_group, criterion_main, Criterion};
 
 use boolfunc::{Isf, TruthTable};
 use sop::{complement, espresso, is_tautology};

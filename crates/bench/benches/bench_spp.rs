@@ -1,6 +1,6 @@
 //! Criterion bench: 2-SPP synthesis and the 0→1 approximation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bidecomp_bench::{criterion_group, criterion_main, Criterion};
 
 use benchmarks::arithmetic;
 use spp::{BoundedExpansion, FullExpansion, SppSynthesizer};

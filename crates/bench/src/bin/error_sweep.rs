@@ -19,8 +19,10 @@ fn main() {
         }
         let f = &instance.outputs()[0];
         for budget in budgets {
-            let plan =
-                DecompositionPlan::new(BinaryOp::And, ApproxStrategy::Bounded { max_error_rate: budget });
+            let plan = DecompositionPlan::new(
+                BinaryOp::And,
+                ApproxStrategy::Bounded { max_error_rate: budget },
+            );
             let d = plan.decompose(f).expect("AND accepts any 0→1 divisor");
             assert!(d.verified);
             println!(

@@ -13,7 +13,8 @@ fn print_kmap(title: &str, value: impl Fn(u64) -> char) {
     for &row in &GRAY {
         print!("x0x1={}{}   ", row >> 1 & 1, row & 1);
         for &col in &GRAY {
-            let minterm = (row >> 1 & 1) | ((row & 1) << 1) | ((col >> 1 & 1) << 2) | ((col & 1) << 3);
+            let minterm =
+                (row >> 1 & 1) | ((row & 1) << 1) | ((col >> 1 & 1) << 2) | ((col & 1) << 3);
             print!("  {}  ", value(minterm));
         }
         println!();

@@ -6,7 +6,7 @@ use bidecomp::approximation::divisor_requirement;
 use bidecomp::BinaryOp;
 
 fn main() {
-    println!("{:<8} {:<26} {:<10} {}", "Operator", "Bi-decomposed form", "Class", "Divisor requirement");
+    println!("{:<8} {:<26} {:<10} Divisor requirement", "Operator", "Bi-decomposed form", "Class");
     for op in BinaryOp::all() {
         println!(
             "{:<8} {:<26} {:<10} {}",

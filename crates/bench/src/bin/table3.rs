@@ -3,7 +3,7 @@
 //!
 //! The paper's Table III groups benchmarks whose 2-SPP expansion produces an
 //! error rate below 10%; to land in the same regime the divisor is derived
-//! with the error-rate-bounded expansion of [2] capped at 8%.
+//! with the error-rate-bounded expansion of \[2\] capped at 8%.
 
 use benchmarks::Suite;
 use bidecomp::ApproxStrategy;

@@ -21,6 +21,10 @@ use std::time::Instant;
 use benchmarks::BenchmarkInstance;
 use bidecomp::{ApproxStrategy, BenchmarkRow, BinaryOp, DecompositionPlan, TableReport};
 
+pub mod microbench;
+
+pub use microbench::Criterion;
+
 /// Options shared by the table-reproduction binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessOptions {

@@ -1,0 +1,192 @@
+//! A minimal, dependency-free stand-in for the slice of the `criterion` API
+//! the workspace's micro-benchmarks use.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! benches under `benches/` target this shim instead of the real `criterion`
+//! crate: `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Swapping the shim for real
+//! criterion later only requires changing one import line per bench file.
+//!
+//! Methodology: each benchmark is warmed up, then timed over `sample_size`
+//! samples of an adaptively chosen batch size (targeting a few milliseconds
+//! per sample, capped so a full bench file stays under a second or two).
+//! The median, minimum and maximum per-iteration times are printed in a
+//! `cargo bench`-like format.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget; batch sizes are chosen so one sample of the
+/// benchmarked closure takes roughly this long.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(2);
+/// Hard cap on total measurement time per benchmark.
+const BENCH_BUDGET: Duration = Duration::from_millis(250);
+
+/// Top-level benchmark driver handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20 }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers, runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group. (The shim reports incrementally, so this is a no-op
+    /// kept for criterion API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples of an adaptively
+    /// chosen batch size.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // costs about `SAMPLE_BUDGET`.
+        let mut batch: u64 = 1;
+        let batch = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET || batch >= 1 << 20 {
+                break batch;
+            }
+            batch = (batch * 2).min(1 << 20);
+        };
+
+        let deadline = Instant::now() + BENCH_BUDGET;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let (median, min, max) = match sorted.len() {
+            0 => (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            n => (sorted[n / 2], sorted[0], sorted[n - 1]),
+        };
+        println!(
+            "{group}/{id:<40} median {:>12} (min {}, max {}, {} samples)",
+            format_duration(median),
+            format_duration(min),
+            format_duration(max),
+            sorted.len(),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Registers bench functions under a group name, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the registered groups, mirroring criterion's
+/// macro of the same name. Ignores the arguments `cargo bench`/`cargo test`
+/// pass to the binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench targets with `--bench`;
+            // the measurements are meaningless in debug profile, so only the
+            // explicit `cargo bench` invocation (or no-arg run) measures.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(format_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(format_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -141,7 +141,7 @@ pub fn mp2d() -> BenchmarkInstance {
         if x == 0 {
             0
         } else {
-            (1 << (priority % 8)) | u64::from(x.count_ones() % 2 == 0)
+            (1 << (priority % 8)) | u64::from(x.count_ones().is_multiple_of(2))
         }
     })
 }

@@ -25,8 +25,10 @@
 
 pub mod arithmetic;
 mod instance;
+pub mod rng;
 mod suite;
 pub mod synthetic;
 
 pub use instance::BenchmarkInstance;
+pub use rng::DetRng;
 pub use suite::Suite;

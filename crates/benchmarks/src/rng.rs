@@ -1,0 +1,109 @@
+//! A small, seeded, deterministic pseudo-random number generator.
+//!
+//! The synthetic instances of this crate (and the randomized checks in the
+//! experiment harness) only need reproducible streams, not cryptographic or
+//! statistical-suite quality, and the workspace builds without third-party
+//! dependencies. This is the SplitMix64 generator (Steele, Lea, Flood,
+//! *Fast splittable pseudorandom number generators*, OOPSLA 2014) — the same
+//! one `rand` uses to seed `StdRng` from a `u64` — with the handful of
+//! convenience methods the workspace actually uses, mirroring the `rand::Rng`
+//! names (`gen_range`, `gen_bool`) so call sites read the same.
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator. Two generators constructed with
+/// [`DetRng::seed_from_u64`] from the same seed produce identical streams on
+/// every platform and in every build profile.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniformly samples an index from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift range reduction (Lemire); the slight non-uniformity
+        // for spans that do not divide 2^64 is irrelevant at our span sizes.
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start + hi as usize
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // Compare against the top 53 bits so every representable `p` in the
+        // open interval behaves sensibly.
+        let threshold = (p * (1u64 << 53) as f64) as u64;
+        (self.next_u64() >> 11) < threshold
+    }
+
+    /// Returns a truth-table mask restricted to `bits` low bits.
+    pub fn gen_mask(&mut self, bits: u32) -> u64 {
+        if bits >= 64 {
+            self.next_u64()
+        } else {
+            self.next_u64() & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits} hits for p=0.3");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = DetRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -9,12 +9,10 @@
 //! the paper's names so the regenerated tables are easy to compare; the
 //! scaled input/output counts are recorded here and in `DESIGN.md`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use boolfunc::{Cover, Cube, CubeValue, Isf};
 
 use crate::instance::BenchmarkInstance;
+use crate::rng::DetRng;
 
 /// Parameters of a synthetic control-PLA generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +34,7 @@ pub struct ControlPlaSpec {
 /// pool (mirroring the cube sharing of real control PLAs).
 pub fn control_pla(name: &str, spec: ControlPlaSpec) -> BenchmarkInstance {
     assert!(spec.inputs <= 16, "synthetic instances are kept within the dense backend");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = DetRng::seed_from_u64(spec.seed);
     let mut pool: Vec<Cube> = Vec::with_capacity(spec.cubes);
     for _ in 0..spec.cubes {
         let mut cube = Cube::full(spec.inputs).expect("arity validated above");
@@ -70,20 +68,92 @@ pub fn control_pla(name: &str, spec: ControlPlaSpec) -> BenchmarkInstance {
 /// substitution).
 pub fn table3_instances() -> Vec<BenchmarkInstance> {
     vec![
-        control_pla("bcb", ControlPlaSpec { inputs: 12, outputs: 8, cubes: 40, literals_per_cube: 5, seed: 0xB0B }),
-        control_pla("br1", ControlPlaSpec { inputs: 12, outputs: 8, cubes: 20, literals_per_cube: 6, seed: 0xB21 }),
-        control_pla("br2", ControlPlaSpec { inputs: 12, outputs: 8, cubes: 16, literals_per_cube: 6, seed: 0xB22 }),
-        control_pla("mp2d", ControlPlaSpec { inputs: 12, outputs: 10, cubes: 18, literals_per_cube: 7, seed: 0x32D }),
-        control_pla("alcom", ControlPlaSpec { inputs: 12, outputs: 10, cubes: 24, literals_per_cube: 6, seed: 0xA1C }),
-        control_pla("spla", ControlPlaSpec { inputs: 12, outputs: 10, cubes: 44, literals_per_cube: 5, seed: 0x5B1 }),
-        control_pla("al2", ControlPlaSpec { inputs: 12, outputs: 10, cubes: 26, literals_per_cube: 6, seed: 0xA12 }),
-        control_pla("ex5", ControlPlaSpec { inputs: 8, outputs: 12, cubes: 32, literals_per_cube: 4, seed: 0xE5 }),
-        control_pla("newtpla2", ControlPlaSpec { inputs: 10, outputs: 4, cubes: 10, literals_per_cube: 5, seed: 0x17 }),
-        control_pla("ts10", ControlPlaSpec { inputs: 12, outputs: 8, cubes: 30, literals_per_cube: 5, seed: 0x751 }),
-        control_pla("chkn", ControlPlaSpec { inputs: 12, outputs: 7, cubes: 34, literals_per_cube: 6, seed: 0xC4E }),
-        control_pla("opa", ControlPlaSpec { inputs: 12, outputs: 10, cubes: 36, literals_per_cube: 5, seed: 0x0FA }),
-        control_pla("b7", ControlPlaSpec { inputs: 8, outputs: 8, cubes: 18, literals_per_cube: 4, seed: 0xB7 }),
-        control_pla("risc", ControlPlaSpec { inputs: 8, outputs: 8, cubes: 20, literals_per_cube: 4, seed: 0x815 }),
+        control_pla(
+            "bcb",
+            ControlPlaSpec { inputs: 12, outputs: 8, cubes: 40, literals_per_cube: 5, seed: 0xB0B },
+        ),
+        control_pla(
+            "br1",
+            ControlPlaSpec { inputs: 12, outputs: 8, cubes: 20, literals_per_cube: 6, seed: 0xB21 },
+        ),
+        control_pla(
+            "br2",
+            ControlPlaSpec { inputs: 12, outputs: 8, cubes: 16, literals_per_cube: 6, seed: 0xB22 },
+        ),
+        control_pla(
+            "mp2d",
+            ControlPlaSpec {
+                inputs: 12,
+                outputs: 10,
+                cubes: 18,
+                literals_per_cube: 7,
+                seed: 0x32D,
+            },
+        ),
+        control_pla(
+            "alcom",
+            ControlPlaSpec {
+                inputs: 12,
+                outputs: 10,
+                cubes: 24,
+                literals_per_cube: 6,
+                seed: 0xA1C,
+            },
+        ),
+        control_pla(
+            "spla",
+            ControlPlaSpec {
+                inputs: 12,
+                outputs: 10,
+                cubes: 44,
+                literals_per_cube: 5,
+                seed: 0x5B1,
+            },
+        ),
+        control_pla(
+            "al2",
+            ControlPlaSpec {
+                inputs: 12,
+                outputs: 10,
+                cubes: 26,
+                literals_per_cube: 6,
+                seed: 0xA12,
+            },
+        ),
+        control_pla(
+            "ex5",
+            ControlPlaSpec { inputs: 8, outputs: 12, cubes: 32, literals_per_cube: 4, seed: 0xE5 },
+        ),
+        control_pla(
+            "newtpla2",
+            ControlPlaSpec { inputs: 10, outputs: 4, cubes: 10, literals_per_cube: 5, seed: 0x17 },
+        ),
+        control_pla(
+            "ts10",
+            ControlPlaSpec { inputs: 12, outputs: 8, cubes: 30, literals_per_cube: 5, seed: 0x751 },
+        ),
+        control_pla(
+            "chkn",
+            ControlPlaSpec { inputs: 12, outputs: 7, cubes: 34, literals_per_cube: 6, seed: 0xC4E },
+        ),
+        control_pla(
+            "opa",
+            ControlPlaSpec {
+                inputs: 12,
+                outputs: 10,
+                cubes: 36,
+                literals_per_cube: 5,
+                seed: 0x0FA,
+            },
+        ),
+        control_pla(
+            "b7",
+            ControlPlaSpec { inputs: 8, outputs: 8, cubes: 18, literals_per_cube: 4, seed: 0xB7 },
+        ),
+        control_pla(
+            "risc",
+            ControlPlaSpec { inputs: 8, outputs: 8, cubes: 20, literals_per_cube: 4, seed: 0x815 },
+        ),
     ]
 }
 
@@ -93,7 +163,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = ControlPlaSpec { inputs: 8, outputs: 3, cubes: 10, literals_per_cube: 4, seed: 42 };
+        let spec =
+            ControlPlaSpec { inputs: 8, outputs: 3, cubes: 10, literals_per_cube: 4, seed: 42 };
         let a = control_pla("x", spec);
         let b = control_pla("x", spec);
         for (oa, ob) in a.outputs().iter().zip(b.outputs()) {
@@ -103,8 +174,14 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_functions() {
-        let a = control_pla("x", ControlPlaSpec { inputs: 8, outputs: 2, cubes: 10, literals_per_cube: 4, seed: 1 });
-        let b = control_pla("x", ControlPlaSpec { inputs: 8, outputs: 2, cubes: 10, literals_per_cube: 4, seed: 2 });
+        let a = control_pla(
+            "x",
+            ControlPlaSpec { inputs: 8, outputs: 2, cubes: 10, literals_per_cube: 4, seed: 1 },
+        );
+        let b = control_pla(
+            "x",
+            ControlPlaSpec { inputs: 8, outputs: 2, cubes: 10, literals_per_cube: 4, seed: 2 },
+        );
         assert_ne!(a.outputs()[0].on(), b.outputs()[0].on());
     }
 

@@ -56,7 +56,10 @@ impl Cube {
     /// [`Cube::MAX_VARS`].
     pub fn full(num_vars: usize) -> Result<Self, BoolFuncError> {
         if num_vars > Self::MAX_VARS {
-            return Err(BoolFuncError::TooManyVariables { requested: num_vars, max: Self::MAX_VARS });
+            return Err(BoolFuncError::TooManyVariables {
+                requested: num_vars,
+                max: Self::MAX_VARS,
+            });
         }
         Ok(Cube { num_vars: num_vars as u8, mask: 0, value: 0 })
     }
@@ -69,7 +72,10 @@ impl Cube {
     /// [`Cube::MAX_VARS`].
     pub fn from_masks(num_vars: usize, mask: u64, value: u64) -> Result<Self, BoolFuncError> {
         if num_vars > Self::MAX_VARS {
-            return Err(BoolFuncError::TooManyVariables { requested: num_vars, max: Self::MAX_VARS });
+            return Err(BoolFuncError::TooManyVariables {
+                requested: num_vars,
+                max: Self::MAX_VARS,
+            });
         }
         let var_mask = Self::var_mask(num_vars);
         let mask = mask & var_mask;
@@ -226,11 +232,7 @@ impl Cube {
                 return None;
             }
         }
-        Some(Cube {
-            num_vars: self.num_vars,
-            mask: self.mask & !bit,
-            value: self.value & !bit,
-        })
+        Some(Cube { num_vars: self.num_vars, mask: self.mask & !bit, value: self.value & !bit })
     }
 
     /// Number of minterms covered by the cube.
@@ -351,7 +353,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_bad_characters_and_width() {
-        assert!(matches!("1x0".parse::<Cube>(), Err(BoolFuncError::InvalidCubeChar { ch: 'x', position: 1 })));
+        assert!(matches!(
+            "1x0".parse::<Cube>(),
+            Err(BoolFuncError::InvalidCubeChar { ch: 'x', position: 1 })
+        ));
         assert!(matches!(
             Cube::parse_with_width("10", 3),
             Err(BoolFuncError::CubeWidthMismatch { expected: 3, found: 2 })

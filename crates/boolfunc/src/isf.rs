@@ -266,10 +266,7 @@ mod tests {
         let bad = TruthTable::zero(3);
         assert!(!f.is_completion(&bad));
         // min and max completion differ exactly on the dc-set.
-        assert_eq!(
-            f.min_completion().hamming_distance(&f.max_completion()),
-            f.dc().count_ones()
-        );
+        assert_eq!(f.min_completion().hamming_distance(&f.max_completion()), f.dc().count_ones());
     }
 
     #[test]

@@ -35,8 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cube;
 mod cover;
+mod cube;
 mod error;
 mod isf;
 mod minterm;

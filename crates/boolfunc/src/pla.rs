@@ -129,9 +129,16 @@ impl Pla {
     ///
     /// Returns [`BoolFuncError::TooManyVariables`] if `num_inputs` exceeds
     /// [`Cube::MAX_VARS`].
-    pub fn new(num_inputs: usize, num_outputs: usize, kind: PlaKind) -> Result<Self, BoolFuncError> {
+    pub fn new(
+        num_inputs: usize,
+        num_outputs: usize,
+        kind: PlaKind,
+    ) -> Result<Self, BoolFuncError> {
         if num_inputs > Cube::MAX_VARS {
-            return Err(BoolFuncError::TooManyVariables { requested: num_inputs, max: Cube::MAX_VARS });
+            return Err(BoolFuncError::TooManyVariables {
+                requested: num_inputs,
+                max: Cube::MAX_VARS,
+            });
         }
         Ok(Pla {
             num_inputs,
@@ -299,7 +306,10 @@ impl Pla {
         let mut output_names: Option<Vec<String>> = None;
         let mut rows: Vec<(Cube, Vec<PlaOutputValue>)> = Vec::new();
 
-        let err = |line: usize, reason: &str| BoolFuncError::PlaParse { line, reason: reason.to_string() };
+        let err = |line: usize, reason: &str| BoolFuncError::PlaParse {
+            line,
+            reason: reason.to_string(),
+        };
 
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -321,7 +331,10 @@ impl Pla {
                             .and_then(|s| s.parse::<usize>().ok())
                             .ok_or_else(|| err(line_no, "malformed .i directive"))?;
                         if n > Cube::MAX_VARS {
-                            return Err(BoolFuncError::TooManyVariables { requested: n, max: Cube::MAX_VARS });
+                            return Err(BoolFuncError::TooManyVariables {
+                                requested: n,
+                                max: Cube::MAX_VARS,
+                            });
                         }
                         num_inputs = Some(n);
                     }
@@ -337,7 +350,8 @@ impl Pla {
                     "e" | "end" => break,
                     "type" => {
                         let t = parts.next().ok_or_else(|| err(line_no, "missing .type value"))?;
-                        kind = PlaKind::parse(t).ok_or_else(|| err(line_no, "unknown .type value"))?;
+                        kind =
+                            PlaKind::parse(t).ok_or_else(|| err(line_no, "unknown .type value"))?;
                     }
                     "ilb" => input_names = Some(parts.map(str::to_string).collect()),
                     "ob" => output_names = Some(parts.map(str::to_string).collect()),
@@ -353,11 +367,17 @@ impl Pla {
             // whitespace or '|'.
             let ni = num_inputs.ok_or_else(|| err(line_no, "cube row before .i directive"))?;
             let no = num_outputs.ok_or_else(|| err(line_no, "cube row before .o directive"))?;
-            let compact: String = line.chars().filter(|c| !c.is_whitespace() && *c != '|').collect();
+            let compact: String =
+                line.chars().filter(|c| !c.is_whitespace() && *c != '|').collect();
             if compact.len() != ni + no {
                 return Err(err(
                     line_no,
-                    &format!("row has {} symbols, expected {} inputs + {} outputs", compact.len(), ni, no),
+                    &format!(
+                        "row has {} symbols, expected {} inputs + {} outputs",
+                        compact.len(),
+                        ni,
+                        no
+                    ),
                 ));
             }
             let (in_part, out_part) = compact.split_at(ni);

@@ -50,7 +50,7 @@ impl TruthTable {
     /// Mask selecting the valid bits of the last word.
     fn last_word_mask(num_vars: usize) -> u64 {
         let bits = 1usize << num_vars;
-        if bits % 64 == 0 {
+        if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -329,7 +329,12 @@ impl fmt::Display for TruthTable {
             }
             Ok(())
         } else {
-            write!(f, "truth table over {} variables with {} on-set minterms", self.num_vars, self.count_ones())
+            write!(
+                f,
+                "truth table over {} variables with {} on-set minterms",
+                self.num_vars,
+                self.count_ones()
+            )
         }
     }
 }
@@ -433,7 +438,8 @@ mod tests {
     #[test]
     fn cofactor_and_quantification() {
         // f = x0 x1 + x2
-        let f = &(&TruthTable::variable(3, 0) & &TruthTable::variable(3, 1)) | &TruthTable::variable(3, 2);
+        let f = &(&TruthTable::variable(3, 0) & &TruthTable::variable(3, 1))
+            | &TruthTable::variable(3, 2);
         let f_x2 = f.cofactor(2, true);
         assert!(f_x2.is_one());
         let f_nx2 = f.cofactor(2, false);

@@ -150,10 +150,12 @@ mod tests {
         let (f, _) = fig1();
         let exact = classify_approximation(&f, f.on());
         assert_eq!(exact.kind, ApproxKind::Exact);
-        let under = classify_approximation(&f, &Cover::from_strs(4, &["11-1"]).unwrap().to_truth_table());
+        let under =
+            classify_approximation(&f, &Cover::from_strs(4, &["11-1"]).unwrap().to_truth_table());
         assert_eq!(under.kind, ApproxKind::OneToZero);
         assert_eq!(under.one_to_zero, 1);
-        let both = classify_approximation(&f, &Cover::from_strs(4, &["0---"]).unwrap().to_truth_table());
+        let both =
+            classify_approximation(&f, &Cover::from_strs(4, &["0---"]).unwrap().to_truth_table());
         assert_eq!(both.kind, ApproxKind::Both);
     }
 

@@ -22,7 +22,7 @@ pub enum ApproxStrategy {
     /// initial 2-SPP cover, move the touched off-set minterms to the dc-set
     /// and re-synthesize. The resulting error rate depends on the benchmark.
     FullExpansion,
-    /// The error-rate-bounded strategy of reference [2]: greedy expansion
+    /// The error-rate-bounded strategy of reference \[2\]: greedy expansion
     /// while the error rate stays below the given fraction.
     Bounded {
         /// Maximum fraction of the 2^n minterms that may be complemented.
@@ -164,7 +164,11 @@ impl DecompositionPlan {
     /// # Errors
     ///
     /// Returns an error if `g` is not a valid divisor for the plan's operator.
-    pub fn decompose_with(&self, f: &Isf, g: &TruthTable) -> Result<BiDecomposition, BidecompError> {
+    pub fn decompose_with(
+        &self,
+        f: &Isf,
+        g: &TruthTable,
+    ) -> Result<BiDecomposition, BidecompError> {
         let f_form = self.synthesizer.synthesize(f);
         self.decompose_with_tables(f, f_form, g.clone())
     }
@@ -190,7 +194,8 @@ impl DecompositionPlan {
         } else {
             f.clone()
         };
-        let base_form = if complement_base { self.synthesizer.synthesize(&base) } else { f_form.clone() };
+        let base_form =
+            if complement_base { self.synthesizer.synthesize(&base) } else { f_form.clone() };
         let over = match self.strategy {
             ApproxStrategy::FullExpansion | ApproxStrategy::External => {
                 FullExpansion::new().approximate(&base_form, &base, &self.synthesizer).g_table
@@ -322,8 +327,7 @@ mod tests {
     fn gain_and_error_percent_formulas() {
         let plan = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::FullExpansion);
         let result = plan.decompose(&fig2()).unwrap();
-        let expected_gain =
-            (result.area_f - result.area_bidecomposition) / result.area_f * 100.0;
+        let expected_gain = (result.area_f - result.area_bidecomposition) / result.area_f * 100.0;
         assert!((result.gain_percent() - expected_gain).abs() < 1e-9);
         assert!((result.error_percent() - result.approximation.error_rate * 100.0).abs() < 1e-9);
         assert!(result.divisor_reduction_percent() <= 100.0);

@@ -81,9 +81,10 @@ mod tests {
         for op in BinaryOp::all() {
             // Use a trivially valid divisor for each operator.
             let g = match op {
-                BinaryOp::And | BinaryOp::NonImplication | BinaryOp::Implication | BinaryOp::Nand => {
-                    TruthTable::one(3)
-                }
+                BinaryOp::And
+                | BinaryOp::NonImplication
+                | BinaryOp::Implication
+                | BinaryOp::Nand => TruthTable::one(3),
                 _ => TruthTable::zero(3),
             };
             let report = FlexibilityReport::compute(&f, &g, op);

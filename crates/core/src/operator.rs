@@ -95,12 +95,14 @@ impl BinaryOp {
     /// De Morgan class of the operator (Section II).
     pub fn class(self) -> OperatorClass {
         match self {
-            BinaryOp::And | BinaryOp::ConverseNonImplication | BinaryOp::NonImplication | BinaryOp::Nor => {
-                OperatorClass::AndLike
-            }
-            BinaryOp::Or | BinaryOp::Implication | BinaryOp::ConverseImplication | BinaryOp::Nand => {
-                OperatorClass::OrLike
-            }
+            BinaryOp::And
+            | BinaryOp::ConverseNonImplication
+            | BinaryOp::NonImplication
+            | BinaryOp::Nor => OperatorClass::AndLike,
+            BinaryOp::Or
+            | BinaryOp::Implication
+            | BinaryOp::ConverseImplication
+            | BinaryOp::Nand => OperatorClass::OrLike,
             BinaryOp::Xor | BinaryOp::Xnor => OperatorClass::XorLike,
         }
     }
@@ -110,7 +112,10 @@ impl BinaryOp {
     pub fn divisor_complemented(self) -> bool {
         matches!(
             self,
-            BinaryOp::ConverseNonImplication | BinaryOp::Nor | BinaryOp::Implication | BinaryOp::Nand
+            BinaryOp::ConverseNonImplication
+                | BinaryOp::Nor
+                | BinaryOp::Implication
+                | BinaryOp::Nand
         )
     }
 
@@ -119,7 +124,10 @@ impl BinaryOp {
     pub fn quotient_complemented(self) -> bool {
         matches!(
             self,
-            BinaryOp::NonImplication | BinaryOp::Nor | BinaryOp::ConverseImplication | BinaryOp::Nand
+            BinaryOp::NonImplication
+                | BinaryOp::Nor
+                | BinaryOp::ConverseImplication
+                | BinaryOp::Nand
         )
     }
 
@@ -216,9 +224,11 @@ mod tests {
 
     #[test]
     fn class_partition() {
-        let and_like = BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::AndLike).count();
+        let and_like =
+            BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::AndLike).count();
         let or_like = BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::OrLike).count();
-        let xor_like = BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::XorLike).count();
+        let xor_like =
+            BinaryOp::all().iter().filter(|o| o.class() == OperatorClass::XorLike).count();
         assert_eq!((and_like, or_like, xor_like), (4, 4, 2));
     }
 

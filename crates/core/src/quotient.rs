@@ -56,9 +56,9 @@ pub fn quotient_sets(f: &Isf, g: &TruthTable, op: BinaryOp) -> QuotientSets {
         // NAND (f = g'+h'): h_on = f_off, h_dc = g_off ∪ f_dc.
         BinaryOp::Nand => (f_off.clone(), &g_off | f_dc),
         // XOR: h_on = f_on ⊕ g_on (restricted to the care set), h_dc = f_dc.
-        BinaryOp::Xor => ((&(f_on ^ g_on)).difference(f_dc), f_dc.clone()),
+        BinaryOp::Xor => ((f_on ^ g_on).difference(f_dc), f_dc.clone()),
         // XNOR: h_on = f_off ⊕ g_on (restricted to the care set), h_dc = f_dc.
-        BinaryOp::Xnor => ((&(&f_off ^ g_on)).difference(f_dc), f_dc.clone()),
+        BinaryOp::Xnor => ((&f_off ^ g_on).difference(f_dc), f_dc.clone()),
     };
     // The dc-set always wins over the on-set (for the AND/OR families the two
     // are already disjoint; keeping the subtraction makes the function total).
@@ -289,7 +289,11 @@ mod tests {
         // Spot-check the h_off column of Table II for the AND and OR rows.
         let (f, g) = fig1();
         let and_sets = quotient_sets(&f, &g, BinaryOp::And);
-        assert_eq!(and_sets.off, g.difference(&(f.on() | f.dc())), "AND: h_off ≠ g_on \\ (f_on ∪ f_dc)");
+        assert_eq!(
+            and_sets.off,
+            g.difference(&(f.on() | f.dc())),
+            "AND: h_off ≠ g_on \\ (f_on ∪ f_dc)"
+        );
 
         let g_under = {
             let mut t = f.on().clone();

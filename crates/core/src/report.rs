@@ -75,7 +75,16 @@ impl BenchmarkRow {
     pub fn header() -> String {
         format!(
             "{:<18} {:>8} {:>9} {:>9} {:>8} {:>14} {:>9} {:>9} {:>9} {:>9}",
-            "Benchmark", "Time(s)", "Area f", "Area g", "%Errors", "%(f-g)/f", "AreaAND", "GainAND%", "Area⇏", "Gain⇏%"
+            "Benchmark",
+            "Time(s)",
+            "Area f",
+            "Area g",
+            "%Errors",
+            "%(f-g)/f",
+            "AreaAND",
+            "GainAND%",
+            "Area⇏",
+            "Gain⇏%"
         )
     }
 }
@@ -163,10 +172,18 @@ mod tests {
         let and = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::FullExpansion)
             .decompose(&f)
             .unwrap();
-        let nonimpl = DecompositionPlan::new(BinaryOp::NonImplication, ApproxStrategy::FullExpansion)
-            .decompose(&f)
-            .unwrap();
-        BenchmarkRow::from_decompositions("fig2", 4, 1, Duration::from_millis(5), &[and], &[nonimpl])
+        let nonimpl =
+            DecompositionPlan::new(BinaryOp::NonImplication, ApproxStrategy::FullExpansion)
+                .decompose(&f)
+                .unwrap();
+        BenchmarkRow::from_decompositions(
+            "fig2",
+            4,
+            1,
+            Duration::from_millis(5),
+            &[and],
+            &[nonimpl],
+        )
     }
 
     #[test]

@@ -142,7 +142,11 @@ mod tests {
             let mut on = h.on().clone();
             let spare = h.dc().ones().next().unwrap();
             on.set(spare, true);
-            Isf::new(on, h.dc().difference(&TruthTable::from_fn(4, |m| m == h.dc().ones().next().unwrap()))).unwrap()
+            Isf::new(
+                on,
+                h.dc().difference(&TruthTable::from_fn(4, |m| m == h.dc().ones().next().unwrap())),
+            )
+            .unwrap()
         };
         assert!(verify_decomposition(&f, &g, &extra_on, BinaryOp::And));
         assert!(!verify_maximal_flexibility(&f, &g, &extra_on, BinaryOp::And));

@@ -1,0 +1,86 @@
+//! One pinned unit test per operator class (AND-like, OR-like, XOR-like) on
+//! the Fig. 1 function, asserting both `verify_decomposition` (Lemmas 1–5)
+//! and `verify_maximal_flexibility` (Corollaries 1–4).
+//!
+//! The big pipeline test exercises Table II through the full synthesis flow;
+//! these tests pin the quotient formulas themselves on the paper's own worked
+//! example, so a regression in one operator class is reported by name even if
+//! the pipeline happens to mask it.
+
+use bidecomp::{full_quotient, verify_decomposition, verify_maximal_flexibility};
+use bidecomp::{BinaryOp, OperatorClass};
+use boolfunc::{Cover, Isf, TruthTable};
+
+/// Fig. 1 of the paper: f = x0 x1 x3 + x1 x2 x3 over four variables.
+fn fig1_function() -> Isf {
+    Isf::from_cover_str(4, &["11-1", "-111"], &[]).expect("Fig. 1 cover is well-formed")
+}
+
+/// The divisor used throughout Fig. 1: g = x1 x3, a 0→1 over-approximation
+/// of `f` (it adds the single minterm x0'x1x2'x3).
+fn fig1_divisor() -> TruthTable {
+    Cover::from_strs(4, &["-1-1"]).expect("Fig. 1 divisor is well-formed").to_truth_table()
+}
+
+/// A divisor valid for (`f`, `op`), derived from the Fig. 1 approximation by
+/// the Table II side condition of the operator's class.
+fn divisor_for(f: &Isf, op: BinaryOp) -> TruthTable {
+    let g = fig1_divisor();
+    match op {
+        // g ⊇ on(f): the Fig. 1 over-approximation itself.
+        BinaryOp::And | BinaryOp::NonImplication => g,
+        // g ⊆ on(f): intersect the approximation back with the on-set.
+        BinaryOp::Or | BinaryOp::ConverseImplication => &g & f.on(),
+        // g ⊆ off(f): an under-approximation of the complement.
+        BinaryOp::ConverseNonImplication | BinaryOp::Nor => &!g & &f.off(),
+        // g ⊇ off(f): an over-approximation of the complement.
+        BinaryOp::Implication | BinaryOp::Nand => &f.off() | &g,
+        // Any g works for the XOR-like operators.
+        BinaryOp::Xor | BinaryOp::Xnor => g,
+    }
+}
+
+fn check_class(class: OperatorClass) {
+    let f = fig1_function();
+    let ops: Vec<BinaryOp> = BinaryOp::all().into_iter().filter(|op| op.class() == class).collect();
+    assert!(!ops.is_empty(), "{class:?} has no operators");
+    for op in ops {
+        let g = divisor_for(&f, op);
+        let h = full_quotient(&f, &g, op)
+            .unwrap_or_else(|e| panic!("{op}: divisor should satisfy Table II: {e}"));
+        assert!(verify_decomposition(&f, &g, &h, op), "{op}: Lemma violated on Fig. 1");
+        assert!(verify_maximal_flexibility(&f, &g, &h, op), "{op}: Corollary violated on Fig. 1");
+    }
+}
+
+#[test]
+fn and_like_operators_on_fig1() {
+    check_class(OperatorClass::AndLike);
+}
+
+#[test]
+fn or_like_operators_on_fig1() {
+    check_class(OperatorClass::OrLike);
+}
+
+#[test]
+fn xor_like_operators_on_fig1() {
+    check_class(OperatorClass::XorLike);
+}
+
+/// The headline numbers of Fig. 1, pinned exactly: g = x1 x3 introduces one
+/// error, and the AND quotient leaves all of it to the dc-set (12 of 16
+/// minterms are don't-cares).
+#[test]
+fn fig1_and_quotient_is_the_paper_one() {
+    let f = fig1_function();
+    let g = fig1_divisor();
+    let h = full_quotient(&f, &g, BinaryOp::And).expect("g is a 0→1 over-approximation");
+    // on(h) = on(f): the quotient must keep every on-set minterm alive.
+    assert_eq!(h.on(), f.on(), "on-set of the AND quotient is on(f)");
+    // The single added minterm x0'x1x2'x3 (0b1010 as x3x2x1x0) is forced off.
+    assert_eq!(h.off().count_ones(), 1, "exactly one minterm is forced to 0");
+    assert!(h.off().get(0b1010), "the forced-off minterm is x0'x1x2'x3");
+    // Everything g already maps to 0 is flexible: 16 - 3 - 1 = 12 dc minterms.
+    assert_eq!(h.dc().count_ones(), 12, "maximal flexibility leaves 12 don't-cares");
+}

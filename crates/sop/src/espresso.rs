@@ -171,7 +171,11 @@ mod tests {
     fn options_without_reduce_still_verify() {
         let f = Isf::from_cover_str(4, &["11--", "1-1-", "1--1", "-111", "0000"], &[]).unwrap();
         let on = f.on().to_minterm_cover();
-        let m = espresso_cover(&on, &Cover::empty(4), EspressoOptions { max_iterations: 1, use_reduce: false });
+        let m = espresso_cover(
+            &on,
+            &Cover::empty(4),
+            EspressoOptions { max_iterations: 1, use_reduce: false },
+        );
         assert!(verify_cover(&f, &m));
     }
 }

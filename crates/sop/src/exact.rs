@@ -3,7 +3,7 @@
 //! branch-and-bound search on small instances, greedy otherwise).
 //!
 //! The exact minimizer is used as the reference point in tests (the heuristic
-//! [`crate::espresso`] result should never have fewer literals than the exact
+//! [`crate::espresso()`] result should never have fewer literals than the exact
 //! one claims impossible) and for the tiny worked examples of the paper
 //! (Figs. 1 and 2).
 
@@ -16,10 +16,8 @@ use boolfunc::{Cover, Cube, Isf};
 pub fn prime_implicants(f: &Isf) -> Vec<Cube> {
     let n = f.num_vars();
     let care_on = f.max_completion();
-    let mut current: HashSet<Cube> = care_on
-        .ones()
-        .map(|m| Cube::minterm(n, m).expect("arity checked by the ISF"))
-        .collect();
+    let mut current: HashSet<Cube> =
+        care_on.ones().map(|m| Cube::minterm(n, m).expect("arity checked by the ISF")).collect();
     let mut primes: Vec<Cube> = Vec::new();
 
     while !current.is_empty() {
@@ -66,7 +64,7 @@ fn merge_adjacent(a: &Cube, b: &Cube) -> Option<Cube> {
 /// # Panics
 ///
 /// Panics if the function has more than 16 variables (the exact covering step
-/// is exponential; use [`crate::espresso`] for anything larger).
+/// is exponential; use [`crate::espresso()`] for anything larger).
 ///
 /// ```rust
 /// use boolfunc::Isf;
@@ -114,7 +112,7 @@ pub fn exact_minimize(f: &Isf) -> Cover {
 
     // Remaining covering problem, solved exactly when small, greedily otherwise.
     let extra = if still_uncovered.len() <= 20 && primes.len() <= 24 {
-        branch_and_bound(&covers_of, &still_uncovered, primes.len())
+        branch_and_bound(&covers_of, &still_uncovered)
     } else {
         greedy_cover(&covers_of, &still_uncovered, primes.len())
     };
@@ -145,17 +143,12 @@ fn greedy_cover(covers_of: &[Vec<usize>], uncovered: &[usize], num_primes: usize
     chosen
 }
 
-fn branch_and_bound(
-    covers_of: &[Vec<usize>],
-    uncovered: &[usize],
-    num_primes: usize,
-) -> Vec<usize> {
+fn branch_and_bound(covers_of: &[Vec<usize>], uncovered: &[usize]) -> Vec<usize> {
     let mut best: Option<Vec<usize>> = None;
     let mut current: Vec<usize> = Vec::new();
     fn recurse(
         covers_of: &[Vec<usize>],
         remaining: &[usize],
-        num_primes: usize,
         current: &mut Vec<usize>,
         best: &mut Option<Vec<usize>>,
     ) {
@@ -174,16 +167,13 @@ fn branch_and_bound(
                 continue;
             }
             current.push(p);
-            let next: Vec<usize> = remaining
-                .iter()
-                .copied()
-                .filter(|&mi| !covers_of[mi].contains(&p))
-                .collect();
-            recurse(covers_of, &next, num_primes, current, best);
+            let next: Vec<usize> =
+                remaining.iter().copied().filter(|&mi| !covers_of[mi].contains(&p)).collect();
+            recurse(covers_of, &next, current, best);
             current.pop();
         }
     }
-    recurse(covers_of, uncovered, num_primes, &mut current, &mut best);
+    recurse(covers_of, uncovered, &mut current, &mut best);
     best.unwrap_or_default()
 }
 

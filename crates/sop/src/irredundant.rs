@@ -33,20 +33,13 @@ pub fn irredundant(cover: &Cover, dc: &Cover) -> Cover {
         // Build the cover of everything else that is still kept.
         let rest = Cover::from_cubes(
             n,
-            cubes
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i && keep[*j])
-                .map(|(_, c)| *c),
+            cubes.iter().enumerate().filter(|(j, _)| *j != i && keep[*j]).map(|(_, c)| *c),
         );
         if covers_cube(&rest, dc, &cubes[i]) {
             keep[i] = false;
         }
     }
-    Cover::from_cubes(
-        n,
-        cubes.iter().enumerate().filter(|(j, _)| keep[*j]).map(|(_, c)| *c),
-    )
+    Cover::from_cubes(n, cubes.iter().enumerate().filter(|(j, _)| keep[*j]).map(|(_, c)| *c))
 }
 
 #[cfg(test)]

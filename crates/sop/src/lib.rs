@@ -7,14 +7,14 @@
 //!
 //! The implementation follows the classical structure:
 //!
-//! * [`tautology`] — unate-recursive tautology check (the workhorse predicate);
-//! * [`complement`] — cover complementation by Shannon expansion with unate
+//! * [`mod@tautology`] — unate-recursive tautology check (the workhorse predicate);
+//! * [`mod@complement`] — cover complementation by Shannon expansion with unate
 //!   shortcuts;
-//! * [`expand`] — cube expansion against the off-set;
-//! * [`irredundant`] — removal of cubes covered by the rest of the cover;
-//! * [`reduce`] — cube reduction to escape local minima;
-//! * [`espresso`] — the EXPAND → IRREDUNDANT → REDUCE iteration;
-//! * [`exact`] — Quine–McCluskey prime generation plus unate covering, used as
+//! * [`mod@expand`] — cube expansion against the off-set;
+//! * [`mod@irredundant`] — removal of cubes covered by the rest of the cover;
+//! * [`mod@reduce`] — cube reduction to escape local minima;
+//! * [`mod@espresso`] — the EXPAND → IRREDUNDANT → REDUCE iteration;
+//! * [`mod@exact`] — Quine–McCluskey prime generation plus unate covering, used as
 //!   a reference minimizer for small functions in tests and examples.
 //!
 //! ```rust
@@ -27,6 +27,44 @@
 //! let minimized = espresso(&f);
 //! assert_eq!(minimized.num_cubes(), 1);
 //! assert_eq!(minimized.literal_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Algorithm notes
+//!
+//! Everything is built on the *unate recursive paradigm* of the original
+//! espresso: pick the most binate variable, Shannon-cofactor the cover, solve
+//! the two subproblems, and merge. Unate covers — which the recursion reaches
+//! quickly in practice — admit constant-time answers for tautology and cheap
+//! complements, which is what makes the heuristic loop affordable. Cube
+//! containment, cofactors and consensus are bit-mask operations on
+//! [`boolfunc::Cube`], so a cover of `k` cubes over `n ≤ 64` variables costs
+//! `O(k)` words per operation, independent of `n`.
+//!
+//! Don't-cares are first-class: every entry point takes the dc-set alongside
+//! the on-set (as an [`boolfunc::Isf`] or an explicit dc [`boolfunc::Cover`]),
+//! EXPAND blocks only against the true off-set, and the result satisfies
+//! `on ⊆ F ⊆ on ∪ dc`. This matters for the paper's flow, where the quotient
+//! `h` derives almost all of its area savings from its huge dc-set.
+//!
+//! ## Choosing an entry point
+//!
+//! * [`fn@espresso`] — the default: heuristic, fast, near-minimal. Used by the
+//!   pipeline whenever a cover is needed.
+//! * [`fn@espresso_cover`] — the same loop with explicit on/dc covers and
+//!   [`EspressoOptions`] (iteration budget, REDUCE on/off).
+//! * [`fn@exact_minimize`] — Quine–McCluskey primes plus branch-and-bound unate
+//!   covering; exponential, but exact. The reference oracle in tests.
+//!
+//! ```rust
+//! use boolfunc::Isf;
+//! use sop::{espresso, exact_minimize};
+//!
+//! # fn main() -> Result<(), boolfunc::BoolFuncError> {
+//! // On small functions the heuristic should match the exact minimum.
+//! let f = Isf::from_cover_str(3, &["11-", "1-1", "-11"], &[])?;
+//! assert_eq!(espresso(&f).num_cubes(), exact_minimize(&f).num_cubes());
 //! # Ok(())
 //! # }
 //! ```

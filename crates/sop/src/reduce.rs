@@ -35,13 +35,8 @@ pub fn reduce(cover: &Cover, dc: &Cover) -> Cover {
         let cube = cubes[i];
         // Everything else: the cubes already reduced plus the not-yet-processed
         // ones plus the dc-set.
-        let mut rest = Cover::from_cubes(
-            n,
-            result
-                .iter()
-                .copied()
-                .chain(cubes.iter().skip(i + 1).copied()),
-        );
+        let mut rest =
+            Cover::from_cubes(n, result.iter().copied().chain(cubes.iter().skip(i + 1).copied()));
         rest = rest.union(dc);
         let q = rest.cofactor_cube(&cube);
         if is_tautology(&q) {

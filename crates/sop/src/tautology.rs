@@ -72,7 +72,7 @@ pub(crate) fn most_binate_variable(cover: &Cover) -> Option<usize> {
     for var in 0..n {
         if pos[var] > 0 && neg[var] > 0 {
             let score = pos[var] + neg[var];
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((var, score));
             }
         }

@@ -1,14 +1,14 @@
 //! 0→1 approximation of 2-SPP forms by pseudoproduct expansion.
 //!
 //! This is the approximation used in Section IV of the paper (its reference
-//! [2]): expanding a pseudoproduct — removing one of its factors — enlarges
+//! \[2\]): expanding a pseudoproduct — removing one of its factors — enlarges
 //! the covered set, so the only errors it can introduce are 0→1
 //! complementations, which is exactly the kind of divisor the AND and `⇏`
 //! bi-decompositions need.
 //!
 //! Two strategies are provided:
 //!
-//! * [`BoundedExpansion`] — the error-rate-bounded greedy selection of [2]:
+//! * [`BoundedExpansion`] — the error-rate-bounded greedy selection of \[2\]:
 //!   each candidate expansion is scored by its gain (saved literals and
 //!   swallowed pseudoproducts) and its cost (number of 0→1 complementations),
 //!   and expansions are applied while the accumulated error rate stays within
@@ -52,7 +52,7 @@ impl ApproximationOutcome {
     }
 }
 
-/// Error-rate-bounded greedy pseudoproduct expansion (strategy of [2]).
+/// Error-rate-bounded greedy pseudoproduct expansion (strategy of \[2\]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundedExpansion {
     /// Maximum fraction of the 2^n minterms that may be complemented 0→1.
@@ -177,8 +177,14 @@ mod tests {
         let form = SppForm::new(
             4,
             vec![
-                Pseudoproduct::new(4, vec![XorFactor::literal(0, true), XorFactor::xor(2, 3, false)]),
-                Pseudoproduct::new(4, vec![XorFactor::literal(1, true), XorFactor::xor(2, 3, true)]),
+                Pseudoproduct::new(
+                    4,
+                    vec![XorFactor::literal(0, true), XorFactor::xor(2, 3, false)],
+                ),
+                Pseudoproduct::new(
+                    4,
+                    vec![XorFactor::literal(1, true), XorFactor::xor(2, 3, true)],
+                ),
             ],
         );
         (f, form)
@@ -203,7 +209,12 @@ mod tests {
         let out = BoundedExpansion::new(0.25).approximate(&form, &f);
         assert!(out.is_over_approximation(&f));
         assert!(out.errors > 0);
-        assert!(out.g.literal_count() <= 3, "g = {} with {} literals", out.g, out.g.literal_count());
+        assert!(
+            out.g.literal_count() <= 3,
+            "g = {} with {} literals",
+            out.g,
+            out.g.literal_count()
+        );
         assert!(out.error_rate <= 0.25 + 1e-9);
     }
 
@@ -212,7 +223,11 @@ mod tests {
         let (f, form) = fig2();
         for budget in [0.05, 0.1, 0.2, 0.5] {
             let out = BoundedExpansion::new(budget).approximate(&form, &f);
-            assert!(out.error_rate <= budget + 1e-9, "budget {budget} exceeded: {}", out.error_rate);
+            assert!(
+                out.error_rate <= budget + 1e-9,
+                "budget {budget} exceeded: {}",
+                out.error_rate
+            );
             assert!(out.is_over_approximation(&f));
         }
     }

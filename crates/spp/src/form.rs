@@ -181,8 +181,14 @@ mod tests {
         SppForm::new(
             4,
             vec![
-                Pseudoproduct::new(4, vec![XorFactor::literal(0, true), XorFactor::xor(2, 3, false)]),
-                Pseudoproduct::new(4, vec![XorFactor::literal(1, true), XorFactor::xor(2, 3, true)]),
+                Pseudoproduct::new(
+                    4,
+                    vec![XorFactor::literal(0, true), XorFactor::xor(2, 3, false)],
+                ),
+                Pseudoproduct::new(
+                    4,
+                    vec![XorFactor::literal(1, true), XorFactor::xor(2, 3, true)],
+                ),
             ],
         )
     }

@@ -101,7 +101,8 @@ impl Pseudoproduct {
         let mut cube = Cube::full(self.num_vars).ok()?;
         for factor in &self.factors {
             if let XorFactor::Literal { var, positive } = *factor {
-                cube = cube.with_value(var, if positive { CubeValue::One } else { CubeValue::Zero });
+                cube =
+                    cube.with_value(var, if positive { CubeValue::One } else { CubeValue::Zero });
             }
         }
         Some(cube)
@@ -242,7 +243,8 @@ mod tests {
     #[test]
     fn minterm_count_with_shared_variables() {
         // x0 · (x0 ⊕ x1): requires x0=1 and x1=0 -> 2 minterms of 8.
-        let pp = Pseudoproduct::new(3, vec![XorFactor::literal(0, true), XorFactor::xor(0, 1, false)]);
+        let pp =
+            Pseudoproduct::new(3, vec![XorFactor::literal(0, true), XorFactor::xor(0, 1, false)]);
         assert_eq!(pp.minterm_count(), 2);
     }
 

@@ -164,7 +164,7 @@ pub(crate) fn try_merge(p: &Pseudoproduct, q: &Pseudoproduct) -> Option<Pseudopr
             if pa != qa || pb != qb {
                 return None;
             }
-            if va == !wa && vb == !wb {
+            if va != wa && vb != wb {
                 // Same-polarity pair ⇒ XNOR, opposite-polarity pair ⇒ XOR.
                 let complemented = va == vb;
                 let factor = XorFactor::xor(pa, pb, complemented);
@@ -205,8 +205,10 @@ mod tests {
     #[test]
     fn cube_merge_rule() {
         let n = 3;
-        let p = Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, true)]);
-        let q = Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, false)]);
+        let p =
+            Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, true)]);
+        let q =
+            Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, false)]);
         let m = try_merge(&p, &q).unwrap();
         assert_eq!(m.factors(), &[XorFactor::literal(0, true)]);
     }
@@ -217,11 +219,19 @@ mod tests {
         // x0 x2 x3' + x0 x2' x3 = x0 (x2 ⊕ x3)
         let p = Pseudoproduct::new(
             n,
-            vec![XorFactor::literal(0, true), XorFactor::literal(2, true), XorFactor::literal(3, false)],
+            vec![
+                XorFactor::literal(0, true),
+                XorFactor::literal(2, true),
+                XorFactor::literal(3, false),
+            ],
         );
         let q = Pseudoproduct::new(
             n,
-            vec![XorFactor::literal(0, true), XorFactor::literal(2, false), XorFactor::literal(3, true)],
+            vec![
+                XorFactor::literal(0, true),
+                XorFactor::literal(2, false),
+                XorFactor::literal(3, true),
+            ],
         );
         let m = try_merge(&p, &q).unwrap();
         assert!(m.factors().contains(&XorFactor::xor(2, 3, false)));
@@ -235,11 +245,19 @@ mod tests {
         // x1 x2 x3 + x1 x2' x3' = x1 (x2 ⊙ x3)
         let p = Pseudoproduct::new(
             n,
-            vec![XorFactor::literal(1, true), XorFactor::literal(2, true), XorFactor::literal(3, true)],
+            vec![
+                XorFactor::literal(1, true),
+                XorFactor::literal(2, true),
+                XorFactor::literal(3, true),
+            ],
         );
         let q = Pseudoproduct::new(
             n,
-            vec![XorFactor::literal(1, true), XorFactor::literal(2, false), XorFactor::literal(3, false)],
+            vec![
+                XorFactor::literal(1, true),
+                XorFactor::literal(2, false),
+                XorFactor::literal(3, false),
+            ],
         );
         let m = try_merge(&p, &q).unwrap();
         assert!(m.factors().contains(&XorFactor::xor(2, 3, true)));
@@ -253,7 +271,8 @@ mod tests {
         let p = Pseudoproduct::new(n, vec![XorFactor::literal(0, true)]);
         let q = Pseudoproduct::new(n, vec![XorFactor::literal(1, true)]);
         assert!(try_merge(&p, &q).is_none());
-        let r = Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, true)]);
+        let r =
+            Pseudoproduct::new(n, vec![XorFactor::literal(0, true), XorFactor::literal(1, true)]);
         assert!(try_merge(&p, &r).is_none());
     }
 

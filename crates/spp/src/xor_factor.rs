@@ -6,7 +6,7 @@ use boolfunc::minterm_bit;
 /// exactly two variables (possibly complemented, i.e. an XNOR).
 ///
 /// 2-SPP forms restrict XOR factors to at most two literals; this is the
-/// `k = 2` restriction of the paper's reference [5] that keeps synthesis
+/// `k = 2` restriction of the paper's reference \[5\] that keeps synthesis
 /// practical while still capturing the XOR-shaped regularities SOP forms
 /// cannot express compactly.
 ///
@@ -94,7 +94,9 @@ impl XorFactor {
     pub fn complement(&self) -> XorFactor {
         match *self {
             XorFactor::Literal { var, positive } => XorFactor::Literal { var, positive: !positive },
-            XorFactor::Xor { a, b, complemented } => XorFactor::Xor { a, b, complemented: !complemented },
+            XorFactor::Xor { a, b, complemented } => {
+                XorFactor::Xor { a, b, complemented: !complemented }
+            }
         }
     }
 }

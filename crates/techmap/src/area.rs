@@ -110,7 +110,12 @@ impl AreaModel {
     /// # Panics
     ///
     /// Panics if the two forms have a different number of variables.
-    pub fn bidecomposition_mapping(&self, g: &SppForm, h: &SppForm, op: CombineOp) -> MappingResult {
+    pub fn bidecomposition_mapping(
+        &self,
+        g: &SppForm,
+        h: &SppForm,
+        op: CombineOp,
+    ) -> MappingResult {
         assert_eq!(g.num_vars(), h.num_vars(), "divisor/quotient arity mismatch");
         let mut net = Network::new(g.num_vars());
         let g_root = net.add_spp(g);

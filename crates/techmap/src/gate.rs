@@ -29,7 +29,12 @@ impl GateKind {
     pub fn num_inputs(self) -> usize {
         match self {
             GateKind::Inv => 1,
-            GateKind::Nand2 | GateKind::Nor2 | GateKind::And2 | GateKind::Or2 | GateKind::Xor2 | GateKind::Xnor2 => 2,
+            GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
             GateKind::Nand3 => 3,
             GateKind::Nand4 => 4,
         }

@@ -31,6 +31,40 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Mapping flow details
+//!
+//! Decomposition ([`decompose`]) rewrites every node into inverters and
+//! two-input NANDs — wide ANDs/ORs become balanced NAND trees, XORs become
+//! the standard four-NAND pattern — so the subject graph is normalized
+//! independently of how the [`Network`] was built. The mapper then walks the
+//! subject graph bottom-up; at each node it tries every library gate whose
+//! pattern tree matches there (patterns up to AOI/OAI size are enumerated
+//! from the gate's NAND/INV decomposition) and keeps the cheapest cover of
+//! the subtree. On trees this dynamic program is optimal for the given
+//! library; fanout nodes are handled by the usual tree-partitioning
+//! heuristic, so multi-output networks are mapped tree by tree.
+//!
+//! [`AreaModel`] packages the three mappings the paper's tables need —
+//! `cover_area` for SOP forms, `spp_area` for 2-SPP forms (XOR factors map
+//! to the library's XOR2/XNOR2 gates), and `bidecomposition_area` for
+//! `g op h` with the top gate accounted ([`CombineOp`]) — so callers compare
+//! areas without touching [`Network`] construction themselves.
+//!
+//! ```rust
+//! use techmap::{GateLibrary, Mapper, Network};
+//!
+//! // f = (x0 ∧ x1) ∨ x2, built and mapped by hand.
+//! let mut net = Network::new(3);
+//! let x0 = net.input(0);
+//! let x1 = net.input(1);
+//! let x2 = net.input(2);
+//! let a = net.and(x0, x1);
+//! let f = net.or(a, x2);
+//! net.add_output(f);
+//! let result = Mapper::new(GateLibrary::mcnc()).map(&net);
+//! assert!(result.area > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -99,10 +99,7 @@ impl Network {
     /// Number of logic nodes (everything except inputs and constants) — a
     /// technology-independent size measure.
     pub fn gate_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|k| !matches!(k, NodeKind::Input(_) | NodeKind::Const(_)))
-            .count()
+        self.nodes.iter().filter(|k| !matches!(k, NodeKind::Input(_) | NodeKind::Const(_))).count()
     }
 
     fn intern(&mut self, kind: NodeKind) -> NodeId {

@@ -2,6 +2,9 @@
 //! divisor for a benchmark output, compute the full quotient, and verify both
 //! the lemma (correctness) and the corollary (maximal flexibility).
 //!
+//! Paper reference: Tables I and II in full — all ten non-degenerate binary
+//! operators, their divisor requirements, and their quotient formulas.
+//!
 //! Run with `cargo run --example all_operators`.
 
 use bidecomposition::prelude::*;
@@ -15,7 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "op", "divisor requirement", "|h_on|", "|h_dc|", "|h_off|", "verified"
     );
     for op in BinaryOp::all() {
-        let plan = DecompositionPlan::new(op, bidecomp::ApproxStrategy::Bounded { max_error_rate: 0.1 });
+        let plan =
+            DecompositionPlan::new(op, bidecomp::ApproxStrategy::Bounded { max_error_rate: 0.1 });
         let result = plan.decompose(f)?;
         let ok = bidecomp::verify_maximal_flexibility(f, &result.g_table, &result.h, op);
         println!(
@@ -29,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(result.verified && ok);
     }
-    println!("\nEvery operator of Table I admits a full quotient with maximal flexibility (Table II).");
+    println!(
+        "\nEvery operator of Table I admits a full quotient with maximal flexibility (Table II)."
+    );
     Ok(())
 }
 

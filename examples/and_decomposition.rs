@@ -2,6 +2,9 @@
 //! over-approximation, read the quotient off Table II, and compare literal
 //! counts of the direct SOP and of the bi-decomposed form.
 //!
+//! Paper reference: Fig. 1 (the worked AND decomposition) together with
+//! Lemma 1 and Corollary 1 — the AND row of Table II.
+//!
 //! Run with `cargo run --example and_decomposition`.
 
 use bidecomposition::prelude::*;

@@ -2,6 +2,9 @@
 //! in which logic is shifted from the divisor to the quotient, from
 //! `g_0 = f, h_0 = 1` to `g_n = 1, h_n = f`.
 //!
+//! Paper reference: the decomposition-sequence discussion of Section I
+//! (Introduction), realised with the Section III quotient machinery.
+//!
 //! Run with `cargo run --example decomposition_sequence`.
 
 use bidecomposition::prelude::*;
@@ -12,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budgets = bidecomp::sequence::default_budgets();
     let sequence = bidecomp::decomposition_sequence(&f, BinaryOp::And, &budgets)?;
 
-    println!("{:>8} {:>8} {:>10} {:>10} {:>10}", "budget%", "errors", "lits(g)", "lits(h)", "lits(g·h)");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10}",
+        "budget%", "errors", "lits(g)", "lits(h)", "lits(g·h)"
+    );
     for (budget, d) in budgets.iter().zip(&sequence) {
         assert!(d.verified);
         println!(

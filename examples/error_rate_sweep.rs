@@ -3,6 +3,9 @@
 //! more errors, so the overall bi-decomposed area bottoms out somewhere in
 //! between.
 //!
+//! Paper reference: the low- versus high-error-rate comparison between
+//! Table III and Table IV, swept continuously on one benchmark output.
+//!
 //! Run with `cargo run --example error_rate_sweep`.
 
 use bidecomposition::prelude::*;

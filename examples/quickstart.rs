@@ -1,5 +1,9 @@
 //! Quickstart: compute the full quotient of a bi-decomposition and check it.
 //!
+//! Paper reference: Fig. 1 and the AND row of Table II — the worked example
+//! the paper opens with, run through the whole pipeline (quotient, SOP and
+//! 2-SPP re-synthesis, mapped-area gain).
+//!
 //! Run with `cargo run --example quickstart`.
 
 use bidecomposition::prelude::*;

@@ -2,6 +2,9 @@
 //! XOR-AND-OR form, over-approximate it by pseudoproduct expansion, and let
 //! the quotient correct the introduced errors.
 //!
+//! Paper reference: Fig. 2 and the Section IV flow (2-SPP synthesis,
+//! pseudoproduct expansion, quotient correction).
+//!
 //! Run with `cargo run --example spp_flow`.
 
 use bidecomposition::prelude::*;

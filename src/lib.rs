@@ -27,10 +27,10 @@
 //! use bidecomposition::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // f = x1 x2 x4 + x2 x3 x4 over 4 variables (Fig. 1 of the paper).
+//! // Fig. 1 of the paper: f = x0 x1 x3 + x1 x2 x3 over 4 variables.
 //! let f = Isf::from_cover_str(4, &["11-1", "-111"], &[])?;
-//! // g = x2 x4: a 0->1 over-approximation of f.
-//! let g = TruthTable::from_cubes(4, &["-1-1".parse()?]);
+//! // g = x1 x3: a 0->1 over-approximation of f.
+//! let g = Cover::from_strs(4, &["-1-1"])?.to_truth_table();
 //! let h = full_quotient(&f, &g, BinaryOp::And)?;
 //! assert!(verify_decomposition(&f, &g, &h, BinaryOp::And));
 //! # Ok(())

@@ -2,8 +2,8 @@
 //! approximation → full quotient → re-synthesis → technology mapping,
 //! exercised end-to-end on the smoke benchmark suite.
 
-use bidecomposition::prelude::*;
 use bidecomp::ApproxStrategy;
+use bidecomposition::prelude::*;
 
 #[test]
 fn full_pipeline_on_the_smoke_suite_produces_verified_decompositions() {
@@ -11,9 +11,8 @@ fn full_pipeline_on_the_smoke_suite_produces_verified_decompositions() {
         for (o, f) in instance.outputs().iter().enumerate() {
             for op in BinaryOp::experimental() {
                 let plan = DecompositionPlan::new(op, ApproxStrategy::FullExpansion);
-                let d = plan
-                    .decompose(f)
-                    .unwrap_or_else(|e| panic!("{instance} output {o} {op}: {e}"));
+                let d =
+                    plan.decompose(f).unwrap_or_else(|e| panic!("{instance} output {o} {op}: {e}"));
                 assert!(d.verified, "{instance} output {o} {op}: verification failed");
                 assert!(d.approximation.one_to_zero == 0, "{op} requires a 0→1 approximation");
                 assert!(d.area_f.is_finite() && d.area_bidecomposition.is_finite());
@@ -42,7 +41,10 @@ fn bounded_strategy_never_exceeds_its_budget_on_benchmarks() {
     let budget = 0.05;
     let instance = benchmarks::arithmetic::z4();
     for f in instance.outputs() {
-        let plan = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::Bounded { max_error_rate: budget });
+        let plan = DecompositionPlan::new(
+            BinaryOp::And,
+            ApproxStrategy::Bounded { max_error_rate: budget },
+        );
         let d = plan.decompose(f).expect("AND accepts any 0→1 divisor");
         assert!(d.approximation.error_rate <= budget + 1e-9);
         assert!(d.verified);
@@ -55,12 +57,12 @@ fn quotient_flexibility_grows_with_the_error_rate() {
     // dc-set of the quotient for AND decompositions.
     let instance = benchmarks::arithmetic::adr4();
     let f = &instance.outputs()[0];
-    let tight = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::Bounded { max_error_rate: 0.0 })
-        .decompose(f)
-        .unwrap();
-    let loose = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::FullExpansion)
-        .decompose(f)
-        .unwrap();
+    let tight =
+        DecompositionPlan::new(BinaryOp::And, ApproxStrategy::Bounded { max_error_rate: 0.0 })
+            .decompose(f)
+            .unwrap();
+    let loose =
+        DecompositionPlan::new(BinaryOp::And, ApproxStrategy::FullExpansion).decompose(f).unwrap();
     assert!(loose.approximation.zero_to_one >= tight.approximation.zero_to_one);
     assert_eq!(tight.h.off().count_ones(), tight.approximation.zero_to_one);
     assert_eq!(loose.h.off().count_ones(), loose.approximation.zero_to_one);
@@ -74,10 +76,7 @@ fn bdd_and_dense_backends_agree_on_benchmark_outputs() {
     let g = {
         // Over-approximate by dropping the most-significant input from an SOP.
         let cover = sop::espresso(f);
-        let expanded: Vec<_> = cover
-            .iter()
-            .map(|c| c.cofactor(0, true).unwrap_or(*c))
-            .collect();
+        let expanded: Vec<_> = cover.iter().map(|c| c.cofactor(0, true).unwrap_or(*c)).collect();
         boolfunc::Cover::from_cubes(7, expanded).to_truth_table() | f.on().clone()
     };
     let dense = bidecomp::quotient_sets(f, &g, BinaryOp::And);

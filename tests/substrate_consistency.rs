@@ -9,10 +9,9 @@ fn pseudo_random_isf(num_vars: usize, seed: u64) -> Isf {
     let on = TruthTable::from_fn(num_vars, |m| {
         m.wrapping_mul(0x9E37_79B9).wrapping_add(seed.wrapping_mul(0x85EB_CA6B)) % 7 < 3
     });
-    let dc = TruthTable::from_fn(num_vars, |m| {
-        m.wrapping_mul(0xC2B2_AE35).wrapping_add(seed) % 11 == 0
-    })
-    .difference(&on);
+    let dc =
+        TruthTable::from_fn(num_vars, |m| m.wrapping_mul(0xC2B2_AE35).wrapping_add(seed) % 11 == 0)
+            .difference(&on);
     Isf::new(on, dc).expect("disjoint by construction")
 }
 

@@ -1,32 +1,31 @@
-//! Property-based tests (proptest) for the core invariants of Table II:
-//! for every operator and every valid divisor, the full quotient realizes `f`
-//! under any completion, is maximally flexible, and its characteristic sets
-//! partition the minterm space.
+//! Property-style tests for the core invariants of Table II: for every
+//! operator and every valid divisor, the full quotient realizes `f` under any
+//! completion, is maximally flexible, and its characteristic sets partition
+//! the minterm space.
+//!
+//! The random cases are driven by the workspace's seeded deterministic
+//! generator ([`benchmarks::DetRng`]) instead of `proptest`, so the build has
+//! no third-party dependencies and every run exercises the same 256 cases per
+//! property.
 
-use proptest::prelude::*;
-
-use bidecomposition::prelude::*;
+use benchmarks::DetRng;
 use bidecomp::{quotient_sets, verify_maximal_flexibility};
+use bidecomposition::prelude::*;
 use boolfunc::TruthTable;
 
 const NUM_VARS: usize = 5;
 const SPACE: u64 = 1 << NUM_VARS;
+const CASES: usize = 256;
 
 fn truth_table_from_mask(mask: u64) -> TruthTable {
     TruthTable::from_fn(NUM_VARS, |m| mask >> m & 1 == 1)
 }
 
 /// An arbitrary incompletely specified function over `NUM_VARS` variables.
-fn arb_isf() -> impl Strategy<Value = Isf> {
-    (0u64..(1 << SPACE), 0u64..(1 << SPACE)).prop_map(|(on_mask, dc_mask)| {
-        let on = truth_table_from_mask(on_mask);
-        let dc = truth_table_from_mask(dc_mask).difference(&on);
-        Isf::new(on, dc).expect("made disjoint above")
-    })
-}
-
-fn arb_op() -> impl Strategy<Value = BinaryOp> {
-    prop::sample::select(BinaryOp::all().to_vec())
+fn random_isf(rng: &mut DetRng) -> Isf {
+    let on = truth_table_from_mask(rng.gen_mask(SPACE as u32));
+    let dc = truth_table_from_mask(rng.gen_mask(SPACE as u32)).difference(&on);
+    Isf::new(on, dc).expect("made disjoint above")
 }
 
 /// Derives a valid divisor for (`f`, `op`) from a random mask by projecting it
@@ -42,68 +41,67 @@ fn make_valid_divisor(f: &Isf, op: BinaryOp, mask: u64) -> TruthTable {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn quotient_realizes_f_and_is_maximally_flexible(
-        f in arb_isf(),
-        op in arb_op(),
-        mask in 0u64..(1 << SPACE),
-    ) {
-        let g = make_valid_divisor(&f, op, mask);
-        let h = full_quotient(&f, &g, op).expect("divisor satisfies the side condition by construction");
-        prop_assert!(verify_decomposition(&f, &g, &h, op));
-        prop_assert!(verify_maximal_flexibility(&f, &g, &h, op));
+#[test]
+fn quotient_realizes_f_and_is_maximally_flexible() {
+    let mut rng = DetRng::seed_from_u64(0x7AB1E2);
+    for _ in 0..CASES {
+        let f = random_isf(&mut rng);
+        for op in BinaryOp::all() {
+            let g = make_valid_divisor(&f, op, rng.gen_mask(SPACE as u32));
+            let h = full_quotient(&f, &g, op)
+                .expect("divisor satisfies the side condition by construction");
+            assert!(verify_decomposition(&f, &g, &h, op), "{op}: Lemma violated");
+            assert!(verify_maximal_flexibility(&f, &g, &h, op), "{op}: Corollary violated");
+        }
     }
+}
 
-    #[test]
-    fn quotient_sets_partition_the_space(
-        f in arb_isf(),
-        op in arb_op(),
-        mask in 0u64..(1 << SPACE),
-    ) {
-        let g = make_valid_divisor(&f, op, mask);
-        let sets = quotient_sets(&f, &g, op);
-        prop_assert!((&sets.on & &sets.dc).is_zero());
-        prop_assert!((&sets.on & &sets.off).is_zero());
-        prop_assert!((&sets.dc & &sets.off).is_zero());
-        prop_assert_eq!(
-            sets.on.count_ones() + sets.dc.count_ones() + sets.off.count_ones(),
-            SPACE
-        );
-        // The quotient's dc-set always contains the original dc-set.
-        prop_assert!(f.dc().is_subset_of(&sets.dc));
+#[test]
+fn quotient_sets_partition_the_space() {
+    let mut rng = DetRng::seed_from_u64(0x9A2717);
+    for _ in 0..CASES {
+        let f = random_isf(&mut rng);
+        for op in BinaryOp::all() {
+            let g = make_valid_divisor(&f, op, rng.gen_mask(SPACE as u32));
+            let sets = quotient_sets(&f, &g, op);
+            assert!((&sets.on & &sets.dc).is_zero());
+            assert!((&sets.on & &sets.off).is_zero());
+            assert!((&sets.dc & &sets.off).is_zero());
+            assert_eq!(sets.on.count_ones() + sets.dc.count_ones() + sets.off.count_ones(), SPACE);
+            // The quotient's dc-set always contains the original dc-set.
+            assert!(f.dc().is_subset_of(&sets.dc));
+        }
     }
+}
 
-    #[test]
-    fn better_divisors_never_reduce_flexibility_for_and(
-        f in arb_isf(),
-        mask in 0u64..(1 << SPACE),
-        extra in 0u64..(1 << SPACE),
-    ) {
+#[test]
+fn better_divisors_never_reduce_flexibility_for_and() {
+    let mut rng = DetRng::seed_from_u64(0xF1E);
+    for _ in 0..CASES {
         // g2 ⊇ g1 ⊇ f_on: a coarser over-approximation can only move minterms
         // from the quotient's dc-set to its off-set.
-        let g1 = f.on() | &truth_table_from_mask(mask);
-        let g2 = &g1 | &truth_table_from_mask(extra);
+        let f = random_isf(&mut rng);
+        let g1 = f.on() | &truth_table_from_mask(rng.gen_mask(SPACE as u32));
+        let g2 = &g1 | &truth_table_from_mask(rng.gen_mask(SPACE as u32));
         let h1 = quotient_sets(&f, &g1, BinaryOp::And);
         let h2 = quotient_sets(&f, &g2, BinaryOp::And);
-        prop_assert!(h2.dc.is_subset_of(&h1.dc));
-        prop_assert!(h1.off.is_subset_of(&h2.off));
-        prop_assert_eq!(&h1.on, &h2.on);
+        assert!(h2.dc.is_subset_of(&h1.dc));
+        assert!(h1.off.is_subset_of(&h2.off));
+        assert_eq!(&h1.on, &h2.on);
     }
+}
 
-    #[test]
-    fn xor_quotient_composes_back_exactly(
-        f in arb_isf(),
-        mask in 0u64..(1 << SPACE),
-    ) {
+#[test]
+fn xor_quotient_composes_back_exactly() {
+    let mut rng = DetRng::seed_from_u64(0x0C0FFEE);
+    for _ in 0..CASES {
         // For XOR the quotient is the error function: g ⊕ h_on agrees with f
         // on every care minterm.
-        let g = truth_table_from_mask(mask);
+        let f = random_isf(&mut rng);
+        let g = truth_table_from_mask(rng.gen_mask(SPACE as u32));
         let h = full_quotient(&f, &g, BinaryOp::Xor).expect("any divisor is valid for XOR");
         let recomposed = &g ^ h.on();
         let care = f.care();
-        prop_assert_eq!(&recomposed & &care, f.on() & &care);
+        assert_eq!(&recomposed & &care, f.on() & &care);
     }
 }
