@@ -4,7 +4,10 @@
 use bidecomp_bench::{criterion_group, criterion_main, Criterion};
 
 use bdd::BddManager;
-use bidecomp::{full_quotient_bdd, quotient_sets, BinaryOp};
+use bidecomp::{
+    full_quotient_bdd, quotient_sets, verify_decomposition_sets, BinaryOp, QuotientScratch,
+    QuotientSets,
+};
 use boolfunc::{Isf, TruthTable};
 
 fn test_function(num_vars: usize) -> (Isf, TruthTable) {
@@ -42,6 +45,28 @@ fn bench_quotient(c: &mut Criterion) {
                 for op in [BinaryOp::And, BinaryOp::NonImplication, BinaryOp::Xor] {
                     std::hint::black_box(quotient_sets(&f, &g, op));
                 }
+            });
+        });
+        // The engine hot path: scratch tables reused across calls, so the
+        // steady state allocates nothing. Compare against `dense/…` (one
+        // fresh scratch per call) to see the allocation overhead.
+        let mut scratch = QuotientScratch::new(num_vars);
+        let mut sets = QuotientSets::zero(num_vars);
+        group.bench_function(format!("dense-scratch/{num_vars}vars"), |b| {
+            b.iter(|| {
+                scratch.quotient_sets_into(&f, &g, BinaryOp::And, &mut sets);
+                std::hint::black_box(sets.on.count_ones())
+            });
+        });
+        group.bench_function(format!("scratch-all-ops-verified/{num_vars}vars"), |b| {
+            b.iter(|| {
+                let mut verified = 0u32;
+                for op in BinaryOp::all() {
+                    scratch.quotient_sets_into(&f, &g, op, &mut sets);
+                    verified +=
+                        u32::from(verify_decomposition_sets(&f, &g, &sets.on, &sets.dc, op));
+                }
+                std::hint::black_box(verified)
             });
         });
     }

@@ -1,0 +1,177 @@
+//! The CI perf-regression gate: compares a fresh `BENCH_sweep.json` against
+//! the committed `BENCH_baseline.json` and exits non-zero on regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bidecomp-bench --release --bin regress -- \
+//!     [--baseline PATH] [--current PATH] [--tolerance F]
+//! ```
+//!
+//! Two classes of checks:
+//!
+//! * **Semantic (exact):** suite name, job count, and the per-operator
+//!   `jobs` / `verified` / `maximal` / `on_minterms` / `dc_minterms` /
+//!   `divisor_errors` aggregates must match the baseline bit for bit — they
+//!   are deterministic (seed-stable divisors, fixed suites), so any drift is
+//!   a real behavior change.
+//! * **Performance (tolerance band):** the sweep's `speedup` field is the
+//!   ratio of the sequential/allocating reference path to the batch engine
+//!   *with both arms at one thread, measured in the same process on the same
+//!   machine*, which makes it comparable across hosts — it neither depends
+//!   on absolute machine speed (same-process ratio) nor on core count
+//!   (single-threaded arms). The gate fails when
+//!   `current.speedup < max(1.0, baseline.speedup × (1 − tolerance))`;
+//!   the default tolerance of 0.75 absorbs noisy shared CI runners while
+//!   still catching the hot path regressing back toward the allocating
+//!   implementation. Raw wall times and thread counts differ between
+//!   machines and are only reported, never compared.
+
+use std::process::ExitCode;
+
+use bidecomp_bench::cli::ArgCursor;
+use bidecomp_bench::json::Value;
+
+struct Args {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+/// Exits with code 2 on any unknown flag, missing value or unparsable
+/// tolerance (via [`ArgCursor`]): a typo must not silently run the CI gate
+/// with defaults (e.g. a looser tolerance band or the wrong baseline path).
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: "BENCH_baseline.json".to_string(),
+        current: "BENCH_sweep.json".to_string(),
+        tolerance: 0.75,
+    };
+    let mut argv = ArgCursor::from_env("regress");
+    while let Some(flag) = argv.next_flag() {
+        match flag.as_str() {
+            "--baseline" => args.baseline = argv.value(&flag),
+            "--current" => args.current = argv.value(&flag),
+            "--tolerance" => args.tolerance = argv.float(&flag),
+            other => argv.fail(format_args!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Extracts a named u64 field, with a readable error.
+fn u64_field(doc: &Value, key: &str, path: &str) -> Result<u64, String> {
+    doc.get(key).and_then(Value::as_u64).ok_or_else(|| format!("{path}: missing field '{key}'"))
+}
+
+fn f64_field(doc: &Value, key: &str, path: &str) -> Result<f64, String> {
+    doc.get(key).and_then(Value::as_f64).ok_or_else(|| format!("{path}: missing field '{key}'"))
+}
+
+fn run(args: &Args) -> Result<Vec<String>, String> {
+    let baseline = load(&args.baseline)?;
+    let current = load(&args.current)?;
+    let mut failures = Vec::new();
+
+    for (doc, path) in [(&baseline, &args.baseline), (&current, &args.current)] {
+        if doc.get("schema").and_then(Value::as_str) != Some("bidecomp-sweep-v1") {
+            return Err(format!("{path}: not a bidecomp-sweep-v1 document"));
+        }
+    }
+
+    // --- Semantic comparison (exact) ---
+    let base_suite = baseline.get("suite").and_then(Value::as_str).unwrap_or("?");
+    let cur_suite = current.get("suite").and_then(Value::as_str).unwrap_or("?");
+    if base_suite != cur_suite {
+        failures.push(format!("suite differs: baseline '{base_suite}' vs current '{cur_suite}'"));
+    }
+    for key in ["jobs", "verified", "maximal"] {
+        let b = u64_field(&baseline, key, &args.baseline)?;
+        let c = u64_field(&current, key, &args.current)?;
+        if b != c {
+            failures.push(format!("{key} differs: baseline {b} vs current {c}"));
+        }
+    }
+
+    let base_ops = baseline
+        .get("operators")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing operators array", args.baseline))?;
+    let cur_ops = current
+        .get("operators")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing operators array", args.current))?;
+    for base_op in base_ops {
+        let name = base_op.get("op").and_then(Value::as_str).unwrap_or("?");
+        let Some(cur_op) =
+            cur_ops.iter().find(|o| o.get("op").and_then(Value::as_str) == Some(name))
+        else {
+            failures.push(format!("operator {name} missing from current run"));
+            continue;
+        };
+        for key in ["jobs", "verified", "maximal", "on_minterms", "dc_minterms", "divisor_errors"] {
+            let b = u64_field(base_op, key, &args.baseline)?;
+            let c = u64_field(cur_op, key, &args.current)?;
+            if b != c {
+                failures.push(format!("{name}.{key} differs: baseline {b} vs current {c}"));
+            }
+        }
+    }
+    if cur_ops.len() != base_ops.len() {
+        failures.push(format!(
+            "operator count differs: baseline {} vs current {}",
+            base_ops.len(),
+            cur_ops.len()
+        ));
+    }
+
+    // --- Performance comparison (tolerance band) ---
+    let base_speedup = f64_field(&baseline, "speedup", &args.baseline)?;
+    let cur_speedup = f64_field(&current, "speedup", &args.current)?;
+    let floor = (base_speedup * (1.0 - args.tolerance)).max(1.0);
+    println!(
+        "speedup over the sequential/allocating path: baseline {base_speedup:.2}x, \
+         current {cur_speedup:.2}x (floor {floor:.2}x, tolerance {})",
+        args.tolerance
+    );
+    if cur_speedup < floor {
+        failures.push(format!(
+            "performance regression: speedup {cur_speedup:.2}x fell below the floor {floor:.2}x \
+             (baseline {base_speedup:.2}x, tolerance {})",
+            args.tolerance
+        ));
+    }
+    let base_ms = f64_field(&baseline, "engine_wall_ms", &args.baseline)?;
+    let cur_ms = f64_field(&current, "engine_wall_ms", &args.current)?;
+    println!(
+        "engine wall time: baseline {base_ms:.1} ms, current {cur_ms:.1} ms \
+         (informational; hosts differ)"
+    );
+
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Err(message) => {
+            eprintln!("regress: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(failures) if failures.is_empty() => {
+            println!("regress: OK — current run matches the baseline");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for failure in &failures {
+                eprintln!("regress: FAIL — {failure}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,13 +14,22 @@
 //! * `table3`         — the low-error-rate comparison (Table III);
 //! * `table4`         — the high-error-rate comparison (Table IV);
 //! * `error_sweep`    — ablation: area of `g`/`h` versus the error budget;
-//! * `all_ops_sweep`  — extension: all ten operators on the smoke suite.
+//! * `all_ops_sweep`  — extension: all ten operators on the smoke suite;
+//! * `sweep`          — the batch decomposition engine on a whole suite,
+//!   timed against the sequential/allocating reference path and serialized
+//!   as `BENCH_sweep.json` (`--write-baseline` refreshes
+//!   `BENCH_baseline.json`);
+//! * `regress`        — compares a `BENCH_sweep.json` against the committed
+//!   baseline and fails on semantic or performance regressions (the CI
+//!   `bench-smoke` gate).
 
 use std::time::Instant;
 
 use benchmarks::BenchmarkInstance;
 use bidecomp::{ApproxStrategy, BenchmarkRow, BinaryOp, DecompositionPlan, TableReport};
 
+pub mod cli;
+pub mod json;
 pub mod microbench;
 
 pub use microbench::Criterion;

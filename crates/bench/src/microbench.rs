@@ -13,8 +13,18 @@
 //! per sample, capped so a full bench file stays under a second or two).
 //! The median, minimum and maximum per-iteration times are printed in a
 //! `cargo bench`-like format.
+//!
+//! On top of the console report every run is recorded, and
+//! [`write_json_report`] (called automatically by the `criterion_main!`
+//! macro) serializes the collected measurements as `BENCH_<name>.json` — see
+//! the README's "Benchmark artifacts" section for the schema. The output
+//! directory defaults to the working directory and can be redirected with
+//! `BENCH_OUT_DIR`.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::json::{self, Value};
 
 /// Per-sample time budget; batch sizes are chosen so one sample of the
 /// benchmarked closure takes roughly this long.
@@ -124,6 +134,90 @@ impl Bencher {
             format_duration(max),
             sorted.len(),
         );
+        RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
+            group: group.to_string(),
+            id: id.to_string(),
+            median_ns: median.as_nanos() as u64,
+            min_ns: min.as_nanos() as u64,
+            max_ns: max.as_nanos() as u64,
+            samples: sorted.len() as u64,
+        });
+    }
+}
+
+/// One recorded measurement, as serialized into `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: u64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: u64,
+    /// Number of samples collected.
+    pub samples: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Serializes every measurement recorded so far (see the schema note in the
+/// module docs) and drains the record buffer.
+pub fn json_report(name: &str) -> String {
+    let records = std::mem::take(&mut *RESULTS.lock().expect("bench results poisoned"));
+    let results = records
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("group".into(), json::s(&r.group)),
+                ("id".into(), json::s(&r.id)),
+                ("median_ns".into(), json::num(r.median_ns)),
+                ("min_ns".into(), json::num(r.min_ns)),
+                ("max_ns".into(), json::num(r.max_ns)),
+                ("samples".into(), json::num(r.samples)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("schema".into(), json::s("bidecomp-microbench-v1")),
+        ("bench".into(), json::s(name)),
+        ("results".into(), Value::Array(results)),
+    ]);
+    json::pretty(&doc)
+}
+
+/// The artifact name of the currently running bench binary: the executable's
+/// file stem with cargo's `-<hash>` disambiguator and the `bench_` prefix
+/// stripped (`target/release/deps/bench_quotient-0abc123` → `quotient`).
+pub fn bench_name() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown")
+        .to_string();
+    let stem = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() >= 8 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    };
+    stem.strip_prefix("bench_").unwrap_or(&stem).to_string()
+}
+
+/// Writes `BENCH_<name>.json` into `BENCH_OUT_DIR` (default: the working
+/// directory). Called by `criterion_main!` after all groups have run; a
+/// write failure is reported on stderr but never fails the bench run.
+pub fn write_json_report() {
+    let name = bench_name();
+    let text = json_report(&name);
+    let path = crate::cli::bench_out_path(&format!("BENCH_{name}.json"));
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 
@@ -166,6 +260,7 @@ macro_rules! criterion_main {
                 return;
             }
             $( $group(); )+
+            $crate::microbench::write_json_report();
         }
     };
 }
@@ -180,6 +275,34 @@ mod tests {
         let mut group = c.benchmark_group("shim");
         group.sample_size(5).bench_function("noop", |b| b.iter(|| 1 + 1));
         group.finish();
+    }
+
+    #[test]
+    fn json_report_serializes_recorded_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsonshim");
+        group.sample_size(3).bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let text = json_report("unit");
+        let doc = Value::parse(&text).expect("report must be valid JSON");
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("bidecomp-microbench-v1"));
+        assert_eq!(doc.get("bench").and_then(Value::as_str), Some("unit"));
+        let results = doc.get("results").and_then(Value::as_array).expect("results array");
+        let entry = results
+            .iter()
+            .find(|r| r.get("group").and_then(Value::as_str) == Some("jsonshim"))
+            .expect("the jsonshim group must be recorded");
+        assert_eq!(entry.get("id").and_then(Value::as_str), Some("noop"));
+        assert!(entry.get("samples").and_then(Value::as_u64).unwrap() >= 1);
+    }
+
+    #[test]
+    fn bench_name_strips_cargo_decorations() {
+        // The test binary is target/.../bidecomp_bench-<hash>; the hash must
+        // be stripped while short, non-hex suffixes survive.
+        let name = bench_name();
+        assert!(!name.is_empty());
+        assert!(!name.contains(std::path::MAIN_SEPARATOR));
     }
 
     #[test]

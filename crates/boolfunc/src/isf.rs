@@ -106,6 +106,38 @@ impl Isf {
         !&(&self.on | &self.dc)
     }
 
+    /// Computes the off-set into an existing table without allocating
+    /// (`out = !(on ∪ dc)`), for callers that recompute it in a hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has a different arity.
+    pub fn off_into(&self, out: &mut TruthTable) {
+        out.copy_from(&self.on);
+        *out |= &self.dc;
+        out.not_assign();
+    }
+
+    /// Checks `off ⊆ g` (equivalently `on ∪ dc ∪ g = 1`) word-wise without
+    /// materializing the off-set. This is the Table II side condition for the
+    /// `⇒` and `NAND` operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn off_is_subset_of(&self, g: &TruthTable) -> bool {
+        assert_eq!(self.num_vars(), g.num_vars(), "arity mismatch");
+        let on = self.on.as_words();
+        let dc = self.dc.as_words();
+        let gw = g.as_words();
+        let tail = self.on.tail_mask();
+        let last = on.len() - 1;
+        (0..on.len()).all(|i| {
+            let mask = if i == last { tail } else { u64::MAX };
+            (on[i] | dc[i] | gw[i]) == mask
+        })
+    }
+
     /// The care set (`on ∪ off`, i.e. complement of the dc-set).
     pub fn care(&self) -> TruthTable {
         !&self.dc
@@ -295,6 +327,34 @@ mod tests {
         assert!(widened.on().is_subset_of(f.on()));
         let restricted = widened.restrict_dc(&TruthTable::zero(3));
         assert!(restricted.dc().is_zero());
+    }
+
+    #[test]
+    fn off_into_and_off_subset_agree_with_allocating_path() {
+        for num_vars in [3usize, 6, 7] {
+            let f = Isf::new(
+                TruthTable::from_fn(num_vars, |m| m % 3 == 0),
+                TruthTable::from_fn(num_vars, |m| m % 3 == 1),
+            )
+            .unwrap();
+            let mut out = TruthTable::zero(num_vars);
+            f.off_into(&mut out);
+            assert_eq!(out, f.off(), "n={num_vars}: off_into");
+
+            let g_exact = f.off();
+            assert!(f.off_is_subset_of(&g_exact));
+            assert!(f.off_is_subset_of(&TruthTable::one(num_vars)));
+            let mut too_small = g_exact.clone();
+            if let Some(m) = g_exact.ones().next() {
+                too_small.set(m, false);
+                assert!(!f.off_is_subset_of(&too_small));
+            }
+            assert_eq!(
+                f.off_is_subset_of(&TruthTable::zero(num_vars)),
+                f.off().is_zero(),
+                "n={num_vars}: empty divisor"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use std::fmt;
-use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
 
 use crate::cover::Cover;
 use crate::cube::Cube;
@@ -130,6 +130,29 @@ impl TruthTable {
         t
     }
 
+    /// Builds a table 64 minterms at a time from a word-generating closure
+    /// (e.g. a pseudo-random stream); padding bits of the last word are
+    /// masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > TruthTable::MAX_VARS`.
+    ///
+    /// ```rust
+    /// use boolfunc::TruthTable;
+    ///
+    /// let t = TruthTable::from_words(3, || u64::MAX);
+    /// assert!(t.is_one()); // the padding beyond the 8 valid bits is masked
+    /// ```
+    pub fn from_words<F: FnMut() -> u64>(num_vars: usize, mut next_word: F) -> Self {
+        let mut t = Self::zero(num_vars);
+        for w in &mut t.words {
+            *w = next_word();
+        }
+        t.normalize();
+        t
+    }
+
     /// Builds a table as the union of a set of cubes.
     ///
     /// # Panics
@@ -205,9 +228,75 @@ impl TruthTable {
         self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
     }
 
+    /// Returns `true` if the on-sets of the two functions do not intersect.
+    pub fn is_disjoint_from(&self, other: &TruthTable) -> bool {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &TruthTable) -> TruthTable {
         self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// In-place set difference: removes the minterms of `other` from `self`
+    /// (`self &= !other` word by word) without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn difference_assign(&mut self, other: &TruthTable) {
+        self.zip_assign(other, |a, b| a & !b);
+    }
+
+    /// In-place complement without allocating (padding bits stay zero).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.normalize();
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing the existing word
+    /// storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ (use `clone` to change arity).
+    pub fn copy_from(&mut self, other: &TruthTable) {
+        assert_eq!(self.num_vars, other.num_vars, "truth table arity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Fused `self = a \ b` (`a & !b`) in a single word loop, reusing the
+    /// existing storage of `self`. This is the workhorse of the quotient
+    /// hot path, where every Table II on-set is a difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn and_not_from(&mut self, a: &TruthTable, b: &TruthTable) {
+        assert_eq!(self.num_vars, a.num_vars, "truth table arity mismatch");
+        assert_eq!(self.num_vars, b.num_vars, "truth table arity mismatch");
+        for (out, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *out = x & !y;
+        }
+    }
+
+    /// The raw 64-bit words of the table, minterm `m` at bit `m % 64` of word
+    /// `m / 64`. Padding bits beyond minterm `2^n - 1` are always zero.
+    ///
+    /// This is the escape hatch for callers (like the word-level
+    /// decomposition verifier) that fuse several set operations into one pass
+    /// without allocating intermediate tables.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The bitmask of valid minterm bits in the last word of
+    /// [`TruthTable::as_words`] (all other words are fully valid).
+    pub fn tail_mask(&self) -> u64 {
+        Self::last_word_mask(self.num_vars)
     }
 
     /// Fraction of the 2^n minterms on which the two functions differ.
@@ -230,6 +319,14 @@ impl TruthTable {
         let mut t = TruthTable { num_vars: self.num_vars, words };
         t.normalize();
         t
+    }
+
+    fn zip_assign<F: Fn(u64, u64) -> u64>(&mut self, other: &TruthTable, f: F) {
+        assert_eq!(self.num_vars, other.num_vars, "truth table arity mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a = f(*a, b);
+        }
+        self.normalize();
     }
 
     /// Positive or negative cofactor with respect to variable `var`, returned
@@ -360,6 +457,20 @@ impl_bit_op!(BitAnd, bitand, &);
 impl_bit_op!(BitOr, bitor, |);
 impl_bit_op!(BitXor, bitxor, ^);
 
+macro_rules! impl_bit_assign_op {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&TruthTable> for TruthTable {
+            fn $method(&mut self, rhs: &TruthTable) {
+                self.zip_assign(rhs, |a, b| a $op b);
+            }
+        }
+    };
+}
+
+impl_bit_assign_op!(BitAndAssign, bitand_assign, &);
+impl_bit_assign_op!(BitOrAssign, bitor_assign, |);
+impl_bit_assign_op!(BitXorAssign, bitxor_assign, ^);
+
 impl Not for &TruthTable {
     type Output = TruthTable;
     fn not(self) -> TruthTable {
@@ -469,6 +580,90 @@ mod tests {
     fn too_many_variables_is_an_error() {
         assert!(TruthTable::try_zero(27).is_err());
         assert!(TruthTable::try_zero(26).is_ok());
+    }
+
+    /// Deterministic pseudo-random table (SplitMix64 finalizer on the seed).
+    fn scrambled(num_vars: usize, seed: u64) -> TruthTable {
+        let mut state = seed;
+        TruthTable::from_words(num_vars, || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+    }
+
+    #[test]
+    fn in_place_ops_agree_with_allocating_ops() {
+        // 3 vars: partial word (masking matters); 6 vars: exactly one word;
+        // 7 vars: two full words.
+        for num_vars in [3usize, 6, 7] {
+            for seed in 0..8u64 {
+                let a = scrambled(num_vars, seed);
+                let b = scrambled(num_vars, seed ^ 0xDEAD_BEEF);
+
+                let mut t = a.clone();
+                t &= &b;
+                assert_eq!(t, &a & &b, "n={num_vars} seed={seed}: &=");
+
+                let mut t = a.clone();
+                t |= &b;
+                assert_eq!(t, &a | &b, "n={num_vars} seed={seed}: |=");
+
+                let mut t = a.clone();
+                t ^= &b;
+                assert_eq!(t, &a ^ &b, "n={num_vars} seed={seed}: ^=");
+
+                let mut t = a.clone();
+                t.difference_assign(&b);
+                assert_eq!(t, a.difference(&b), "n={num_vars} seed={seed}: difference_assign");
+
+                let mut t = a.clone();
+                t.not_assign();
+                assert_eq!(t, !&a, "n={num_vars} seed={seed}: not_assign");
+
+                let mut t = TruthTable::zero(num_vars);
+                t.and_not_from(&a, &b);
+                assert_eq!(t, a.difference(&b), "n={num_vars} seed={seed}: and_not_from");
+
+                let mut t = TruthTable::zero(num_vars);
+                t.copy_from(&a);
+                assert_eq!(t, a, "n={num_vars} seed={seed}: copy_from");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_ops_preserve_last_word_masking() {
+        // After any in-place op the padding bits must stay zero, otherwise
+        // count_ones / Eq / is_one silently break. 3 vars = 8 valid bits out
+        // of 64.
+        let mut t = TruthTable::zero(3);
+        t.not_assign();
+        assert_eq!(t.count_ones(), 8);
+        assert!(t.is_one());
+        t.not_assign();
+        assert!(t.is_zero());
+
+        let ones = TruthTable::one(3);
+        let mut t = TruthTable::zero(3);
+        t |= &ones;
+        t ^= &TruthTable::zero(3);
+        t &= &ones;
+        assert_eq!(t.count_ones(), 8);
+        assert_eq!(t.as_words()[0] & !t.tail_mask(), 0, "padding bits leaked");
+    }
+
+    #[test]
+    fn disjointness_and_word_access() {
+        let a = TruthTable::variable(4, 0);
+        let not_a = !&a;
+        assert!(a.is_disjoint_from(&not_a));
+        assert!(!a.is_disjoint_from(&TruthTable::one(4)));
+        assert!(a.is_disjoint_from(&TruthTable::zero(4)));
+        assert_eq!(a.as_words().len(), 1);
+        assert_eq!(a.tail_mask(), u64::MAX >> 48);
     }
 
     #[test]

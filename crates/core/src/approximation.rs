@@ -93,6 +93,10 @@ pub fn divisor_requirement(op: BinaryOp) -> &'static str {
 
 /// Checks the divisor side condition of Table II for `op`.
 ///
+/// Every case is evaluated word-wise on the stored on/dc tables without
+/// materializing `f_off` (`g ⊆ f_off` is disjointness from `on ∪ dc`;
+/// `f_off ⊆ g` is `on ∪ dc ∪ g = 1`), so the check never allocates.
+///
 /// # Panics
 ///
 /// Panics if the arities differ.
@@ -100,9 +104,11 @@ pub fn is_valid_divisor(f: &Isf, g: &TruthTable, op: BinaryOp) -> bool {
     assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
     match op {
         BinaryOp::And | BinaryOp::NonImplication => f.on().is_subset_of(g),
-        BinaryOp::ConverseNonImplication | BinaryOp::Nor => g.is_subset_of(&f.off()),
+        BinaryOp::ConverseNonImplication | BinaryOp::Nor => {
+            g.is_disjoint_from(f.on()) && g.is_disjoint_from(f.dc())
+        }
         BinaryOp::Or | BinaryOp::ConverseImplication => g.is_subset_of(f.on()),
-        BinaryOp::Implication | BinaryOp::Nand => f.off().is_subset_of(g),
+        BinaryOp::Implication | BinaryOp::Nand => f.off_is_subset_of(g),
         BinaryOp::Xor | BinaryOp::Xnor => true,
     }
 }

@@ -1,0 +1,443 @@
+//! The batch decomposition engine: the full 10-operator × instance × output
+//! sweep of a [`benchmarks::Suite`], fanned across a fixed-size worker pool
+//! of `std` threads with deterministic, seed-stable results.
+//!
+//! Each *job* is one `(instance, output, operator)` triple. The worker
+//! derives a seed-stable valid divisor for the operator's Table II side
+//! condition ([`seeded_divisor`]), computes the full quotient through the
+//! allocation-free [`QuotientScratch`] path, and checks both Lemmas 1–5
+//! ([`crate::verify_decomposition`]) and Corollaries 1–4
+//! ([`crate::verify_maximal_flexibility`]) with the word-parallel verifiers.
+//! Results land in a pre-sized slot per job, so the report is bit-identical
+//! regardless of thread count or scheduling.
+//!
+//! ```rust
+//! use benchmarks::Suite;
+//! use bidecomp::engine::{sweep, EngineConfig};
+//!
+//! let report = sweep(&Suite::smoke(), &EngineConfig::default());
+//! assert_eq!(report.jobs.len(), report.total_jobs());
+//! assert!(report.all_verified());
+//! // Ten per-operator aggregates, in Table I order.
+//! assert_eq!(report.operators.len(), 10);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use benchmarks::{DetRng, Suite};
+use boolfunc::{Isf, TruthTable};
+
+use crate::approximation::is_valid_divisor;
+use crate::operator::BinaryOp;
+use crate::quotient::{QuotientScratch, QuotientSets};
+use crate::verify::{verify_decomposition_sets, verify_maximal_flexibility_sets};
+
+/// Configuration of a batch sweep.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+    /// Operators to sweep, in report order (defaults to all ten of Table I).
+    pub ops: Vec<BinaryOp>,
+    /// Skip instances with more than this many inputs.
+    pub max_inputs: usize,
+    /// Use at most this many outputs per instance.
+    pub max_outputs: usize,
+    /// Base seed for the per-job divisor derivation.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            ops: BinaryOp::all().to_vec(),
+            max_inputs: 12,
+            max_outputs: 6,
+            seed: 0xB1DE_C04D,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The worker-pool size actually used: `threads`, or the machine's
+    /// available parallelism when `threads` is 0.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// The divisor seed of job `(instance_index, output_index, op_index)`.
+    ///
+    /// Exposed so tests (and external tools) can regenerate the exact divisor
+    /// a sweep used. The mapping depends only on the base seed and the three
+    /// indices, never on thread count or scheduling.
+    pub fn job_seed(&self, instance: usize, output: usize, op_index: usize) -> u64 {
+        let mixed = self.seed
+            ^ (instance as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (output as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (op_index as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        DetRng::seed_from_u64(mixed).next_u64()
+    }
+}
+
+/// Derives a deterministic divisor satisfying the Table II side condition of
+/// `op`, using `seed` to choose which minterms move.
+///
+/// The divisor is built word-parallel from a [`DetRng`] noise stream:
+///
+/// * `AND`/`⇏` need `f_on ⊆ g`: `g = f_on ∪ (noise ∩ f_off)`;
+/// * `OR`/`⇐` need `g ⊆ f_on`: `g = f_on ∩ noise`;
+/// * `⇍`/`NOR` need `g ⊆ f_off`: `g = f_off ∩ noise`;
+/// * `⇒`/`NAND` need `f_off ⊆ g`: `g = f_off ∪ (noise ∩ f_on)`;
+/// * `XOR`/`XNOR` accept anything: `g = f_on ⊕ noise`.
+pub fn seeded_divisor(f: &Isf, op: BinaryOp, seed: u64) -> TruthTable {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut g = TruthTable::from_words(f.num_vars(), || rng.next_u64());
+    match op {
+        BinaryOp::And | BinaryOp::NonImplication => {
+            g.difference_assign(f.dc());
+            g.difference_assign(f.on()); // noise ∩ f_off
+            g |= f.on();
+        }
+        BinaryOp::Or | BinaryOp::ConverseImplication => g &= f.on(),
+        BinaryOp::ConverseNonImplication | BinaryOp::Nor => {
+            g.difference_assign(f.dc());
+            g.difference_assign(f.on());
+        }
+        BinaryOp::Implication | BinaryOp::Nand => {
+            // g = f_off ∪ (noise ∩ f_on) without materializing f_off, via
+            // De Morgan: !((f_on \ noise) ∪ f_dc) = f_off ∪ (noise ∩ !f_dc)
+            // = f_off ∪ (noise ∩ f_on).
+            g.not_assign();
+            g &= f.on(); // f_on \ noise
+            g |= f.dc();
+            g.not_assign();
+        }
+        BinaryOp::Xor | BinaryOp::Xnor => g ^= f.on(),
+    }
+    debug_assert!(is_valid_divisor(f, &g, op), "seeded divisor violates the {op} side condition");
+    g
+}
+
+/// The outcome of one `(instance, output, operator)` job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Benchmark instance name.
+    pub instance: String,
+    /// Output index within the instance.
+    pub output: usize,
+    /// Operator applied.
+    pub op: BinaryOp,
+    /// Arity of the function.
+    pub num_vars: usize,
+    /// `|h_on|` of the computed quotient.
+    pub on_minterms: u64,
+    /// `|h_dc|` of the computed quotient (the flexibility the paper maximizes).
+    pub dc_minterms: u64,
+    /// `|h_off|` of the computed quotient.
+    pub off_minterms: u64,
+    /// Number of minterms on which the seeded divisor differs from `f` on the
+    /// care set (the approximation error driving the quotient's off-set).
+    pub divisor_errors: u64,
+    /// Lemmas 1–5: `f = g op h` for every completion of `h`.
+    pub verified: bool,
+    /// Corollaries 1–4: `h` has the smallest on-set and largest dc-set.
+    pub maximal: bool,
+    /// Wall time of the job in nanoseconds (divisor + quotient + both
+    /// verifications). Excluded from determinism comparisons.
+    pub nanos: u64,
+}
+
+impl JobResult {
+    /// The scheduling-independent portion of the result (everything except
+    /// the wall time), for bit-identical comparisons across thread counts.
+    pub fn semantic(&self) -> (&str, usize, BinaryOp, usize, u64, u64, u64, u64, bool, bool) {
+        (
+            &self.instance,
+            self.output,
+            self.op,
+            self.num_vars,
+            self.on_minterms,
+            self.dc_minterms,
+            self.off_minterms,
+            self.divisor_errors,
+            self.verified,
+            self.maximal,
+        )
+    }
+}
+
+/// Per-operator aggregate over all jobs of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// The operator.
+    pub op: BinaryOp,
+    /// Number of jobs run with this operator.
+    pub jobs: u64,
+    /// Jobs whose decomposition verified (Lemmas 1–5).
+    pub verified: u64,
+    /// Jobs whose quotient was maximally flexible (Corollaries 1–4).
+    pub maximal: u64,
+    /// Total `|h_on|` across jobs.
+    pub on_minterms: u64,
+    /// Total `|h_dc|` across jobs.
+    pub dc_minterms: u64,
+    /// Total divisor errors across jobs.
+    pub divisor_errors: u64,
+    /// Total job wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// The machine-readable result of a sweep: per-job results in deterministic
+/// job order plus per-operator aggregates in the order of
+/// [`EngineConfig::ops`].
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Name of the suite that was swept.
+    pub suite: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// One result per job, ordered by `(instance, output, operator)` index —
+    /// independent of scheduling.
+    pub jobs: Vec<JobResult>,
+    /// Aggregates per operator.
+    pub operators: Vec<OperatorStats>,
+    /// End-to-end wall time of the sweep in microseconds.
+    pub wall_micros: u64,
+}
+
+impl SweepReport {
+    /// Total number of jobs.
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if every job verified and was maximally flexible.
+    pub fn all_verified(&self) -> bool {
+        self.jobs.iter().all(|j| j.verified && j.maximal)
+    }
+}
+
+/// One `(instance, output, op)` triple by index.
+#[derive(Debug, Clone, Copy)]
+struct JobSpec {
+    instance: usize,
+    output: usize,
+    op_index: usize,
+}
+
+/// Per-worker reusable buffers, rebuilt only when the arity changes (jobs are
+/// enumerated instance-major, so this is rare).
+struct WorkerScratch {
+    num_vars: usize,
+    scratch: QuotientScratch,
+    sets: QuotientSets,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch { num_vars: 0, scratch: QuotientScratch::new(0), sets: QuotientSets::zero(0) }
+    }
+
+    fn ensure(&mut self, num_vars: usize) {
+        if self.num_vars != num_vars {
+            self.num_vars = num_vars;
+            self.scratch = QuotientScratch::new(num_vars);
+            self.sets = QuotientSets::zero(num_vars);
+        }
+    }
+}
+
+/// Runs the full batch sweep of `suite` under `config` and aggregates the
+/// report. See the [module documentation](self) for the execution model.
+///
+/// # Panics
+///
+/// Panics if `config.ops` is empty.
+pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
+    assert!(!config.ops.is_empty(), "the engine needs at least one operator");
+    let instances = suite.instances();
+    let mut specs = Vec::new();
+    for (instance, inst) in instances.iter().enumerate() {
+        if inst.num_inputs() > config.max_inputs {
+            continue;
+        }
+        for output in 0..inst.num_outputs().min(config.max_outputs) {
+            for op_index in 0..config.ops.len() {
+                specs.push(JobSpec { instance, output, op_index });
+            }
+        }
+    }
+
+    let threads = config.effective_threads().clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+
+    // Workers accumulate (slot, result) pairs locally — no shared lock in
+    // the hot loop (jobs are sub-microsecond, a per-job mutex would
+    // serialize the pool) — and the slots are scattered into job order after
+    // the scope joins, keeping the report scheduling-independent.
+    let start = Instant::now();
+    let worker_results: Vec<Vec<(usize, JobResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut buffers = WorkerScratch::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        local.push((i, run_job(suite, config, *spec, &mut buffers)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
+    });
+    let wall_micros = start.elapsed().as_micros() as u64;
+
+    let mut slots: Vec<Option<JobResult>> = vec![None; specs.len()];
+    for (i, result) in worker_results.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    let jobs: Vec<JobResult> =
+        slots.into_iter().map(|r| r.expect("every claimed job writes its slot")).collect();
+
+    let operators = aggregate(&config.ops, &jobs);
+    SweepReport { suite: suite.name().to_string(), threads, jobs, operators, wall_micros }
+}
+
+fn run_job(
+    suite: &Suite,
+    config: &EngineConfig,
+    spec: JobSpec,
+    buffers: &mut WorkerScratch,
+) -> JobResult {
+    let inst = &suite.instances()[spec.instance];
+    let f = &inst.outputs()[spec.output];
+    let op = config.ops[spec.op_index];
+    let start = Instant::now();
+
+    let g = seeded_divisor(f, op, config.job_seed(spec.instance, spec.output, spec.op_index));
+    buffers.ensure(f.num_vars());
+    buffers.scratch.quotient_sets_into(f, &g, op, &mut buffers.sets);
+    let sets = &buffers.sets;
+    let verified = verify_decomposition_sets(f, &g, &sets.on, &sets.dc, op);
+    let maximal = verify_maximal_flexibility_sets(f, &g, &sets.on, &sets.dc, op);
+    let divisor_errors = care_errors(f, &g);
+
+    JobResult {
+        instance: inst.name().to_string(),
+        output: spec.output,
+        op,
+        num_vars: f.num_vars(),
+        on_minterms: sets.on.count_ones(),
+        dc_minterms: sets.dc.count_ones(),
+        off_minterms: sets.off.count_ones(),
+        divisor_errors,
+        verified,
+        maximal,
+        nanos: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Number of care minterms of `f` on which `g` disagrees with `f`, counted
+/// word-parallel without allocating (`(g ⊕ f_on) ∩ ¬f_dc`).
+fn care_errors(f: &Isf, g: &TruthTable) -> u64 {
+    let fw = f.on().as_words();
+    let dw = f.dc().as_words();
+    let gw = g.as_words();
+    fw.iter().zip(dw).zip(gw).map(|((&on, &dc), &gv)| ((gv ^ on) & !dc).count_ones() as u64).sum()
+}
+
+fn aggregate(ops: &[BinaryOp], jobs: &[JobResult]) -> Vec<OperatorStats> {
+    ops.iter()
+        .map(|&op| {
+            let mut stats = OperatorStats {
+                op,
+                jobs: 0,
+                verified: 0,
+                maximal: 0,
+                on_minterms: 0,
+                dc_minterms: 0,
+                divisor_errors: 0,
+                nanos: 0,
+            };
+            for job in jobs.iter().filter(|j| j.op == op) {
+                stats.jobs += 1;
+                stats.verified += u64::from(job.verified);
+                stats.maximal += u64::from(job.maximal);
+                stats.on_minterms += job.on_minterms;
+                stats.dc_minterms += job.dc_minterms;
+                stats.divisor_errors += job.divisor_errors;
+                stats.nanos += job.nanos;
+            }
+            stats
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_runs_all_jobs_and_verifies() {
+        let suite = Suite::smoke();
+        let config = EngineConfig { threads: 2, ..EngineConfig::default() };
+        let report = sweep(&suite, &config);
+        // 3 smoke instances, outputs capped at 6, 10 operators each.
+        let expected: usize = suite
+            .instances()
+            .iter()
+            .map(|i| i.num_outputs().min(config.max_outputs) * config.ops.len())
+            .sum();
+        assert_eq!(report.total_jobs(), expected);
+        assert!(report.all_verified());
+        assert_eq!(report.operators.iter().map(|s| s.jobs).sum::<u64>(), expected as u64);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let suite = Suite::smoke();
+        let one = sweep(&suite, &EngineConfig { threads: 1, ..EngineConfig::default() });
+        let four = sweep(&suite, &EngineConfig { threads: 4, ..EngineConfig::default() });
+        assert_eq!(one.total_jobs(), four.total_jobs());
+        for (a, b) in one.jobs.iter().zip(&four.jobs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
+        assert_eq!(
+            one.operators.iter().map(|s| (s.op, s.jobs, s.dc_minterms)).collect::<Vec<_>>(),
+            four.operators.iter().map(|s| (s.op, s.jobs, s.dc_minterms)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn seeded_divisors_are_valid_for_every_operator() {
+        let suite = Suite::smoke();
+        for inst in suite.instances() {
+            for f in inst.outputs() {
+                for (i, op) in BinaryOp::all().into_iter().enumerate() {
+                    let g = seeded_divisor(f, op, 0xFACE ^ i as u64);
+                    assert!(is_valid_divisor(f, &g, op), "{}: {op}", inst.name());
+                    // Same seed, same divisor.
+                    assert_eq!(g, seeded_divisor(f, op, 0xFACE ^ i as u64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_inputs_filter_skips_large_instances() {
+        let suite = Suite::table4();
+        let config = EngineConfig { max_inputs: 4, ..EngineConfig::default() };
+        let report = sweep(&suite, &config);
+        assert_eq!(report.total_jobs(), 0);
+        assert!(report.all_verified(), "vacuously true on an empty job list");
+    }
+}

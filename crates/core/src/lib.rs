@@ -24,7 +24,11 @@
 //!   `f` in 2-SPP, approximate, compute `h`, re-synthesize, map, report
 //!   areas and gains);
 //! * [`decomposition_sequence`] — the sequence of divisor/quotient pairs that
-//!   shifts logic between `g` and `h` (Section I).
+//!   shifts logic between `g` and `h` (Section I);
+//! * [`engine`] — the batch decomposition engine: the full
+//!   operator × instance × divisor sweep of a benchmark suite over a worker
+//!   pool, with an allocation-free quotient/verify hot path
+//!   ([`QuotientScratch`]) and deterministic, seed-stable reports.
 //!
 //! ```rust
 //! use bidecomp::{full_quotient, verify_decomposition, BinaryOp};
@@ -47,6 +51,7 @@
 
 pub mod approximation;
 pub mod decompose;
+pub mod engine;
 mod error;
 pub mod flexibility;
 pub mod operator;
@@ -57,10 +62,16 @@ pub mod verify;
 
 pub use approximation::{classify_approximation, ApproxKind, ApproximationStats};
 pub use decompose::{ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient};
+pub use engine::{seeded_divisor, sweep, EngineConfig, JobResult, OperatorStats, SweepReport};
 pub use error::BidecompError;
 pub use flexibility::FlexibilityReport;
 pub use operator::{BinaryOp, OperatorClass};
-pub use quotient::{full_quotient, full_quotient_bdd, quotient_sets};
+pub use quotient::{
+    full_quotient, full_quotient_bdd, quotient_sets, QuotientScratch, QuotientSets,
+};
 pub use report::{BenchmarkRow, TableReport};
 pub use sequence::decomposition_sequence;
-pub use verify::{verify_decomposition, verify_maximal_flexibility};
+pub use verify::{
+    verify_decomposition, verify_decomposition_sets, verify_maximal_flexibility,
+    verify_maximal_flexibility_sets,
+};

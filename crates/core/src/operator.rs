@@ -92,6 +92,30 @@ impl BinaryOp {
         }
     }
 
+    /// Applies the operator bitwise to 64 packed `(g, h)` value pairs at
+    /// once: bit `i` of the result is `g_i op h_i`.
+    ///
+    /// This is the word-parallel counterpart of [`BinaryOp::apply`] used by
+    /// the allocation-free verifier: passing `0` or `u64::MAX` as `h`
+    /// evaluates `g op 0` / `g op 1` for a whole truth-table word in one
+    /// instruction. Beware that bits beyond a table's valid minterms may come
+    /// out as 1 (e.g. for `NAND`); callers must mask with
+    /// `TruthTable::tail_mask`.
+    pub fn apply_words(self, g: u64, h: u64) -> u64 {
+        match self {
+            BinaryOp::And => g & h,
+            BinaryOp::ConverseNonImplication => !g & h,
+            BinaryOp::NonImplication => g & !h,
+            BinaryOp::Nor => !(g | h),
+            BinaryOp::Or => g | h,
+            BinaryOp::Implication => !g | h,
+            BinaryOp::ConverseImplication => g | !h,
+            BinaryOp::Nand => !(g & h),
+            BinaryOp::Xor => g ^ h,
+            BinaryOp::Xnor => !(g ^ h),
+        }
+    }
+
     /// De Morgan class of the operator (Section II).
     pub fn class(self) -> OperatorClass {
         match self {
@@ -238,6 +262,28 @@ mod tests {
         for op in BinaryOp::all() {
             assert!(seen.insert(op.symbol()));
             assert!(op.decomposed_form().starts_with("f = "));
+        }
+    }
+
+    #[test]
+    fn apply_words_matches_apply_bit_for_bit() {
+        for op in BinaryOp::all() {
+            for g in [false, true] {
+                for h in [false, true] {
+                    let gw = if g { u64::MAX } else { 0 };
+                    let hw = if h { u64::MAX } else { 0 };
+                    let expected = if op.apply(g, h) { u64::MAX } else { 0 };
+                    assert_eq!(op.apply_words(gw, hw), expected, "{op} on ({g}, {h})");
+                }
+            }
+            // Mixed words: each bit position behaves independently.
+            let g = 0b1100u64;
+            let h = 0b1010u64;
+            let r = op.apply_words(g, h);
+            for bit in 0..4 {
+                let expected = op.apply(g >> bit & 1 == 1, h >> bit & 1 == 1);
+                assert_eq!(r >> bit & 1 == 1, expected, "{op} bit {bit}");
+            }
         }
     }
 

@@ -24,47 +24,172 @@ pub struct QuotientSets {
     pub off: TruthTable,
 }
 
+impl QuotientSets {
+    /// Three empty sets over `num_vars` variables, ready to be filled by
+    /// [`QuotientScratch::quotient_sets_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds the dense-table limit.
+    pub fn zero(num_vars: usize) -> Self {
+        QuotientSets {
+            on: TruthTable::zero(num_vars),
+            dc: TruthTable::zero(num_vars),
+            off: TruthTable::zero(num_vars),
+        }
+    }
+
+    /// Number of variables of the three sets.
+    pub fn num_vars(&self) -> usize {
+        self.on.num_vars()
+    }
+}
+
+/// Reusable scratch tables for computing Table II quotients without per-call
+/// allocation.
+///
+/// A one-shot [`quotient_sets`] call allocates about ten intermediate tables
+/// (every `&`, `|`, `^`, `!` and `difference` on the old path returned a
+/// fresh table). The batch engine computes millions of quotients over the
+/// same handful of arities, so this scratch object owns the two temporaries
+/// the formulas need (`f_off` and `g_off`) and writes the result into a
+/// caller-provided [`QuotientSets`], making the steady-state hot path
+/// allocation-free.
+///
+/// ```rust
+/// use bidecomp::{BinaryOp, QuotientScratch, QuotientSets, quotient_sets};
+/// use boolfunc::{Cover, Isf};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = Isf::from_cover_str(4, &["11-1", "-111"], &[])?;
+/// let g = Cover::from_strs(4, &["-1-1"])?.to_truth_table();
+/// let mut scratch = QuotientScratch::new(4);
+/// let mut sets = QuotientSets::zero(4);
+/// scratch.quotient_sets_into(&f, &g, BinaryOp::And, &mut sets);
+/// assert_eq!(sets, quotient_sets(&f, &g, BinaryOp::And));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuotientScratch {
+    num_vars: usize,
+    f_off: TruthTable,
+    g_off: TruthTable,
+}
+
+impl QuotientScratch {
+    /// Allocates scratch tables for functions of `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds the dense-table limit.
+    pub fn new(num_vars: usize) -> Self {
+        QuotientScratch {
+            num_vars,
+            f_off: TruthTable::zero(num_vars),
+            g_off: TruthTable::zero(num_vars),
+        }
+    }
+
+    /// The arity this scratch is sized for.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Computes the three sets of Table II for `f`, `g` and `op` into `out`,
+    /// *without* validating the divisor and without allocating.
+    ///
+    /// The formulas are the simplified Table II expressions: because the
+    /// final on-set always subtracts the dc-set, and the dc-set of every
+    /// AND-like/OR-like row contains the term subtracted from the raw on-set
+    /// (`g` or `g'`), the on-set collapses to `f_on \ h_dc` or
+    /// `f_off \ h_dc`. `g'` is therefore only computed for the four
+    /// operators whose dc-set needs it (`AND`, `⇏`, `⇒`, `NAND`), and `f_off`
+    /// only for the rows that read it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f`, `g` or `out` do not match the scratch arity.
+    pub fn quotient_sets_into(
+        &mut self,
+        f: &Isf,
+        g: &TruthTable,
+        op: BinaryOp,
+        out: &mut QuotientSets,
+    ) {
+        assert_eq!(f.num_vars(), self.num_vars, "dividend arity mismatch");
+        assert_eq!(g.num_vars(), self.num_vars, "divisor arity mismatch");
+        assert_eq!(out.num_vars(), self.num_vars, "output arity mismatch");
+        let QuotientSets { on, dc, off } = out;
+
+        // h_dc per Table II: g' ∪ f_dc, g ∪ f_dc, or f_dc.
+        match op {
+            BinaryOp::And | BinaryOp::NonImplication | BinaryOp::Implication | BinaryOp::Nand => {
+                self.g_off.copy_from(g);
+                self.g_off.not_assign();
+                dc.copy_from(&self.g_off);
+                *dc |= f.dc();
+            }
+            BinaryOp::ConverseNonImplication
+            | BinaryOp::Nor
+            | BinaryOp::Or
+            | BinaryOp::ConverseImplication => {
+                dc.copy_from(g);
+                *dc |= f.dc();
+            }
+            BinaryOp::Xor | BinaryOp::Xnor => dc.copy_from(f.dc()),
+        }
+
+        // h_on: a single fused difference for the AND/OR families, an XOR
+        // restricted to the care set for the XOR family.
+        match op {
+            BinaryOp::And
+            | BinaryOp::ConverseNonImplication
+            | BinaryOp::Or
+            | BinaryOp::Implication => on.and_not_from(f.on(), dc),
+            BinaryOp::NonImplication
+            | BinaryOp::Nor
+            | BinaryOp::ConverseImplication
+            | BinaryOp::Nand => {
+                f.off_into(&mut self.f_off);
+                on.and_not_from(&self.f_off, dc);
+            }
+            BinaryOp::Xor => {
+                on.copy_from(f.on());
+                *on ^= g;
+                on.difference_assign(dc);
+            }
+            BinaryOp::Xnor => {
+                f.off_into(&mut self.f_off);
+                on.copy_from(&self.f_off);
+                *on ^= g;
+                on.difference_assign(dc);
+            }
+        }
+
+        // h_off = !(h_on ∪ h_dc).
+        off.copy_from(on);
+        *off |= dc;
+        off.not_assign();
+    }
+}
+
 /// Computes the three sets of Table II for `f`, `g` and `op`, *without*
 /// validating that `g` is an approximation of the required kind.
+///
+/// This is the one-shot convenience wrapper around
+/// [`QuotientScratch::quotient_sets_into`]; batch callers should hold a
+/// scratch and an output buffer across calls instead.
 ///
 /// # Panics
 ///
 /// Panics if the arities differ.
 pub fn quotient_sets(f: &Isf, g: &TruthTable, op: BinaryOp) -> QuotientSets {
     assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
-    let f_on = f.on();
-    let f_dc = f.dc();
-    let f_off = f.off();
-    let g_on = g;
-    let g_off = !g;
-
-    let (on, dc) = match op {
-        // AND: h_on = f_on, h_dc = g_off ∪ f_dc.
-        BinaryOp::And => (f_on.clone(), &g_off | f_dc),
-        // ⇍ (f = g'·h): h_on = f_on, h_dc = g_on ∪ f_dc.
-        BinaryOp::ConverseNonImplication => (f_on.clone(), g_on | f_dc),
-        // ⇏ (f = g·h'): h_on = f_off \ g_off, h_dc = g_off ∪ f_dc.
-        BinaryOp::NonImplication => (f_off.difference(&g_off), &g_off | f_dc),
-        // NOR (f = g'·h'): h_on = f_off \ g_on, h_dc = g_on ∪ f_dc.
-        BinaryOp::Nor => (f_off.difference(g_on), g_on | f_dc),
-        // OR: h_on = f_on \ g_on, h_dc = g_on ∪ f_dc.
-        BinaryOp::Or => (f_on.difference(g_on), g_on | f_dc),
-        // ⇒ (f = g'+h): h_on = f_on \ g_off, h_dc = g_off ∪ f_dc.
-        BinaryOp::Implication => (f_on.difference(&g_off), &g_off | f_dc),
-        // ⇐ (f = g+h'): h_on = f_off, h_dc = g_on ∪ f_dc.
-        BinaryOp::ConverseImplication => (f_off.clone(), g_on | f_dc),
-        // NAND (f = g'+h'): h_on = f_off, h_dc = g_off ∪ f_dc.
-        BinaryOp::Nand => (f_off.clone(), &g_off | f_dc),
-        // XOR: h_on = f_on ⊕ g_on (restricted to the care set), h_dc = f_dc.
-        BinaryOp::Xor => ((f_on ^ g_on).difference(f_dc), f_dc.clone()),
-        // XNOR: h_on = f_off ⊕ g_on (restricted to the care set), h_dc = f_dc.
-        BinaryOp::Xnor => ((&f_off ^ g_on).difference(f_dc), f_dc.clone()),
-    };
-    // The dc-set always wins over the on-set (for the AND/OR families the two
-    // are already disjoint; keeping the subtraction makes the function total).
-    let on = on.difference(&dc);
-    let off = !&(&on | &dc);
-    QuotientSets { on, dc, off }
+    let mut scratch = QuotientScratch::new(f.num_vars());
+    let mut out = QuotientSets::zero(f.num_vars());
+    scratch.quotient_sets_into(f, g, op, &mut out);
+    out
 }
 
 /// Computes the full quotient `h` (Table II) after validating the divisor.

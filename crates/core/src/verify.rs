@@ -26,17 +26,47 @@ use crate::operator::BinaryOp;
 /// # }
 /// ```
 pub fn verify_decomposition(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> bool {
+    verify_decomposition_sets(f, g, h.on(), h.dc(), op)
+}
+
+/// [`verify_decomposition`] on a quotient given as raw `(on, dc)` tables
+/// (e.g. a [`crate::QuotientSets`] that was never packaged into an [`Isf`]).
+///
+/// The check runs word-parallel over the packed truth tables: for each
+/// 64-minterm word it evaluates `g op 0` and `g op 1` with
+/// [`BinaryOp::apply_words`] and flags any care minterm of `f` where a value
+/// `h` is allowed to take disagrees with `f`. No memory is allocated.
+///
+/// # Panics
+///
+/// Panics if the arities differ.
+pub fn verify_decomposition_sets(
+    f: &Isf,
+    g: &TruthTable,
+    h_on: &TruthTable,
+    h_dc: &TruthTable,
+    op: BinaryOp,
+) -> bool {
     assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch between f and g");
-    assert_eq!(f.num_vars(), h.num_vars(), "arity mismatch between f and h");
-    for m in 0..(1u64 << f.num_vars()) {
-        let Some(fv) = f.value(m) else { continue };
-        let gv = g.get(m);
-        let allowed: &[bool] = match h.value(m) {
-            Some(true) => &[true],
-            Some(false) => &[false],
-            None => &[false, true],
-        };
-        if allowed.iter().any(|&hv| op.apply(gv, hv) != fv) {
+    assert_eq!(f.num_vars(), h_on.num_vars(), "arity mismatch between f and h_on");
+    assert_eq!(f.num_vars(), h_dc.num_vars(), "arity mismatch between f and h_dc");
+    let fw = f.on().as_words();
+    let dw = f.dc().as_words();
+    let gw = g.as_words();
+    let hw = h_on.as_words();
+    let hd = h_dc.as_words();
+    let tail = f.on().tail_mask();
+    let last = fw.len() - 1;
+    for i in 0..fw.len() {
+        let mask = if i == last { tail } else { u64::MAX };
+        let care = !dw[i];
+        let with_h1 = op.apply_words(gw[i], u64::MAX);
+        let with_h0 = op.apply_words(gw[i], 0);
+        // h may be 1 on on ∪ dc, and may be 0 everywhere outside the on-set.
+        let h_may_be_1 = hw[i] | hd[i];
+        let h_may_be_0 = !hw[i];
+        let bad = care & (((with_h1 ^ fw[i]) & h_may_be_1) | ((with_h0 ^ fw[i]) & h_may_be_0));
+        if bad & mask != 0 {
             return false;
         }
     }
@@ -54,27 +84,48 @@ pub fn verify_decomposition(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> b
 ///
 /// Panics if the arities differ.
 pub fn verify_maximal_flexibility(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> bool {
+    verify_maximal_flexibility_sets(f, g, h.on(), h.dc(), op)
+}
+
+/// [`verify_maximal_flexibility`] on a quotient given as raw `(on, dc)`
+/// tables, evaluated word-parallel without allocating.
+///
+/// For every word the forced value of `h` is derived from `g op 0` / `g op 1`
+/// versus `f`; `h_on` must equal the forced-to-1 set exactly and `h_dc` the
+/// genuinely-free set exactly. A care minterm where neither value of `h`
+/// realizes `f` (invalid divisor) vacuously violates maximality.
+///
+/// # Panics
+///
+/// Panics if the arities differ.
+pub fn verify_maximal_flexibility_sets(
+    f: &Isf,
+    g: &TruthTable,
+    h_on: &TruthTable,
+    h_dc: &TruthTable,
+    op: BinaryOp,
+) -> bool {
     assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch between f and g");
-    assert_eq!(f.num_vars(), h.num_vars(), "arity mismatch between f and h");
-    for m in 0..(1u64 << f.num_vars()) {
-        let gv = g.get(m);
-        let forced = match f.value(m) {
-            // On a don't-care of f nothing is forced: h must be free there.
-            None => None,
-            Some(fv) => {
-                let ok_with_0 = op.apply(gv, false) == fv;
-                let ok_with_1 = op.apply(gv, true) == fv;
-                match (ok_with_0, ok_with_1) {
-                    (true, true) => None,
-                    (false, true) => Some(true),
-                    (true, false) => Some(false),
-                    // Neither value works: no quotient exists (invalid divisor);
-                    // maximality is vacuously violated.
-                    (false, false) => return false,
-                }
-            }
-        };
-        if h.value(m) != forced {
+    assert_eq!(f.num_vars(), h_on.num_vars(), "arity mismatch between f and h_on");
+    assert_eq!(f.num_vars(), h_dc.num_vars(), "arity mismatch between f and h_dc");
+    let fw = f.on().as_words();
+    let dw = f.dc().as_words();
+    let gw = g.as_words();
+    let hw = h_on.as_words();
+    let hd = h_dc.as_words();
+    let tail = f.on().tail_mask();
+    let last = fw.len() - 1;
+    for i in 0..fw.len() {
+        let mask = if i == last { tail } else { u64::MAX };
+        let care = !dw[i];
+        let ok_with_0 = !(op.apply_words(gw[i], 0) ^ fw[i]);
+        let ok_with_1 = !(op.apply_words(gw[i], u64::MAX) ^ fw[i]);
+        if care & !ok_with_0 & !ok_with_1 & mask != 0 {
+            return false;
+        }
+        let forced_true = care & !ok_with_0 & ok_with_1;
+        let free = !care | (ok_with_0 & ok_with_1);
+        if ((hw[i] ^ forced_true) | (hd[i] ^ free)) & mask != 0 {
             return false;
         }
     }
@@ -182,6 +233,84 @@ mod tests {
         let h_for_g_equals_one = full_quotient(&f, &one, BinaryOp::And).unwrap();
         assert_eq!(h_for_g_equals_one.on(), f.on());
         assert_eq!(&h_for_g_equals_one.off(), &f.off());
+    }
+
+    /// The pre-word-level implementation of [`verify_decomposition`], kept as
+    /// a test oracle.
+    fn verify_decomposition_oracle(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> bool {
+        for m in 0..(1u64 << f.num_vars()) {
+            let Some(fv) = f.value(m) else { continue };
+            let gv = g.get(m);
+            let allowed: &[bool] = match h.value(m) {
+                Some(true) => &[true],
+                Some(false) => &[false],
+                None => &[false, true],
+            };
+            if allowed.iter().any(|&hv| op.apply(gv, hv) != fv) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The pre-word-level implementation of [`verify_maximal_flexibility`].
+    fn verify_maximal_flexibility_oracle(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> bool {
+        for m in 0..(1u64 << f.num_vars()) {
+            let gv = g.get(m);
+            let forced = match f.value(m) {
+                None => None,
+                Some(fv) => {
+                    let ok_with_0 = op.apply(gv, false) == fv;
+                    let ok_with_1 = op.apply(gv, true) == fv;
+                    match (ok_with_0, ok_with_1) {
+                        (true, true) => None,
+                        (false, true) => Some(true),
+                        (true, false) => Some(false),
+                        (false, false) => return false,
+                    }
+                }
+            };
+            if h.value(m) != forced {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn word_level_verifiers_agree_with_the_minterm_oracle() {
+        // Deterministic sweep over random (f, g, h) triples — including many
+        // h that are NOT valid quotients — on arities that exercise partial
+        // and multi-word tables.
+        let mut rng = benchmarks::DetRng::seed_from_u64(0x5EED);
+        let mut next = move || rng.next_u64();
+        for case in 0..64 {
+            let n = [3, 5, 6, 7][case % 4];
+            let f_dc = TruthTable::from_words(n, &mut next);
+            let f_on = TruthTable::from_words(n, &mut next).difference(&f_dc);
+            let f = Isf::new(f_on, f_dc).unwrap();
+            let g = TruthTable::from_words(n, &mut next);
+            let h_dc = TruthTable::from_words(n, &mut next);
+            let h_on = TruthTable::from_words(n, &mut next).difference(&h_dc);
+            let h = Isf::new(h_on, h_dc).unwrap();
+            for op in BinaryOp::all() {
+                assert_eq!(
+                    verify_decomposition(&f, &g, &h, op),
+                    verify_decomposition_oracle(&f, &g, &h, op),
+                    "case {case}, {op}: verify_decomposition"
+                );
+                assert_eq!(
+                    verify_maximal_flexibility(&f, &g, &h, op),
+                    verify_maximal_flexibility_oracle(&f, &g, &h, op),
+                    "case {case}, {op}: verify_maximal_flexibility"
+                );
+                // The true quotient must still pass both word-level checks.
+                if let Some(q) = canonical_quotient(&f, &g, op) {
+                    assert!(verify_decomposition(&f, &g, &q, op), "case {case}, {op}");
+                    assert!(verify_maximal_flexibility(&f, &g, &q, op), "case {case}, {op}");
+                }
+            }
+        }
     }
 
     #[test]
