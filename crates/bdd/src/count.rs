@@ -10,16 +10,21 @@ impl BddManager {
     ///
     /// This is the quantity the experiments use to measure the *error rate*
     /// of an approximation: `|f ⊕ g| / 2^n`.
-    pub fn sat_count(&self, f: Bdd) -> u64 {
-        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+    ///
+    /// The recursion memo is owned by the manager and reused across calls
+    /// (cleared, not reallocated), which is why counting takes `&mut self`.
+    pub fn sat_count(&mut self, f: Bdd) -> u64 {
+        let mut memo = std::mem::take(&mut self.count_memo);
+        memo.clear();
         let below = self.count_from_top(f, &mut memo);
+        self.count_memo = memo;
         let top = self.level_of(f);
         let total = below << top;
         u64::try_from(total).unwrap_or(u64::MAX)
     }
 
     /// Fraction of the 2^n minterms on which `f` is 1.
-    pub fn density(&self, f: Bdd) -> f64 {
+    pub fn density(&mut self, f: Bdd) -> f64 {
         self.sat_count(f) as f64 / (1u128 << self.num_vars()) as f64
     }
 

@@ -8,9 +8,18 @@
 //!
 //! Features:
 //!
-//! * hash-consed unique table with strict ROBDD reduction invariants,
-//! * memoized [`BddManager::ite`] (if-then-else) as the single core operator,
-//! * the usual derived operations (`and`, `or`, `xor`, `not`, `implies`, …),
+//! * open-addressed, power-of-two hash-consing unique table with strict
+//!   ROBDD reduction invariants (tombstone-free insertion, load-factor-driven
+//!   rehash),
+//! * specialized binary `apply` operations (`and`, `or`, `xor`, `diff`) with
+//!   a shared lossy operation cache, plus a memoized general
+//!   [`BddManager::ite`] for the ternary cases,
+//! * the usual derived operations (`not`, `nand`, `nor`, `xnor`,
+//!   `implies`, …),
+//! * manager-owned, reusable recursion memos (restriction, quantification,
+//!   counting) and an explicit [`BddManager::reserve`] /
+//!   [`BddManager::clear`] lifecycle for batch reuse,
+//! * cache and unique-table statistics ([`CacheStats`]),
 //! * cofactors/restriction, functional composition, existential and universal
 //!   quantification over variable sets,
 //! * model counting ([`BddManager::sat_count`]) and minterm enumeration,
@@ -41,7 +50,8 @@ mod dot;
 mod error;
 mod isop;
 mod manager;
+mod memo;
 mod quant;
 
 pub use error::BddError;
-pub use manager::{Bdd, BddManager};
+pub use manager::{Bdd, BddManager, CacheStats};

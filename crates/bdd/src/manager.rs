@@ -1,16 +1,17 @@
-use std::collections::HashMap;
 use std::fmt;
 
 use boolfunc::{Cover, Cube, TruthTable};
 
 use crate::error::BddError;
+use crate::memo::Memo;
 
 /// A handle to a node owned by a [`BddManager`].
 ///
 /// Handles are plain indices: they are `Copy`, cheap to store, and only
-/// meaningful together with the manager that created them. The manager never
-/// frees nodes (no garbage collection is needed at the problem sizes of the
-/// paper's benchmarks), so handles stay valid for the manager's lifetime.
+/// meaningful together with the manager that created them. Nodes are never
+/// freed individually (no garbage collection is needed at the problem sizes of
+/// the paper's benchmarks), so handles stay valid until [`BddManager::clear`]
+/// resets the whole manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(pub(crate) u32);
 
@@ -32,12 +33,165 @@ pub(crate) struct Node {
 /// Sentinel variable index used by the two terminal nodes.
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
-/// A reduced ordered BDD manager with a hash-consed unique table and a
-/// memoized ITE operator.
+/// Empty slot marker of the open-addressed unique table.
+const EMPTY: u32 = u32::MAX;
+
+/// Invalid-entry marker of the operation caches (no node ever has this id:
+/// it would collide with the unique-table sentinel first).
+const INVALID: u32 = u32::MAX;
+
+/// Smallest size of the unique table and the operation caches (slots).
+const MIN_TABLE: usize = 1 << 10;
+
+/// The operation caches stop growing at this many entries; the unique table
+/// keeps growing with the node count (it must, to stay below its load
+/// factor), but a lossy cache larger than this stops paying for itself.
+const MAX_CACHE: usize = 1 << 22;
+
+/// Tags of the specialized binary operations sharing the apply cache.
+const OP_AND: u8 = 0;
+const OP_OR: u8 = 1;
+const OP_XOR: u8 = 2;
+const OP_DIFF: u8 = 3;
+
+/// xxhash/SplitMix-style avalanche of a 64-bit word; cheap and good enough to
+/// spread consecutive node ids across power-of-two tables.
+#[inline]
+fn avalanche(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash of a `(a, b, c)` key — unique-table nodes and ternary cache keys.
+#[inline]
+fn hash3(a: u32, b: u32, c: u32) -> u64 {
+    let packed = (u64::from(a) << 42) ^ (u64::from(b) << 21) ^ u64::from(c);
+    avalanche(packed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One entry of the lossy, direct-mapped apply cache. `gen` stamps the
+/// [`BddManager::clear`] generation the entry was written in: entries from
+/// older generations are stale, which makes clearing the cache an O(1)
+/// counter bump instead of a multi-megabyte fill.
+#[derive(Debug, Clone, Copy)]
+struct ApplyEntry {
+    op: u8,
+    f: u32,
+    g: u32,
+    result: u32,
+    gen: u32,
+}
+
+impl ApplyEntry {
+    const fn invalid() -> Self {
+        ApplyEntry { op: 0, f: INVALID, g: INVALID, result: INVALID, gen: 0 }
+    }
+}
+
+/// One entry of the lossy, direct-mapped ITE cache (generation-stamped like
+/// [`ApplyEntry`]).
+#[derive(Debug, Clone, Copy)]
+struct IteEntry {
+    f: u32,
+    g: u32,
+    h: u32,
+    result: u32,
+    gen: u32,
+}
+
+impl IteEntry {
+    const fn invalid() -> Self {
+        IteEntry { f: INVALID, g: INVALID, h: INVALID, result: INVALID, gen: 0 }
+    }
+}
+
+/// One entry of the lossy, direct-mapped negation cache (generation-stamped
+/// like [`ApplyEntry`]).
+#[derive(Debug, Clone, Copy)]
+struct NotEntry {
+    f: u32,
+    result: u32,
+    gen: u32,
+}
+
+impl NotEntry {
+    const fn invalid() -> Self {
+        NotEntry { f: INVALID, result: INVALID, gen: 0 }
+    }
+}
+
+/// Hit/miss/occupancy counters of the manager's hash structures.
+///
+/// Counters accumulate across operations until [`BddManager::reset_stats`] (or
+/// [`BddManager::clear`], which resets the whole manager). They are cheap to
+/// maintain — plain integer increments on paths that already touch the
+/// corresponding table — and let the engine report cache effectiveness per
+/// sweep.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `mk_node` lookups that probed the unique table (trivial reductions
+    /// `low == high` never reach the table).
+    pub unique_lookups: u64,
+    /// Lookups resolved by an existing node (hash-consing hits).
+    pub unique_hits: u64,
+    /// Times the unique table doubled and re-inserted every node.
+    pub unique_rehashes: u64,
+    /// Specialized binary apply (`AND`/`OR`/`XOR`/`DIFF`) cache hits.
+    pub apply_hits: u64,
+    /// Specialized binary apply cache misses (recursions actually performed).
+    pub apply_misses: u64,
+    /// Negation cache hits.
+    pub not_hits: u64,
+    /// Negation cache misses.
+    pub not_misses: u64,
+    /// Ternary ITE cache hits.
+    pub ite_hits: u64,
+    /// Ternary ITE cache misses.
+    pub ite_misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of the binary apply cache (0 when it was never probed).
+    pub fn apply_hit_rate(&self) -> f64 {
+        let total = self.apply_hits + self.apply_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.apply_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A reduced ordered BDD manager with an open-addressed hash-consing unique
+/// table and lossy direct-mapped operation caches.
+///
+/// The manager plays the role CUDD plays in the paper's implementation: the
+/// Table II set operations run on BDDs whenever the functions are too large
+/// for dense truth tables. Internals:
+///
+/// * **Unique table** — open-addressed, power-of-two sized, linear probing
+///   with an xxhash-style mix of `(var, low, high)`. Nodes are never deleted,
+///   so insertion is tombstone-free; the table doubles when its load factor
+///   crosses 3/4 ([`CacheStats::unique_rehashes`] counts the doublings).
+/// * **Apply cache** — the four specialized binary operations (`AND`, `OR`,
+///   `XOR`, `DIFF` = `f ∧ ¬g`) recurse directly instead of routing through
+///   3-key ITE, sharing one direct-mapped lossy cache keyed by
+///   `(op, f, g)` with commutative operands normalized (`f ≤ g`).
+/// * **ITE cache** — the general [`BddManager::ite`] keeps its own
+///   direct-mapped ternary cache; its constant-argument cases are forwarded
+///   to the specialized apply operations.
+/// * **Recursion memos** — `restrict`, quantification and model counting
+///   reuse manager-owned scratch maps instead of allocating a fresh
+///   `HashMap` per call.
+/// * **Lifecycle** — [`BddManager::reserve`] pre-sizes the node store and
+///   unique table; [`BddManager::clear`] resets the manager to the two
+///   terminals while keeping every allocation warm, so a worker can reuse
+///   one manager across a whole batch of jobs.
 ///
 /// The variable order is the identity order `x0 < x1 < … < x(n-1)`; the
 /// benchmark functions used in the paper's evaluation are small enough that
-/// dynamic reordering is not required (see `DESIGN.md`).
+/// dynamic reordering is not required.
 ///
 /// ```rust
 /// use bdd::BddManager;
@@ -51,18 +205,62 @@ pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 pub struct BddManager {
     num_vars: usize,
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    /// Open-addressed unique table: slots hold node indices (`EMPTY` = free).
+    unique: Vec<u32>,
+    apply_cache: Vec<ApplyEntry>,
+    not_cache: Vec<NotEntry>,
+    ite_cache: Vec<IteEntry>,
+    /// Reusable memo of `restrict` (taken out of the manager during the
+    /// recursion, restored afterwards).
+    restrict_memo: Memo,
+    /// Reusable memo of the quantification recursions.
+    pub(crate) quant_memo: Memo,
+    /// Reusable memo of model counting (`Bdd` id → path count).
+    pub(crate) count_memo: std::collections::HashMap<Bdd, u128>,
+    /// Current cache generation: operation-cache entries written under an
+    /// older generation are stale (entries start at generation 0, which is
+    /// never current).
+    cache_gen: u32,
+    stats: CacheStats,
 }
 
 impl BddManager {
     /// Creates a manager for functions over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 63` (minterms are addressed with `u64` words).
     pub fn new(num_vars: usize) -> Self {
+        Self::with_capacity(num_vars, MIN_TABLE)
+    }
+
+    /// Creates a manager pre-sized for roughly `expected_nodes` nodes, so a
+    /// caller that knows its workload avoids the early rehash cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 63`.
+    pub fn with_capacity(num_vars: usize, expected_nodes: usize) -> Self {
+        assert!(num_vars < 64, "BDD managers address minterms with u64 words");
+        let slots = table_size_for(expected_nodes);
+        let cache = slots.clamp(MIN_TABLE, MAX_CACHE);
         let nodes = vec![
             Node { var: TERMINAL_VAR, low: Bdd(0), high: Bdd(0) }, // constant 0
             Node { var: TERMINAL_VAR, low: Bdd(1), high: Bdd(1) }, // constant 1
         ];
-        BddManager { num_vars, nodes, unique: HashMap::new(), ite_cache: HashMap::new() }
+        BddManager {
+            num_vars,
+            nodes,
+            unique: vec![EMPTY; slots],
+            apply_cache: vec![ApplyEntry::invalid(); cache],
+            not_cache: vec![NotEntry::invalid(); cache / 2],
+            ite_cache: vec![IteEntry::invalid(); cache],
+            restrict_memo: Memo::new(),
+            quant_memo: Memo::new(),
+            count_memo: std::collections::HashMap::new(),
+            cache_gen: 1,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Number of variables of the manager.
@@ -73,6 +271,57 @@ impl BddManager {
     /// Total number of nodes currently allocated (including both terminals).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Snapshot of the cache/table counters accumulated since the last
+    /// [`BddManager::reset_stats`] (or [`BddManager::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the cache/table counters to zero without touching any table.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Pre-sizes the node store and unique table for `additional` more nodes,
+    /// so a bulk construction performs at most one rehash.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+        let wanted = table_size_for(self.nodes.len() + additional);
+        if wanted > self.unique.len() {
+            self.rehash_unique(wanted);
+        }
+    }
+
+    /// Resets the manager to the two terminal nodes, **invalidating every
+    /// previously returned [`Bdd`] handle**, while keeping the node store,
+    /// unique table, caches and memos allocated at their current capacity.
+    ///
+    /// This is the lifecycle hook the batch engine uses to run one manager
+    /// across many jobs: after a `clear` the next job rebuilds its operands
+    /// into warm tables instead of re-growing fresh ones from scratch.
+    pub fn clear(&mut self) {
+        self.nodes.truncate(2);
+        self.unique.fill(EMPTY);
+        self.bump_cache_gen();
+        self.restrict_memo.clear();
+        self.quant_memo.clear();
+        self.count_memo.clear();
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates every operation-cache entry in O(1) by advancing the
+    /// generation counter; the rare wraparound falls back to a real fill so
+    /// generation 0 (the "never written" stamp) is never current.
+    fn bump_cache_gen(&mut self) {
+        self.cache_gen = self.cache_gen.wrapping_add(1);
+        if self.cache_gen == 0 {
+            self.apply_cache.fill(ApplyEntry::invalid());
+            self.not_cache.fill(NotEntry::invalid());
+            self.ite_cache.fill(IteEntry::invalid());
+            self.cache_gen = 1;
+        }
     }
 
     /// The constant-0 function.
@@ -166,79 +415,219 @@ impl BddManager {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Unique table
+    // ------------------------------------------------------------------
+
     pub(crate) fn mk_node(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
         if low == high {
             return low;
         }
-        if let Some(&existing) = self.unique.get(&(var, low, high)) {
-            return existing;
+        self.stats.unique_lookups += 1;
+        let mask = (self.unique.len() - 1) as u64;
+        let mut idx = (hash3(var, low.0, high.0) & mask) as usize;
+        loop {
+            let slot = self.unique[idx];
+            if slot == EMPTY {
+                break;
+            }
+            let n = self.nodes[slot as usize];
+            if n.var == var && n.low == low && n.high == high {
+                self.stats.unique_hits += 1;
+                return Bdd(slot);
+            }
+            idx = (idx + 1) & mask as usize;
         }
-        let id = Bdd(self.nodes.len() as u32);
+        // Strictly below u32::MAX: that value is the EMPTY/INVALID sentinel
+        // and must never be a real node id.
+        assert!(self.nodes.len() < u32::MAX as usize, "node store exceeds u32 handles");
+        let id = self.nodes.len() as u32;
         self.nodes.push(Node { var, low, high });
-        self.unique.insert((var, low, high), id);
-        id
+        self.unique[idx] = id;
+        // Load factor 3/4: rehash before probe chains degrade. Entries are
+        // `nodes.len() - 2` (terminals live outside the table).
+        if (self.nodes.len() - 2) * 4 >= self.unique.len() * 3 {
+            let target = self.unique.len() * 2;
+            self.rehash_unique(target);
+        }
+        Bdd(id)
     }
 
-    /// The if-then-else operator `ite(f, g, h) = f·g + f'·h`, the core of all
-    /// binary operations.
-    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
-        // Terminal cases.
-        if self.is_one(f) {
-            return g;
+    /// Grows the unique table to `slots` and re-inserts every node. The
+    /// operation caches are grown alongside (their indices depend on their
+    /// own masks only, so they are simply re-allocated empty).
+    fn rehash_unique(&mut self, slots: usize) {
+        debug_assert!(slots.is_power_of_two() && slots >= self.unique.len());
+        self.stats.unique_rehashes += 1;
+        let mask = (slots - 1) as u64;
+        let mut fresh = vec![EMPTY; slots];
+        for (id, n) in self.nodes.iter().enumerate().skip(2) {
+            let mut idx = (hash3(n.var, n.low.0, n.high.0) & mask) as usize;
+            while fresh[idx] != EMPTY {
+                idx = (idx + 1) & mask as usize;
+            }
+            fresh[idx] = id as u32;
         }
-        if self.is_zero(f) {
-            return h;
+        self.unique = fresh;
+        let cache = slots.clamp(MIN_TABLE, MAX_CACHE);
+        if cache > self.apply_cache.len() {
+            self.apply_cache = vec![ApplyEntry::invalid(); cache];
+            self.not_cache = vec![NotEntry::invalid(); cache / 2];
+            self.ite_cache = vec![IteEntry::invalid(); cache];
         }
-        if g == h {
-            return g;
+    }
+
+    /// Occupancy of the unique table in `[0, 1)` (used by tests to pin the
+    /// rehash policy).
+    pub fn unique_load_factor(&self) -> f64 {
+        (self.nodes.len() - 2) as f64 / self.unique.len() as f64
+    }
+
+    /// Current slot count of the unique table (always a power of two).
+    pub fn unique_capacity(&self) -> usize {
+        self.unique.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Specialized binary apply
+    // ------------------------------------------------------------------
+
+    /// The four direct binary operations, dispatched on an internal tag so
+    /// they share one recursion and one cache.
+    fn apply(&mut self, op: u8, mut f: Bdd, mut g: Bdd) -> Bdd {
+        // Terminal and absorption rules first — they keep constants and
+        // shared sub-results out of the cache entirely.
+        match op {
+            OP_AND => {
+                if f == g || self.is_one(g) {
+                    return f;
+                }
+                if self.is_one(f) {
+                    return g;
+                }
+                if self.is_zero(f) || self.is_zero(g) {
+                    return Bdd(0);
+                }
+            }
+            OP_OR => {
+                if f == g || self.is_zero(g) {
+                    return f;
+                }
+                if self.is_zero(f) {
+                    return g;
+                }
+                if self.is_one(f) || self.is_one(g) {
+                    return Bdd(1);
+                }
+            }
+            OP_XOR => {
+                if f == g {
+                    return Bdd(0);
+                }
+                if self.is_zero(f) {
+                    return g;
+                }
+                if self.is_zero(g) {
+                    return f;
+                }
+                if self.is_one(f) {
+                    return self.not(g);
+                }
+                if self.is_one(g) {
+                    return self.not(f);
+                }
+            }
+            OP_DIFF => {
+                // f ∧ ¬g
+                if f == g || self.is_zero(f) || self.is_one(g) {
+                    return Bdd(0);
+                }
+                if self.is_zero(g) {
+                    return f;
+                }
+                if self.is_one(f) {
+                    return self.not(g);
+                }
+            }
+            _ => unreachable!("unknown apply tag"),
         }
-        if self.is_one(g) && self.is_zero(h) {
-            return f;
+        // Commutative operations: normalize operand order for cache sharing.
+        if op != OP_DIFF && f.0 > g.0 {
+            std::mem::swap(&mut f, &mut g);
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-            return r;
+
+        let mask = (self.apply_cache.len() - 1) as u64;
+        let slot = (hash3(u32::from(op), f.0, g.0) & mask) as usize;
+        let e = self.apply_cache[slot];
+        if e.gen == self.cache_gen && e.op == op && e.f == f.0 && e.g == g.0 {
+            self.stats.apply_hits += 1;
+            return Bdd(e.result);
         }
-        let top = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
+        self.stats.apply_misses += 1;
+
+        let top = self.top_var(f).min(self.top_var(g));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
-        let (h0, h1) = self.cofactors_at(h, top);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
+        let low = self.apply(op, f0, g0);
+        let high = self.apply(op, f1, g1);
         let result = self.mk_node(top as u32, low, high);
-        self.ite_cache.insert((f, g, h), result);
+
+        // The recursion may have grown the cache: recompute the slot.
+        let mask = (self.apply_cache.len() - 1) as u64;
+        let slot = (hash3(u32::from(op), f.0, g.0) & mask) as usize;
+        self.apply_cache[slot] =
+            ApplyEntry { op, f: f.0, g: g.0, result: result.0, gen: self.cache_gen };
         result
     }
 
-    /// Cofactors of `f` with respect to the variable at level `level`
-    /// (identity if `f`'s top variable is below `level`).
-    pub(crate) fn cofactors_at(&self, f: Bdd, level: usize) -> (Bdd, Bdd) {
-        let n = self.node(f);
-        if n.var == TERMINAL_VAR || (n.var as usize) != level {
-            (f, f)
-        } else {
-            (n.low, n.high)
-        }
-    }
-
-    /// Negation `¬f`.
+    /// Negation `¬f`, with its own direct-mapped cache.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Bdd(0), Bdd(1))
+        if self.is_zero(f) {
+            return Bdd(1);
+        }
+        if self.is_one(f) {
+            return Bdd(0);
+        }
+        let mask = (self.not_cache.len() - 1) as u64;
+        let slot = (avalanche(u64::from(f.0)) & mask) as usize;
+        let e = self.not_cache[slot];
+        if e.gen == self.cache_gen && e.f == f.0 {
+            self.stats.not_hits += 1;
+            return Bdd(e.result);
+        }
+        self.stats.not_misses += 1;
+        let n = self.node(f);
+        let low = self.not(n.low);
+        let high = self.not(n.high);
+        let result = self.mk_node(n.var, low, high);
+        let mask = (self.not_cache.len() - 1) as u64;
+        let slot = (avalanche(u64::from(f.0)) & mask) as usize;
+        self.not_cache[slot] = NotEntry { f: f.0, result: result.0, gen: self.cache_gen };
+        // Negation is an involution: prime the reverse entry too.
+        let slot = (avalanche(u64::from(result.0)) & mask) as usize;
+        self.not_cache[slot] = NotEntry { f: result.0, result: f.0, gen: self.cache_gen };
+        result
     }
 
     /// Conjunction `f ∧ g`.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, g, Bdd(0))
+        self.apply(OP_AND, f, g)
     }
 
     /// Disjunction `f ∨ g`.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, Bdd(1), g)
+        self.apply(OP_OR, f, g)
     }
 
     /// Exclusive or `f ⊕ g`.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.apply(OP_XOR, f, g)
+    }
+
+    /// Set difference `f ∧ ¬g` as one direct operation (no materialized
+    /// complement).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(OP_DIFF, f, g)
     }
 
     /// Equivalence `f ⊙ g` (XNOR).
@@ -247,9 +636,10 @@ impl BddManager {
         self.not(x)
     }
 
-    /// Implication `f ⇒ g`.
+    /// Implication `f ⇒ g = ¬(f ∧ ¬g)`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, g, Bdd(1))
+        let d = self.diff(f, g);
+        self.not(d)
     }
 
     /// Joint denial `¬(f ∨ g)` (NOR).
@@ -264,17 +654,98 @@ impl BddManager {
         self.not(a)
     }
 
-    /// Set difference `f ∧ ¬g`.
-    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.and(f, ng)
-    }
-
     /// Returns `true` if `f ⇒ g` is a tautology (i.e. the on-set of `f` is a
     /// subset of the on-set of `g`).
     pub fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
         let d = self.diff(f, g);
         self.is_zero(d)
+    }
+
+    /// Returns `true` if `f` and `g` share no on-set minterm.
+    pub fn is_disjoint(&mut self, f: Bdd, g: Bdd) -> bool {
+        let a = self.and(f, g);
+        self.is_zero(a)
+    }
+
+    // ------------------------------------------------------------------
+    // General ITE
+    // ------------------------------------------------------------------
+
+    /// The if-then-else operator `ite(f, g, h) = f·g + f'·h`.
+    ///
+    /// Constant-argument cases forward to the specialized binary operations
+    /// (so they share the apply cache); only the genuinely ternary cases use
+    /// the ITE recursion and its cache.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if self.is_one(f) {
+            return g;
+        }
+        if self.is_zero(f) {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if self.is_one(g) && self.is_zero(h) {
+            return f;
+        }
+        if self.is_zero(g) && self.is_one(h) {
+            return self.not(f);
+        }
+        // Two-operand cases route to the specialized apply operations.
+        if self.is_zero(h) {
+            return self.and(f, g);
+        }
+        if self.is_one(g) {
+            return self.or(f, h);
+        }
+        if self.is_zero(g) {
+            return self.diff(h, f);
+        }
+        if self.is_one(h) {
+            return self.implies(f, g);
+        }
+        if f == g {
+            return self.or(f, h);
+        }
+        if f == h {
+            return self.and(f, g);
+        }
+
+        let mask = (self.ite_cache.len() - 1) as u64;
+        let slot = (hash3(f.0, g.0, h.0) & mask) as usize;
+        let e = self.ite_cache[slot];
+        if e.gen == self.cache_gen && e.f == f.0 && e.g == g.0 && e.h == h.0 {
+            self.stats.ite_hits += 1;
+            return Bdd(e.result);
+        }
+        self.stats.ite_misses += 1;
+
+        let top = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let result = self.mk_node(top as u32, low, high);
+
+        let mask = (self.ite_cache.len() - 1) as u64;
+        let slot = (hash3(f.0, g.0, h.0) & mask) as usize;
+        self.ite_cache[slot] =
+            IteEntry { f: f.0, g: g.0, h: h.0, result: result.0, gen: self.cache_gen };
+        result
+    }
+
+    /// Cofactors of `f` with respect to the variable at level `level`
+    /// (identity if `f`'s top variable is below `level`).
+    pub(crate) fn cofactors_at(&self, f: Bdd, level: usize) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR || (n.var as usize) != level {
+            (f, f)
+        } else {
+            (n.low, n.high)
+        }
     }
 
     /// Restriction (cofactor) of `f` with `var` fixed to `value`.
@@ -284,16 +755,23 @@ impl BddManager {
     /// Panics if `var >= self.num_vars()`.
     pub fn restrict(&mut self, f: Bdd, var: usize, value: bool) -> Bdd {
         self.check_var(var).expect("variable index out of range");
-        self.restrict_rec(f, var as u32, value, &mut HashMap::new())
+        // Take the manager-owned memo out for the recursion (it cannot stay
+        // borrowed while `mk_node` needs `&mut self`), then put it back so
+        // its allocation is reused by the next call.
+        let mut memo = std::mem::take(&mut self.restrict_memo);
+        memo.clear();
+        let result = self.restrict_rec(f, var as u32, value, &mut memo);
+        self.restrict_memo = memo;
+        result
     }
 
-    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool, memo: &mut Memo) -> Bdd {
         let n = self.node(f);
         if n.var == TERMINAL_VAR || n.var > var {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
-            return r;
+        if let Some(r) = memo.get(f.0) {
+            return Bdd(r);
         }
         let result = if n.var == var {
             if value {
@@ -306,7 +784,7 @@ impl BddManager {
             let high = self.restrict_rec(n.high, var, value, memo);
             self.mk_node(n.var, low, high)
         };
-        memo.insert(f, result);
+        memo.insert(f.0, result.0);
         result
     }
 
@@ -441,12 +919,23 @@ impl BddManager {
         vars.into_iter().collect()
     }
 
-    /// Clears the operation caches (the unique table is kept, so existing
-    /// handles stay valid). Useful between unrelated computations to bound
-    /// memory growth.
+    /// Clears the operation caches and recursion memos (the unique table is
+    /// kept, so existing handles stay valid). Useful between unrelated
+    /// computations to bound memory growth; to reset the node store as well,
+    /// use [`BddManager::clear`].
     pub fn clear_caches(&mut self) {
-        self.ite_cache.clear();
+        self.bump_cache_gen();
+        self.restrict_memo.clear();
+        self.quant_memo.clear();
+        self.count_memo.clear();
     }
+}
+
+/// Smallest power-of-two slot count that keeps `entries` nodes below the 3/4
+/// load factor.
+fn table_size_for(entries: usize) -> usize {
+    let needed = entries.saturating_mul(4) / 3 + 1;
+    needed.next_power_of_two().max(MIN_TABLE)
 }
 
 impl fmt::Debug for BddManager {
@@ -570,5 +1059,138 @@ mod tests {
         let a = mgr.and(x0, x1);
         assert!(mgr.is_subset(a, x0));
         assert!(!mgr.is_subset(x0, a));
+        assert!(!mgr.is_disjoint(a, x0));
+        let nx0 = mgr.not(x0);
+        assert!(mgr.is_disjoint(a, nx0));
+    }
+
+    #[test]
+    fn ite_agrees_with_boolean_semantics() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let x2 = mgr.variable(2);
+        let f = mgr.ite(x0, x1, x2);
+        for m in 0..8u64 {
+            let (a, b, c) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
+            assert_eq!(mgr.eval(f, m), if a { b } else { c }, "minterm {m}");
+        }
+        // Constant-argument ITEs must collapse to the specialized operations.
+        let and = mgr.and(x0, x1);
+        assert_eq!(mgr.ite(x0, x1, Bdd(0)), and);
+        let or = mgr.or(x0, x2);
+        assert_eq!(mgr.ite(x0, Bdd(1), x2), or);
+        let nx0 = mgr.not(x0);
+        assert_eq!(mgr.ite(x0, Bdd(0), Bdd(1)), nx0);
+    }
+
+    #[test]
+    fn unique_table_rehash_preserves_hash_consing() {
+        // Force many rehashes by building a function with far more nodes than
+        // the minimum table size, then verify the reduction invariants: the
+        // same (var, low, high) request always returns the same node.
+        let mut mgr = BddManager::new(16);
+        let tt = TruthTable::from_fn(16, |m| avalanche(m ^ 0xD1CE) & 1 == 1);
+        let f = mgr.from_truth_table(&tt);
+        assert!(mgr.stats().unique_rehashes > 0, "workload too small to exercise rehash");
+        assert!(mgr.unique_load_factor() < 0.75, "rehash policy failed to keep the load down");
+        // Hash-consing still canonical after rehashes: rebuilding the same
+        // function yields the identical root handle.
+        assert_eq!(mgr.from_truth_table(&tt), f);
+        // And the function itself survived intact.
+        assert_eq!(mgr.to_truth_table(f).unwrap(), tt);
+    }
+
+    #[test]
+    fn unique_table_has_no_duplicate_nodes() {
+        let mut mgr = BddManager::new(12);
+        let tt = TruthTable::from_fn(12, |m| m.count_ones() % 3 == 0);
+        let _ = mgr.from_truth_table(&tt);
+        // Every internal node is registered exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for id in 2..mgr.num_nodes() {
+            let n = mgr.node(Bdd(id as u32));
+            assert!(seen.insert((n.var, n.low, n.high)), "duplicate node {id}");
+            assert_ne!(n.low, n.high, "redundant node {id} survived reduction");
+        }
+    }
+
+    #[test]
+    fn apply_cache_hit_accounting() {
+        let mut mgr = BddManager::new(8);
+        let tt_a = TruthTable::from_fn(8, |m| m % 3 == 0);
+        let tt_b = TruthTable::from_fn(8, |m| m % 5 == 0);
+        let a = mgr.from_truth_table(&tt_a);
+        let b = mgr.from_truth_table(&tt_b);
+        mgr.reset_stats();
+
+        let r1 = mgr.and(a, b);
+        let after_first = mgr.stats();
+        assert!(after_first.apply_misses > 0, "first AND must recurse");
+
+        // The identical operation again: served by the cache, no new misses.
+        let r2 = mgr.and(a, b);
+        let after_second = mgr.stats();
+        assert_eq!(r1, r2);
+        assert_eq!(after_second.apply_misses, after_first.apply_misses);
+        assert!(after_second.apply_hits > after_first.apply_hits);
+
+        // Commutative normalization: the swapped operands hit the same entry.
+        let r3 = mgr.and(b, a);
+        let after_swapped = mgr.stats();
+        assert_eq!(r1, r3);
+        assert_eq!(after_swapped.apply_misses, after_second.apply_misses);
+        assert!(after_swapped.apply_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut mgr = BddManager::new(10);
+        let tt = TruthTable::from_fn(10, |m| m % 7 < 3);
+        let f = mgr.from_truth_table(&tt);
+        let grown_capacity = mgr.unique_capacity();
+        let nodes_before = mgr.num_nodes();
+        assert!(nodes_before > 2);
+
+        mgr.clear();
+        assert_eq!(mgr.num_nodes(), 2, "clear keeps only the terminals");
+        assert_eq!(mgr.unique_capacity(), grown_capacity, "clear keeps the table allocation");
+        assert_eq!(mgr.stats(), CacheStats::default());
+
+        // The manager is fully usable after a clear and reproduces the same
+        // function (handles from before the clear are invalid by contract).
+        let f2 = mgr.from_truth_table(&tt);
+        assert_eq!(mgr.to_truth_table(f2).unwrap(), tt);
+        let _ = f; // old handle: not used after clear
+        assert_eq!(mgr.num_nodes(), nodes_before, "same function, same node count");
+    }
+
+    #[test]
+    fn reserve_avoids_rehashes() {
+        let tt = TruthTable::from_fn(14, |m| avalanche(m ^ 0xBEEF) & 1 == 1);
+        // Without a reserve, a random 14-variable function overflows the
+        // minimum table and rehashes at least once.
+        let mut cold = BddManager::new(14);
+        let _ = cold.from_truth_table(&tt);
+        assert!(cold.stats().unique_rehashes > 0);
+        // With the reserve, the same build never rehashes.
+        let mut warm = BddManager::new(14);
+        warm.reserve(cold.num_nodes());
+        let baseline = warm.stats().unique_rehashes;
+        let _ = warm.from_truth_table(&tt);
+        assert_eq!(warm.stats().unique_rehashes, baseline, "reserve should pre-size the table");
+    }
+
+    #[test]
+    fn not_is_an_involution_with_cache_hits() {
+        let mut mgr = BddManager::new(8);
+        let tt = TruthTable::from_fn(8, |m| m % 11 < 4);
+        let f = mgr.from_truth_table(&tt);
+        mgr.reset_stats();
+        let nf = mgr.not(f);
+        let back = mgr.not(nf);
+        assert_eq!(back, f);
+        // The involution priming makes the second negation a cache hit.
+        assert!(mgr.stats().not_hits > 0);
     }
 }

@@ -1,0 +1,142 @@
+//! A reusable open-addressed `u32 → u32` memo map for BDD recursions.
+//!
+//! `restrict`, quantification and similar traversals need an exact (lossless)
+//! per-call memo keyed by node id. The pre-rewrite implementation allocated a
+//! fresh `HashMap` per call; this map is owned by the manager instead and
+//! reused across calls — [`Memo::clear`] keeps the slot allocation warm, so
+//! the steady state allocates nothing and probes a flat power-of-two array
+//! with linear probing (the same regime as the unique table).
+
+/// Key sentinel marking an empty slot. Node id `u32::MAX` never occurs (it is
+/// the terminal-var sentinel space and the node store grows far below it).
+const KEY_EMPTY: u32 = u32::MAX;
+
+const MIN_SLOTS: usize = 1 << 8;
+
+/// SplitMix64-style avalanche used to spread node ids.
+#[inline]
+fn mix(key: u32) -> u64 {
+    let mut z = u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// An exact, reusable `u32 → u32` map (open addressing, linear probing,
+/// power-of-two capacity, 3/4 load factor).
+#[derive(Debug, Clone)]
+pub(crate) struct Memo {
+    slots: Vec<(u32, u32)>,
+    len: usize,
+}
+
+impl Default for Memo {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+impl Memo {
+    pub(crate) fn new() -> Self {
+        Memo { slots: vec![(KEY_EMPTY, 0); MIN_SLOTS], len: 0 }
+    }
+
+    /// Removes every entry but keeps the slot allocation.
+    pub(crate) fn clear(&mut self) {
+        if self.len > 0 {
+            self.slots.fill((KEY_EMPTY, 0));
+            self.len = 0;
+        }
+    }
+
+    pub(crate) fn get(&self, key: u32) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut idx = (mix(key) as usize) & mask;
+        loop {
+            let (k, v) = self.slots[idx];
+            if k == key {
+                return Some(v);
+            }
+            if k == KEY_EMPTY {
+                return None;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: u32, value: u32) {
+        debug_assert_ne!(key, KEY_EMPTY, "key collides with the empty sentinel");
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = (mix(key) as usize) & mask;
+        loop {
+            let (k, _) = self.slots[idx];
+            if k == KEY_EMPTY {
+                self.slots[idx] = (key, value);
+                self.len += 1;
+                return;
+            }
+            if k == key {
+                self.slots[idx].1 = value;
+                return;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(KEY_EMPTY, 0); new_size]);
+        let mask = new_size - 1;
+        for (k, v) in old {
+            if k == KEY_EMPTY {
+                continue;
+            }
+            let mut idx = (mix(k) as usize) & mask;
+            while self.slots[idx].0 != KEY_EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = (k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip_through_growth() {
+        let mut memo = Memo::new();
+        for k in 0..2_000u32 {
+            memo.insert(k, k.wrapping_mul(3));
+        }
+        for k in 0..2_000u32 {
+            assert_eq!(memo.get(k), Some(k.wrapping_mul(3)));
+        }
+        assert_eq!(memo.get(2_000), None);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut memo = Memo::new();
+        for k in 0..1_000u32 {
+            memo.insert(k, k);
+        }
+        let capacity = memo.slots.len();
+        memo.clear();
+        assert_eq!(memo.slots.len(), capacity);
+        assert_eq!(memo.get(5), None);
+        memo.insert(5, 7);
+        assert_eq!(memo.get(5), Some(7));
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut memo = Memo::new();
+        memo.insert(1, 10);
+        memo.insert(1, 20);
+        assert_eq!(memo.get(1), Some(20));
+    }
+}

@@ -1,8 +1,7 @@
 //! Existential and universal quantification over sets of variables.
 
-use std::collections::HashMap;
-
 use crate::manager::{Bdd, BddManager, TERMINAL_VAR};
+use crate::memo::Memo;
 
 impl BddManager {
     /// Existential quantification `∃ vars . f`.
@@ -11,8 +10,7 @@ impl BddManager {
     ///
     /// Panics if a variable index is out of range.
     pub fn exists(&mut self, f: Bdd, vars: &[usize]) -> Bdd {
-        let mask = self.vars_mask(vars);
-        self.quant_rec(f, &mask, true, &mut HashMap::new())
+        self.quantify(f, vars, true)
     }
 
     /// Universal quantification `∀ vars . f`.
@@ -21,8 +19,18 @@ impl BddManager {
     ///
     /// Panics if a variable index is out of range.
     pub fn forall(&mut self, f: Bdd, vars: &[usize]) -> Bdd {
+        self.quantify(f, vars, false)
+    }
+
+    fn quantify(&mut self, f: Bdd, vars: &[usize], existential: bool) -> Bdd {
         let mask = self.vars_mask(vars);
-        self.quant_rec(f, &mask, false, &mut HashMap::new())
+        // Reuse the manager-owned memo across calls (taken out so the
+        // recursion can borrow `self` mutably, restored afterwards).
+        let mut memo = std::mem::take(&mut self.quant_memo);
+        memo.clear();
+        let result = self.quant_rec(f, &mask, existential, &mut memo);
+        self.quant_memo = memo;
+        result
     }
 
     fn vars_mask(&self, vars: &[usize]) -> Vec<bool> {
@@ -34,19 +42,13 @@ impl BddManager {
         mask
     }
 
-    fn quant_rec(
-        &mut self,
-        f: Bdd,
-        mask: &[bool],
-        existential: bool,
-        memo: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    fn quant_rec(&mut self, f: Bdd, mask: &[bool], existential: bool, memo: &mut Memo) -> Bdd {
         let n = self.node(f);
         if n.var == TERMINAL_VAR {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
-            return r;
+        if let Some(r) = memo.get(f.0) {
+            return Bdd(r);
         }
         let low = self.quant_rec(n.low, mask, existential, memo);
         let high = self.quant_rec(n.high, mask, existential, memo);
@@ -59,7 +61,7 @@ impl BddManager {
         } else {
             self.mk_node(n.var, low, high)
         };
-        memo.insert(f, result);
+        memo.insert(f.0, result.0);
         result
     }
 

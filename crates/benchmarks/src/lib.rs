@@ -19,6 +19,11 @@
 //! Every instance is exposed as a [`BenchmarkInstance`] (a named list of
 //! per-output incompletely specified functions plus a PLA rendering), and
 //! [`Suite`] groups them the way the paper's tables do.
+//!
+//! A third family, [`symbolic`], describes 24–40 input instances the dense
+//! backend cannot represent at all; they are built directly into a BDD
+//! manager by the engine's symbolic backend and grouped by
+//! [`Suite::large`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +32,10 @@ pub mod arithmetic;
 mod instance;
 pub mod rng;
 mod suite;
+pub mod symbolic;
 pub mod synthetic;
 
 pub use instance::BenchmarkInstance;
 pub use rng::DetRng;
 pub use suite::Suite;
+pub use symbolic::{SymbolicFunction, SymbolicInstance};

@@ -1,10 +1,17 @@
 use crate::arithmetic;
 use crate::instance::BenchmarkInstance;
+use crate::symbolic::{self, SymbolicInstance};
 use crate::synthetic;
 
 /// The benchmark suites used by the experiment harness, mirroring the split
 /// of the paper's evaluation: Table III groups the instances whose
 /// approximation error rate stays below 10%, Table IV the ones above 40%.
+///
+/// A suite carries two instance lists: the dense [`Suite::instances`]
+/// (truth-table backed, the paper's scale) and the symbolic
+/// [`Suite::symbolic_instances`] (24–40 inputs, BDD backend only). Most
+/// suites have only dense instances; [`Suite::large`] has only symbolic
+/// ones.
 ///
 /// ```rust
 /// use benchmarks::Suite;
@@ -12,31 +19,47 @@ use crate::synthetic;
 /// let t4 = Suite::table4();
 /// assert!(t4.instances().iter().any(|i| i.name() == "adr4"));
 /// assert!(Suite::by_name("clip").is_some());
+/// assert!(!Suite::large().symbolic_instances().is_empty());
 /// ```
 #[derive(Debug, Clone)]
 pub struct Suite {
     name: String,
     instances: Vec<BenchmarkInstance>,
+    symbolic: Vec<SymbolicInstance>,
 }
 
 impl Suite {
     /// The control-dominated suite corresponding to Table III (synthetic
     /// stand-ins; see the crate documentation for the substitution note).
     pub fn table3() -> Self {
-        Suite { name: "table3".to_string(), instances: synthetic::table3_instances() }
+        Suite {
+            name: "table3".to_string(),
+            instances: synthetic::table3_instances(),
+            symbolic: Vec::new(),
+        }
     }
 
     /// The arithmetic suite corresponding to Table IV (regenerated from the
     /// arithmetic definitions).
     pub fn table4() -> Self {
-        Suite { name: "table4".to_string(), instances: arithmetic::all() }
+        Suite { name: "table4".to_string(), instances: arithmetic::all(), symbolic: Vec::new() }
     }
 
     /// Both suites concatenated.
     pub fn all() -> Self {
         let mut instances = synthetic::table3_instances();
         instances.extend(arithmetic::all());
-        Suite { name: "all".to_string(), instances }
+        Suite { name: "all".to_string(), instances, symbolic: Vec::new() }
+    }
+
+    /// The symbolic large-`n` suite: 24–40 input instances beyond the dense
+    /// backend, swept only by the BDD backend.
+    pub fn large() -> Self {
+        Suite {
+            name: "large".to_string(),
+            instances: Vec::new(),
+            symbolic: symbolic::large_instances(),
+        }
     }
 
     /// A small suite (few inputs, few outputs) used by the integration tests
@@ -58,6 +81,7 @@ impl Suite {
                     },
                 ),
             ],
+            symbolic: Vec::new(),
         }
     }
 
@@ -66,12 +90,17 @@ impl Suite {
         &self.name
     }
 
-    /// The instances of the suite.
+    /// The dense (truth-table backed) instances of the suite.
     pub fn instances(&self) -> &[BenchmarkInstance] {
         &self.instances
     }
 
-    /// Looks up an instance of any suite by its paper name.
+    /// The symbolic (BDD-only) instances of the suite.
+    pub fn symbolic_instances(&self) -> &[SymbolicInstance] {
+        &self.symbolic
+    }
+
+    /// Looks up a dense instance of any suite by its paper name.
     pub fn by_name(name: &str) -> Option<BenchmarkInstance> {
         Suite::all().instances.into_iter().find(|i| i.name() == name)
     }

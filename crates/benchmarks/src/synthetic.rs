@@ -29,11 +29,21 @@ pub struct ControlPlaSpec {
     pub seed: u64,
 }
 
-/// Generates a deterministic control-style multi-output instance: a pool of
-/// random cubes is generated, and every output selects a random subset of the
-/// pool (mirroring the cube sharing of real control PLAs).
-pub fn control_pla(name: &str, spec: ControlPlaSpec) -> BenchmarkInstance {
-    assert!(spec.inputs <= 16, "synthetic instances are kept within the dense backend");
+/// Generates the deterministic per-output covers of a control-style
+/// instance: a pool of random cubes is generated, and every output selects a
+/// random subset of the pool (mirroring the cube sharing of real control
+/// PLAs).
+///
+/// This is the representation-agnostic core shared by [`control_pla`] (which
+/// densifies the covers into truth tables) and the wide symbolic instances
+/// of [`crate::symbolic`] (which build them directly into a BDD manager);
+/// covers scale to [`Cube::MAX_VARS`] inputs.
+///
+/// # Panics
+///
+/// Panics if `spec.inputs > Cube::MAX_VARS`.
+pub fn control_covers(spec: ControlPlaSpec) -> Vec<Cover> {
+    assert!(spec.inputs <= Cube::MAX_VARS, "covers address variables with u64 masks");
     let mut rng = DetRng::seed_from_u64(spec.seed);
     let mut pool: Vec<Cube> = Vec::with_capacity(spec.cubes);
     for _ in 0..spec.cubes {
@@ -45,7 +55,7 @@ pub fn control_pla(name: &str, spec: ControlPlaSpec) -> BenchmarkInstance {
         }
         pool.push(cube);
     }
-    let mut outputs = Vec::with_capacity(spec.outputs);
+    let mut covers = Vec::with_capacity(spec.outputs);
     for _ in 0..spec.outputs {
         let mut cover = Cover::empty(spec.inputs);
         for cube in &pool {
@@ -57,8 +67,19 @@ pub fn control_pla(name: &str, spec: ControlPlaSpec) -> BenchmarkInstance {
         if cover.is_empty() {
             cover.push(pool[rng.gen_range(0..pool.len())]);
         }
-        outputs.push(Isf::from_covers(&cover, &Cover::empty(spec.inputs)));
+        covers.push(cover);
     }
+    covers
+}
+
+/// Generates a deterministic control-style multi-output instance from
+/// [`control_covers`], densified into the truth-table backend.
+pub fn control_pla(name: &str, spec: ControlPlaSpec) -> BenchmarkInstance {
+    assert!(spec.inputs <= 16, "dense synthetic instances are kept within the dense backend");
+    let outputs = control_covers(spec)
+        .iter()
+        .map(|cover| Isf::from_covers(cover, &Cover::empty(spec.inputs)))
+        .collect();
     BenchmarkInstance::new(name, outputs)
 }
 

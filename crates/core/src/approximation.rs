@@ -1,6 +1,7 @@
 //! Classification of approximations (Definitions 1–3 of the paper) and the
 //! divisor side conditions of Table II.
 
+use bdd::{Bdd, BddManager};
 use boolfunc::{Isf, TruthTable};
 
 use crate::error::BidecompError;
@@ -109,6 +110,37 @@ pub fn is_valid_divisor(f: &Isf, g: &TruthTable, op: BinaryOp) -> bool {
         }
         BinaryOp::Or | BinaryOp::ConverseImplication => g.is_subset_of(f.on()),
         BinaryOp::Implication | BinaryOp::Nand => f.off_is_subset_of(g),
+        BinaryOp::Xor | BinaryOp::Xnor => true,
+    }
+}
+
+/// [`is_valid_divisor`] on the BDD backend: the Table II side condition of
+/// `op`, with `f` given as an `(on, dc)` BDD pair in `mgr`.
+///
+/// The subset/disjointness checks run symbolically (`diff`/`and` against the
+/// constant 0), so the validation scales to arities far beyond the dense
+/// representation.
+pub fn is_valid_divisor_bdd(
+    mgr: &mut BddManager,
+    f_on: Bdd,
+    f_dc: Bdd,
+    g: Bdd,
+    op: BinaryOp,
+) -> bool {
+    match op {
+        BinaryOp::And | BinaryOp::NonImplication => mgr.is_subset(f_on, g),
+        BinaryOp::ConverseNonImplication | BinaryOp::Nor => {
+            // g ⊆ f_off ⇔ g disjoint from on ∪ dc.
+            let on_or_dc = mgr.or(f_on, f_dc);
+            mgr.is_disjoint(g, on_or_dc)
+        }
+        BinaryOp::Or | BinaryOp::ConverseImplication => mgr.is_subset(g, f_on),
+        BinaryOp::Implication | BinaryOp::Nand => {
+            // f_off ⊆ g ⇔ on ∪ dc ∪ g is the tautology.
+            let on_or_dc = mgr.or(f_on, f_dc);
+            let all = mgr.or(on_or_dc, g);
+            mgr.is_one(all)
+        }
         BinaryOp::Xor | BinaryOp::Xnor => true,
     }
 }

@@ -4,34 +4,76 @@
 //!
 //! Each *job* is one `(instance, output, operator)` triple. The worker
 //! derives a seed-stable valid divisor for the operator's Table II side
-//! condition ([`seeded_divisor`]), computes the full quotient through the
-//! allocation-free [`QuotientScratch`] path, and checks both Lemmas 1–5
-//! ([`crate::verify_decomposition`]) and Corollaries 1–4
-//! ([`crate::verify_maximal_flexibility`]) with the word-parallel verifiers.
-//! Results land in a pre-sized slot per job, so the report is bit-identical
-//! regardless of thread count or scheduling.
+//! condition ([`seeded_divisor`]), computes the full quotient, and checks
+//! both Lemmas 1–5 ([`crate::verify_decomposition`]) and Corollaries 1–4
+//! ([`crate::verify_maximal_flexibility`]). Results land in a pre-sized slot
+//! per job, so the report is bit-identical regardless of thread count or
+//! scheduling.
+//!
+//! Two [`Backend`]s execute the jobs:
+//!
+//! * [`Backend::Dense`] — the allocation-free word-parallel path
+//!   ([`QuotientScratch`] plus the `_sets` verifiers) on packed truth
+//!   tables; unbeatable while `2^n` bits fit comfortably in cache.
+//! * [`Backend::Bdd`] — the symbolic path ([`crate::full_quotient_bdd`] plus
+//!   the `_bdd` verifiers) with one reused [`BddManager`] per worker. It
+//!   additionally sweeps the suite's *symbolic* instances
+//!   ([`benchmarks::SymbolicInstance`], 24–40 inputs), which the dense
+//!   backend cannot represent at all. On dense instances its divisors are
+//!   bit-identical to the dense backend's (same noise words, same algebra),
+//!   so the two backends produce the same report minterm counts.
 //!
 //! ```rust
 //! use benchmarks::Suite;
-//! use bidecomp::engine::{sweep, EngineConfig};
+//! use bidecomp::engine::{sweep, Backend, EngineConfig};
 //!
 //! let report = sweep(&Suite::smoke(), &EngineConfig::default());
 //! assert_eq!(report.jobs.len(), report.total_jobs());
 //! assert!(report.all_verified());
 //! // Ten per-operator aggregates, in Table I order.
 //! assert_eq!(report.operators.len(), 10);
+//!
+//! // The same sweep, executed symbolically.
+//! let config = EngineConfig { backend: Backend::Bdd, ..EngineConfig::default() };
+//! let symbolic = sweep(&Suite::smoke(), &config);
+//! assert!(symbolic.all_verified());
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use bdd::{Bdd, BddManager};
 use benchmarks::{DetRng, Suite};
 use boolfunc::{Isf, TruthTable};
 
-use crate::approximation::is_valid_divisor;
+use crate::approximation::{is_valid_divisor, is_valid_divisor_bdd};
 use crate::operator::BinaryOp;
-use crate::quotient::{QuotientScratch, QuotientSets};
-use crate::verify::{verify_decomposition_sets, verify_maximal_flexibility_sets};
+use crate::quotient::{full_quotient_bdd, quotient_off_bdd, QuotientScratch, QuotientSets};
+use crate::verify::{
+    verify_decomposition_bdd, verify_decomposition_sets, verify_maximal_flexibility_bdd,
+    verify_maximal_flexibility_sets,
+};
+
+/// Which representation executes the sweep's jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Packed truth tables (word-parallel, allocation-free). The default.
+    #[default]
+    Dense,
+    /// BDDs in a per-worker manager; also sweeps the suite's symbolic
+    /// instances, which have no dense representation.
+    Bdd,
+}
+
+impl Backend {
+    /// Stable lowercase name (used in reports and artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Dense => "dense",
+            Backend::Bdd => "bdd",
+        }
+    }
+}
 
 /// Configuration of a batch sweep.
 #[derive(Debug, Clone)]
@@ -40,12 +82,15 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Operators to sweep, in report order (defaults to all ten of Table I).
     pub ops: Vec<BinaryOp>,
-    /// Skip instances with more than this many inputs.
+    /// Skip dense instances with more than this many inputs. Symbolic
+    /// instances are curated for the BDD backend and are never filtered.
     pub max_inputs: usize,
     /// Use at most this many outputs per instance.
     pub max_outputs: usize,
     /// Base seed for the per-job divisor derivation.
     pub seed: u64,
+    /// The representation executing the jobs.
+    pub backend: Backend,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +101,7 @@ impl Default for EngineConfig {
             max_inputs: 12,
             max_outputs: 6,
             seed: 0xB1DE_C04D,
+            backend: Backend::Dense,
         }
     }
 }
@@ -124,6 +170,44 @@ pub fn seeded_divisor(f: &Isf, op: BinaryOp, seed: u64) -> TruthTable {
     g
 }
 
+/// The symbolic counterpart of [`seeded_divisor`]: derives a divisor
+/// satisfying the Table II side condition of `op` from an arbitrary `noise`
+/// function, using the *same set algebra* as the dense version — feed it the
+/// BDD of the same noise words and it produces the BDD of the same divisor.
+///
+/// At large arities the engine feeds it a seeded
+/// [`benchmarks::symbolic::noise_cover`] instead, keeping the divisor's BDD
+/// small while the side condition still holds by construction.
+pub fn seeded_divisor_bdd(
+    mgr: &mut BddManager,
+    f_on: Bdd,
+    f_dc: Bdd,
+    noise: Bdd,
+    op: BinaryOp,
+) -> Bdd {
+    match op {
+        BinaryOp::And | BinaryOp::NonImplication => {
+            // f_on ∪ (noise ∩ f_off)
+            let a = mgr.diff(noise, f_dc);
+            let b = mgr.diff(a, f_on);
+            mgr.or(b, f_on)
+        }
+        BinaryOp::Or | BinaryOp::ConverseImplication => mgr.and(noise, f_on),
+        BinaryOp::ConverseNonImplication | BinaryOp::Nor => {
+            // noise ∩ f_off
+            let a = mgr.diff(noise, f_dc);
+            mgr.diff(a, f_on)
+        }
+        BinaryOp::Implication | BinaryOp::Nand => {
+            // f_off ∪ (noise ∩ f_on) = ¬((f_on \ noise) ∪ f_dc)
+            let a = mgr.diff(f_on, noise);
+            let b = mgr.or(a, f_dc);
+            mgr.not(b)
+        }
+        BinaryOp::Xor | BinaryOp::Xnor => mgr.xor(noise, f_on),
+    }
+}
+
 /// The outcome of one `(instance, output, operator)` job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobResult {
@@ -148,6 +232,10 @@ pub struct JobResult {
     pub verified: bool,
     /// Corollaries 1–4: `h` has the smallest on-set and largest dc-set.
     pub maximal: bool,
+    /// Nodes in the job's BDD manager after the quotient and both
+    /// verifications (0 on the dense backend). Deterministic: each job runs
+    /// in a freshly cleared manager.
+    pub bdd_nodes: u64,
     /// Wall time of the job in nanoseconds (divisor + quotient + both
     /// verifications). Excluded from determinism comparisons.
     pub nanos: u64,
@@ -156,7 +244,8 @@ pub struct JobResult {
 impl JobResult {
     /// The scheduling-independent portion of the result (everything except
     /// the wall time), for bit-identical comparisons across thread counts.
-    pub fn semantic(&self) -> (&str, usize, BinaryOp, usize, u64, u64, u64, u64, bool, bool) {
+    #[allow(clippy::type_complexity)]
+    pub fn semantic(&self) -> (&str, usize, BinaryOp, usize, u64, u64, u64, u64, bool, bool, u64) {
         (
             &self.instance,
             self.output,
@@ -168,6 +257,7 @@ impl JobResult {
             self.divisor_errors,
             self.verified,
             self.maximal,
+            self.bdd_nodes,
         )
     }
 }
@@ -200,6 +290,8 @@ pub struct OperatorStats {
 pub struct SweepReport {
     /// Name of the suite that was swept.
     pub suite: String,
+    /// Backend that executed the jobs.
+    pub backend: Backend,
     /// Worker threads used.
     pub threads: usize,
     /// One result per job, ordered by `(instance, output, operator)` index —
@@ -223,25 +315,35 @@ impl SweepReport {
     }
 }
 
-/// One `(instance, output, op)` triple by index.
+/// One `(instance, output, op)` triple by index. `symbolic` selects which of
+/// the suite's two instance lists `instance` indexes into.
 #[derive(Debug, Clone, Copy)]
 struct JobSpec {
     instance: usize,
     output: usize,
     op_index: usize,
+    symbolic: bool,
 }
 
 /// Per-worker reusable buffers, rebuilt only when the arity changes (jobs are
-/// enumerated instance-major, so this is rare).
+/// enumerated instance-major, so this is rare). The dense buffers exist only
+/// for arities the dense representation supports; the BDD manager is created
+/// on first symbolic use and then recycled through [`BddManager::clear`].
 struct WorkerScratch {
     num_vars: usize,
     scratch: QuotientScratch,
     sets: QuotientSets,
+    mgr: Option<BddManager>,
 }
 
 impl WorkerScratch {
     fn new() -> Self {
-        WorkerScratch { num_vars: 0, scratch: QuotientScratch::new(0), sets: QuotientSets::zero(0) }
+        WorkerScratch {
+            num_vars: 0,
+            scratch: QuotientScratch::new(0),
+            sets: QuotientSets::zero(0),
+            mgr: None,
+        }
     }
 
     fn ensure(&mut self, num_vars: usize) {
@@ -250,6 +352,18 @@ impl WorkerScratch {
             self.scratch = QuotientScratch::new(num_vars);
             self.sets = QuotientSets::zero(num_vars);
         }
+    }
+
+    /// A cleared manager of arity `num_vars`, reusing the previous job's
+    /// allocation whenever the arity matches.
+    fn manager_for(&mut self, num_vars: usize) -> &mut BddManager {
+        match &mut self.mgr {
+            Some(mgr) if mgr.num_vars() == num_vars => {
+                mgr.clear();
+            }
+            slot => *slot = Some(BddManager::new(num_vars)),
+        }
+        self.mgr.as_mut().expect("manager just ensured")
     }
 }
 
@@ -269,7 +383,18 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
         }
         for output in 0..inst.num_outputs().min(config.max_outputs) {
             for op_index in 0..config.ops.len() {
-                specs.push(JobSpec { instance, output, op_index });
+                specs.push(JobSpec { instance, output, op_index, symbolic: false });
+            }
+        }
+    }
+    // Symbolic instances have no dense representation: only the BDD backend
+    // can execute them.
+    if config.backend == Backend::Bdd {
+        for (instance, inst) in suite.symbolic_instances().iter().enumerate() {
+            for output in 0..inst.num_outputs().min(config.max_outputs) {
+                for op_index in 0..config.ops.len() {
+                    specs.push(JobSpec { instance, output, op_index, symbolic: true });
+                }
             }
         }
     }
@@ -309,7 +434,14 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
         slots.into_iter().map(|r| r.expect("every claimed job writes its slot")).collect();
 
     let operators = aggregate(&config.ops, &jobs);
-    SweepReport { suite: suite.name().to_string(), threads, jobs, operators, wall_micros }
+    SweepReport {
+        suite: suite.name().to_string(),
+        backend: config.backend,
+        threads,
+        jobs,
+        operators,
+        wall_micros,
+    }
 }
 
 fn run_job(
@@ -318,6 +450,19 @@ fn run_job(
     spec: JobSpec,
     buffers: &mut WorkerScratch,
 ) -> JobResult {
+    match config.backend {
+        Backend::Dense => run_job_dense(suite, config, spec, buffers),
+        Backend::Bdd => run_job_bdd(suite, config, spec, buffers),
+    }
+}
+
+fn run_job_dense(
+    suite: &Suite,
+    config: &EngineConfig,
+    spec: JobSpec,
+    buffers: &mut WorkerScratch,
+) -> JobResult {
+    debug_assert!(!spec.symbolic, "the dense backend never enumerates symbolic jobs");
     let inst = &suite.instances()[spec.instance];
     let f = &inst.outputs()[spec.output];
     let op = config.ops[spec.op_index];
@@ -342,6 +487,85 @@ fn run_job(
         divisor_errors,
         verified,
         maximal,
+        bdd_nodes: 0,
+        nanos: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// The symbolic job runner. Dense instances are lifted into the manager
+/// (operands *and* noise words, so the divisor is bit-identical to the dense
+/// backend's); symbolic instances build their structural description and a
+/// seeded noise cover instead. Everything downstream — divisor algebra,
+/// Table II quotient, both verifications — runs on BDDs.
+fn run_job_bdd(
+    suite: &Suite,
+    config: &EngineConfig,
+    spec: JobSpec,
+    buffers: &mut WorkerScratch,
+) -> JobResult {
+    let op = config.ops[spec.op_index];
+    // Seed-stability: symbolic instances continue the dense index space, so
+    // job seeds never collide and never depend on filtering or scheduling.
+    let seed_instance =
+        if spec.symbolic { suite.instances().len() + spec.instance } else { spec.instance };
+    let seed = config.job_seed(seed_instance, spec.output, spec.op_index);
+    let (name, num_vars) = if spec.symbolic {
+        let inst = &suite.symbolic_instances()[spec.instance];
+        (inst.name(), inst.num_inputs())
+    } else {
+        let inst = &suite.instances()[spec.instance];
+        (inst.name(), inst.num_inputs())
+    };
+    let start = Instant::now();
+
+    let mgr = buffers.manager_for(num_vars);
+    let (f_on, f_dc, noise) = if spec.symbolic {
+        let inst = &suite.symbolic_instances()[spec.instance];
+        let (f_on, f_dc) = inst.build_output(mgr, spec.output);
+        let cover = benchmarks::symbolic::noise_cover(num_vars, seed);
+        let noise = mgr.cover(&cover);
+        (f_on, f_dc, noise)
+    } else {
+        let f = &suite.instances()[spec.instance].outputs()[spec.output];
+        let f_on = mgr.from_truth_table(f.on());
+        let f_dc = mgr.from_truth_table(f.dc());
+        // The same noise words the dense backend draws, lifted symbolically.
+        let mut rng = DetRng::seed_from_u64(seed);
+        let noise_tt = TruthTable::from_words(num_vars, || rng.next_u64());
+        let noise = mgr.from_truth_table(&noise_tt);
+        (f_on, f_dc, noise)
+    };
+
+    let g = seeded_divisor_bdd(mgr, f_on, f_dc, noise, op);
+    // Unconditional (not a debug_assert): the check is cheap next to the
+    // quotient, and running it in every profile keeps `bdd_nodes` — which is
+    // part of the scheduling-independent `semantic()` data — identical
+    // between debug and release builds.
+    assert!(
+        is_valid_divisor_bdd(mgr, f_on, f_dc, g, op),
+        "seeded divisor violates the {op} side condition"
+    );
+    let (h_on, h_dc) = full_quotient_bdd(mgr, f_on, f_dc, g, op);
+    let verified = verify_decomposition_bdd(mgr, f_on, f_dc, g, h_on, h_dc, op);
+    let maximal = verify_maximal_flexibility_bdd(mgr, f_on, f_dc, g, h_on, h_dc, op);
+
+    let h_off = quotient_off_bdd(mgr, h_on, h_dc);
+    let err = {
+        let x = mgr.xor(g, f_on);
+        mgr.diff(x, f_dc)
+    };
+    JobResult {
+        instance: name.to_string(),
+        output: spec.output,
+        op,
+        num_vars,
+        on_minterms: mgr.sat_count(h_on),
+        dc_minterms: mgr.sat_count(h_dc),
+        off_minterms: mgr.sat_count(h_off),
+        divisor_errors: mgr.sat_count(err),
+        verified,
+        maximal,
+        bdd_nodes: mgr.num_nodes() as u64,
         nanos: start.elapsed().as_nanos() as u64,
     }
 }
@@ -439,5 +663,71 @@ mod tests {
         let report = sweep(&suite, &config);
         assert_eq!(report.total_jobs(), 0);
         assert!(report.all_verified(), "vacuously true on an empty job list");
+    }
+
+    #[test]
+    fn bdd_backend_matches_the_dense_backend_on_smoke() {
+        let suite = Suite::smoke();
+        let dense = sweep(&suite, &EngineConfig { threads: 2, ..EngineConfig::default() });
+        let bdd = sweep(
+            &suite,
+            &EngineConfig { threads: 2, backend: Backend::Bdd, ..EngineConfig::default() },
+        );
+        assert_eq!(dense.total_jobs(), bdd.total_jobs());
+        for (d, b) in dense.jobs.iter().zip(&bdd.jobs) {
+            assert_eq!(
+                (&d.instance, d.output, d.op, d.on_minterms, d.dc_minterms, d.off_minterms),
+                (&b.instance, b.output, b.op, b.on_minterms, b.dc_minterms, b.off_minterms),
+                "backends disagree on {}[{}] {}",
+                d.instance,
+                d.output,
+                d.op
+            );
+            assert_eq!(d.divisor_errors, b.divisor_errors);
+            assert!(b.verified && b.maximal, "{}[{}] {}", b.instance, b.output, b.op);
+            assert!(b.bdd_nodes > 0, "BDD jobs must report their manager size");
+        }
+    }
+
+    #[test]
+    fn bdd_backend_sweeps_the_large_suite_symbolically() {
+        let suite = Suite::large();
+        let config = EngineConfig {
+            threads: 2,
+            backend: Backend::Bdd,
+            max_outputs: 2,
+            ..EngineConfig::default()
+        };
+        let report = sweep(&suite, &config);
+        let expected: usize = suite
+            .symbolic_instances()
+            .iter()
+            .map(|i| i.num_outputs().min(config.max_outputs) * config.ops.len())
+            .sum();
+        assert_eq!(report.total_jobs(), expected);
+        assert!(report.all_verified(), "every symbolic job must verify Lemmas 1–5");
+        // The suite genuinely exceeds the dense representation.
+        assert!(report.jobs.iter().any(|j| j.num_vars > boolfunc::TruthTable::MAX_VARS));
+        assert!(report.jobs.iter().any(|j| j.num_vars >= 40));
+        // And the dense backend cannot even enumerate these jobs.
+        let dense_config = EngineConfig { backend: Backend::Dense, ..config };
+        assert_eq!(sweep(&suite, &dense_config).total_jobs(), 0);
+    }
+
+    #[test]
+    fn bdd_backend_is_deterministic_across_thread_counts() {
+        let suite = Suite::large();
+        let base = EngineConfig {
+            backend: Backend::Bdd,
+            max_outputs: 1,
+            ops: vec![BinaryOp::And, BinaryOp::Xor],
+            ..EngineConfig::default()
+        };
+        let one = sweep(&suite, &EngineConfig { threads: 1, ..base.clone() });
+        let four = sweep(&suite, &EngineConfig { threads: 4, ..base });
+        assert_eq!(one.total_jobs(), four.total_jobs());
+        for (a, b) in one.jobs.iter().zip(&four.jobs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
     }
 }

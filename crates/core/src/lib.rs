@@ -60,18 +60,24 @@ pub mod report;
 pub mod sequence;
 pub mod verify;
 
-pub use approximation::{classify_approximation, ApproxKind, ApproximationStats};
+pub use approximation::{
+    classify_approximation, is_valid_divisor_bdd, ApproxKind, ApproximationStats,
+};
 pub use decompose::{ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient};
-pub use engine::{seeded_divisor, sweep, EngineConfig, JobResult, OperatorStats, SweepReport};
+pub use engine::{
+    seeded_divisor, seeded_divisor_bdd, sweep, Backend, EngineConfig, JobResult, OperatorStats,
+    SweepReport,
+};
 pub use error::BidecompError;
 pub use flexibility::FlexibilityReport;
 pub use operator::{BinaryOp, OperatorClass};
 pub use quotient::{
-    full_quotient, full_quotient_bdd, quotient_sets, QuotientScratch, QuotientSets,
+    full_quotient, full_quotient_bdd, quotient_off_bdd, quotient_sets, table2_row, DcTerm,
+    QuotientScratch, QuotientSets, Table2Row,
 };
 pub use report::{BenchmarkRow, TableReport};
 pub use sequence::decomposition_sequence;
 pub use verify::{
-    verify_decomposition, verify_decomposition_sets, verify_maximal_flexibility,
-    verify_maximal_flexibility_sets,
+    verify_decomposition, verify_decomposition_bdd, verify_decomposition_sets,
+    verify_maximal_flexibility, verify_maximal_flexibility_bdd, verify_maximal_flexibility_sets,
 };

@@ -45,16 +45,68 @@ impl QuotientSets {
     }
 }
 
+/// The ingredient of Table II's `h_dc` column that is OR-ed with `f_dc`.
+///
+/// This (together with [`Table2Row`]) is the shared op→expression table both
+/// the dense [`QuotientScratch::quotient_sets_into`] and the symbolic
+/// [`full_quotient_bdd`] dispatch on, so the two backends cannot drift apart
+/// operator by operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcTerm {
+    /// `h_dc = g' ∪ f_dc` (the rows whose rewritten form complements `g`).
+    NotG,
+    /// `h_dc = g ∪ f_dc`.
+    G,
+    /// `h_dc = f_dc` (the XOR-like rows: `h` is forced on every care
+    /// minterm).
+    None,
+}
+
+/// One row of the simplified Table II: which sets feed `h_on` and `h_dc`.
+///
+/// The simplification (proved by the `quotient_matches_canonical` oracle
+/// tests): because the final on-set always subtracts the dc-set, and the
+/// dc-set of every AND-like/OR-like row contains the term subtracted from the
+/// raw on-set (`g` or `g'`), the on-set collapses to `base \ h_dc`, where
+/// `base` is `f_on` or `f_off` (optionally XOR-ed with `g` for the XOR-like
+/// rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Row {
+    /// `true` if the on-set base is `f_off` rather than `f_on`.
+    pub on_from_off: bool,
+    /// `true` if the base is XOR-ed with `g` before subtracting the dc-set
+    /// (the XOR/XNOR rows).
+    pub on_xor_g: bool,
+    /// The non-`f_dc` ingredient of the dc-set.
+    pub dc_term: DcTerm,
+}
+
+/// The simplified Table II row of `op` (see [`Table2Row`]).
+pub fn table2_row(op: BinaryOp) -> Table2Row {
+    let (on_from_off, on_xor_g, dc_term) = match op {
+        BinaryOp::And => (false, false, DcTerm::NotG),
+        BinaryOp::ConverseNonImplication => (false, false, DcTerm::G),
+        BinaryOp::NonImplication => (true, false, DcTerm::NotG),
+        BinaryOp::Nor => (true, false, DcTerm::G),
+        BinaryOp::Or => (false, false, DcTerm::G),
+        BinaryOp::Implication => (false, false, DcTerm::NotG),
+        BinaryOp::ConverseImplication => (true, false, DcTerm::G),
+        BinaryOp::Nand => (true, false, DcTerm::NotG),
+        BinaryOp::Xor => (false, true, DcTerm::None),
+        BinaryOp::Xnor => (true, true, DcTerm::None),
+    };
+    Table2Row { on_from_off, on_xor_g, dc_term }
+}
+
 /// Reusable scratch tables for computing Table II quotients without per-call
 /// allocation.
 ///
 /// A one-shot [`quotient_sets`] call allocates about ten intermediate tables
 /// (every `&`, `|`, `^`, `!` and `difference` on the old path returned a
 /// fresh table). The batch engine computes millions of quotients over the
-/// same handful of arities, so this scratch object owns the two temporaries
-/// the formulas need (`f_off` and `g_off`) and writes the result into a
-/// caller-provided [`QuotientSets`], making the steady-state hot path
-/// allocation-free.
+/// same handful of arities, so this scratch object owns the one temporary
+/// the formulas need (`f_off`) and writes the result into a caller-provided
+/// [`QuotientSets`], making the steady-state hot path allocation-free.
 ///
 /// ```rust
 /// use bidecomp::{BinaryOp, QuotientScratch, QuotientSets, quotient_sets};
@@ -74,7 +126,6 @@ impl QuotientSets {
 pub struct QuotientScratch {
     num_vars: usize,
     f_off: TruthTable,
-    g_off: TruthTable,
 }
 
 impl QuotientScratch {
@@ -84,11 +135,7 @@ impl QuotientScratch {
     ///
     /// Panics if `num_vars` exceeds the dense-table limit.
     pub fn new(num_vars: usize) -> Self {
-        QuotientScratch {
-            num_vars,
-            f_off: TruthTable::zero(num_vars),
-            g_off: TruthTable::zero(num_vars),
-        }
+        QuotientScratch { num_vars, f_off: TruthTable::zero(num_vars) }
     }
 
     /// The arity this scratch is sized for.
@@ -99,13 +146,12 @@ impl QuotientScratch {
     /// Computes the three sets of Table II for `f`, `g` and `op` into `out`,
     /// *without* validating the divisor and without allocating.
     ///
-    /// The formulas are the simplified Table II expressions: because the
-    /// final on-set always subtracts the dc-set, and the dc-set of every
-    /// AND-like/OR-like row contains the term subtracted from the raw on-set
-    /// (`g` or `g'`), the on-set collapses to `f_on \ h_dc` or
-    /// `f_off \ h_dc`. `g'` is therefore only computed for the four
-    /// operators whose dc-set needs it (`AND`, `⇏`, `⇒`, `NAND`), and `f_off`
-    /// only for the rows that read it.
+    /// The formulas are the simplified Table II expressions of
+    /// [`table2_row`] — the same shared classification the symbolic
+    /// [`full_quotient_bdd`] dispatches on. `g'` is only materialized
+    /// (in place, inside `dc`) for the four operators whose dc-set needs it
+    /// (`AND`, `⇏`, `⇒`, `NAND`), and `f_off` only for the rows that read
+    /// it.
     ///
     /// # Panics
     ///
@@ -121,50 +167,37 @@ impl QuotientScratch {
         assert_eq!(g.num_vars(), self.num_vars, "divisor arity mismatch");
         assert_eq!(out.num_vars(), self.num_vars, "output arity mismatch");
         let QuotientSets { on, dc, off } = out;
+        let row = table2_row(op);
 
         // h_dc per Table II: g' ∪ f_dc, g ∪ f_dc, or f_dc.
-        match op {
-            BinaryOp::And | BinaryOp::NonImplication | BinaryOp::Implication | BinaryOp::Nand => {
-                self.g_off.copy_from(g);
-                self.g_off.not_assign();
-                dc.copy_from(&self.g_off);
+        match row.dc_term {
+            DcTerm::NotG => {
+                dc.copy_from(g);
+                dc.not_assign();
                 *dc |= f.dc();
             }
-            BinaryOp::ConverseNonImplication
-            | BinaryOp::Nor
-            | BinaryOp::Or
-            | BinaryOp::ConverseImplication => {
+            DcTerm::G => {
                 dc.copy_from(g);
                 *dc |= f.dc();
             }
-            BinaryOp::Xor | BinaryOp::Xnor => dc.copy_from(f.dc()),
+            DcTerm::None => dc.copy_from(f.dc()),
         }
 
-        // h_on: a single fused difference for the AND/OR families, an XOR
-        // restricted to the care set for the XOR family.
-        match op {
-            BinaryOp::And
-            | BinaryOp::ConverseNonImplication
-            | BinaryOp::Or
-            | BinaryOp::Implication => on.and_not_from(f.on(), dc),
-            BinaryOp::NonImplication
-            | BinaryOp::Nor
-            | BinaryOp::ConverseImplication
-            | BinaryOp::Nand => {
-                f.off_into(&mut self.f_off);
-                on.and_not_from(&self.f_off, dc);
-            }
-            BinaryOp::Xor => {
-                on.copy_from(f.on());
-                *on ^= g;
-                on.difference_assign(dc);
-            }
-            BinaryOp::Xnor => {
-                f.off_into(&mut self.f_off);
-                on.copy_from(&self.f_off);
-                *on ^= g;
-                on.difference_assign(dc);
-            }
+        // h_on = base \ h_dc, with base = f_on | f_off (⊕ g for the XOR
+        // family): a single fused difference for the AND/OR families, an XOR
+        // followed by the subtraction for the XOR family.
+        let base: &TruthTable = if row.on_from_off {
+            f.off_into(&mut self.f_off);
+            &self.f_off
+        } else {
+            f.on()
+        };
+        if row.on_xor_g {
+            on.copy_from(base);
+            *on ^= g;
+            on.difference_assign(dc);
+        } else {
+            on.and_not_from(base, dc);
         }
 
         // h_off = !(h_on ∪ h_dc).
@@ -224,7 +257,14 @@ pub fn full_quotient(f: &Isf, g: &TruthTable, op: BinaryOp) -> Result<Isf, Bidec
 /// complement of their union).
 ///
 /// This mirrors how the paper's implementation computes the quotient "with
-/// OBDD operations" on functions too large for dense truth tables.
+/// OBDD operations" on functions too large for dense truth tables. It
+/// dispatches on the same [`table2_row`] classification as the dense
+/// [`QuotientScratch::quotient_sets_into`], and derives each ingredient
+/// lazily for the arm that needs it: `g'` only exists inside the
+/// [`DcTerm::NotG`] rows, `f_off` only for the rows whose on-set base is the
+/// off-set, and the care set is never materialized at all (the final
+/// `base \ h_dc` subtraction already removes every don't-care, because
+/// `f_dc ⊆ h_dc` on every row).
 pub fn full_quotient_bdd(
     mgr: &mut BddManager,
     f_on: Bdd,
@@ -232,33 +272,38 @@ pub fn full_quotient_bdd(
     g: Bdd,
     op: BinaryOp,
 ) -> (Bdd, Bdd) {
-    let f_care = mgr.not(f_dc);
-    let f_off = {
+    let row = table2_row(op);
+
+    // h_dc: g' ∪ f_dc, g ∪ f_dc, or f_dc — g is only complemented here.
+    let dc = match row.dc_term {
+        DcTerm::NotG => {
+            let g_off = mgr.not(g);
+            mgr.or(g_off, f_dc)
+        }
+        DcTerm::G => mgr.or(g, f_dc),
+        DcTerm::None => f_dc,
+    };
+
+    // h_on = base \ h_dc; f_off is only built for the rows that read it.
+    let base = if row.on_from_off {
         let on_or_dc = mgr.or(f_on, f_dc);
         mgr.not(on_or_dc)
+    } else {
+        f_on
     };
-    let g_off = mgr.not(g);
-
-    let (on_raw, dc) = match op {
-        BinaryOp::And => (f_on, mgr.or(g_off, f_dc)),
-        BinaryOp::ConverseNonImplication => (f_on, mgr.or(g, f_dc)),
-        BinaryOp::NonImplication => (mgr.diff(f_off, g_off), mgr.or(g_off, f_dc)),
-        BinaryOp::Nor => (mgr.diff(f_off, g), mgr.or(g, f_dc)),
-        BinaryOp::Or => (mgr.diff(f_on, g), mgr.or(g, f_dc)),
-        BinaryOp::Implication => (mgr.diff(f_on, g_off), mgr.or(g_off, f_dc)),
-        BinaryOp::ConverseImplication => (f_off, mgr.or(g, f_dc)),
-        BinaryOp::Nand => (f_off, mgr.or(g_off, f_dc)),
-        BinaryOp::Xor => {
-            let x = mgr.xor(f_on, g);
-            (mgr.and(x, f_care), f_dc)
-        }
-        BinaryOp::Xnor => {
-            let x = mgr.xor(f_off, g);
-            (mgr.and(x, f_care), f_dc)
-        }
+    let on = if row.on_xor_g {
+        let x = mgr.xor(base, g);
+        mgr.diff(x, dc)
+    } else {
+        mgr.diff(base, dc)
     };
-    let on = mgr.diff(on_raw, dc);
     (on, dc)
+}
+
+/// The off-set of a quotient returned by [`full_quotient_bdd`]:
+/// `h_off = ¬(h_on ∪ h_dc)`.
+pub fn quotient_off_bdd(mgr: &mut BddManager, h_on: Bdd, h_dc: Bdd) -> Bdd {
+    mgr.nor(h_on, h_dc)
 }
 
 #[cfg(test)]

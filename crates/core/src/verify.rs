@@ -1,7 +1,8 @@
 //! Executable versions of the paper's Lemmas 1–5 (correctness of the
 //! decomposition) and Corollaries 1–4 (maximality of the quotient's
-//! flexibility).
+//! flexibility), on dense truth tables and on BDDs.
 
+use bdd::{Bdd, BddManager};
 use boolfunc::{Isf, TruthTable};
 
 use crate::operator::BinaryOp;
@@ -130,6 +131,86 @@ pub fn verify_maximal_flexibility_sets(
         }
     }
     true
+}
+
+/// `g op c` for a constant `c`, as a BDD: always one of
+/// `{0, 1, g, ¬g}`, depending on the operator's two-point restriction.
+fn op_with_const(mgr: &mut BddManager, op: BinaryOp, g: Bdd, h: bool) -> Bdd {
+    match (op.apply(false, h), op.apply(true, h)) {
+        (false, false) => mgr.zero(),
+        (false, true) => g,
+        (true, false) => mgr.not(g),
+        (true, true) => mgr.one(),
+    }
+}
+
+/// [`verify_decomposition`] on the BDD backend: Lemmas 1–5 checked
+/// symbolically, with `f` and `h` given as `(on, dc)` BDD pairs in `mgr`.
+///
+/// The check builds the set of care minterms on which some allowed value of
+/// `h` fails to realize `f` and tests it for emptiness — no enumeration, so
+/// it runs at arities where `2^n` bits do not fit in memory.
+pub fn verify_decomposition_bdd(
+    mgr: &mut BddManager,
+    f_on: Bdd,
+    f_dc: Bdd,
+    g: Bdd,
+    h_on: Bdd,
+    h_dc: Bdd,
+    op: BinaryOp,
+) -> bool {
+    // h may be 1 on h_on ∪ h_dc; wherever it may be 1, g op 1 must match f.
+    let with_h1 = op_with_const(mgr, op, g, true);
+    let wrong1 = mgr.xor(with_h1, f_on);
+    let h_may_be_1 = mgr.or(h_on, h_dc);
+    let bad1 = mgr.and(wrong1, h_may_be_1);
+    let bad1_care = mgr.diff(bad1, f_dc);
+    if !mgr.is_zero(bad1_care) {
+        return false;
+    }
+    // h may be 0 everywhere outside h_on.
+    let with_h0 = op_with_const(mgr, op, g, false);
+    let wrong0 = mgr.xor(with_h0, f_on);
+    let bad0 = mgr.diff(wrong0, h_on);
+    let bad0_care = mgr.diff(bad0, f_dc);
+    mgr.is_zero(bad0_care)
+}
+
+/// [`verify_maximal_flexibility`] on the BDD backend: Corollaries 1–4
+/// checked symbolically.
+///
+/// Canonicity of ROBDDs makes the final comparison O(1): the forced-to-1 set
+/// and the genuinely-free set are built as BDDs and must be *pointer-equal*
+/// to `h_on` and `h_dc` respectively.
+pub fn verify_maximal_flexibility_bdd(
+    mgr: &mut BddManager,
+    f_on: Bdd,
+    f_dc: Bdd,
+    g: Bdd,
+    h_on: Bdd,
+    h_dc: Bdd,
+    op: BinaryOp,
+) -> bool {
+    let with_h0 = op_with_const(mgr, op, g, false);
+    let with_h1 = op_with_const(mgr, op, g, true);
+    let ok0 = mgr.xnor(with_h0, f_on);
+    let ok1 = mgr.xnor(with_h1, f_on);
+    // A care minterm where neither value of h realizes f: invalid divisor.
+    let neither = mgr.nor(ok0, ok1);
+    let invalid = mgr.diff(neither, f_dc);
+    if !mgr.is_zero(invalid) {
+        return false;
+    }
+    // Forced-to-1: care minterms where only h = 1 works.
+    let only1 = mgr.diff(ok1, ok0);
+    let forced_true = mgr.diff(only1, f_dc);
+    if h_on != forced_true {
+        return false;
+    }
+    // Free: don't-cares of f, plus care minterms where both values work.
+    let both = mgr.and(ok0, ok1);
+    let free = mgr.or(f_dc, both);
+    h_dc == free
 }
 
 /// The canonical full quotient computed minterm-by-minterm from the defining
