@@ -1,5 +1,5 @@
-//! The CI perf-regression gate: compares a fresh `BENCH_sweep.json` against
-//! the committed `BENCH_baseline.json` and exits non-zero on regression.
+//! The CI perf-regression gate: compares a fresh sweep artifact against its
+//! committed baseline and exits non-zero on regression.
 //!
 //! Usage:
 //!
@@ -8,7 +8,20 @@
 //!     [--baseline PATH] [--current PATH] [--tolerance F]
 //! ```
 //!
-//! Two classes of checks:
+//! Two document schemas are understood, dispatched on the `schema` field
+//! (baseline and current must agree):
+//!
+//! * `bidecomp-sweep-v1` — the quotient sweeps (`sweep`, `bdd_sweep`):
+//!   exact semantic comparison plus the tolerance-banded `speedup` ratio
+//!   described below;
+//! * `bidecomp-synth-v1` — the recursive-synthesis sweep (`synth_sweep`):
+//!   the whole document is deterministic (no reference arm, no ratio), so
+//!   the aggregate counters and every per-`(instance, output)` row — gate
+//!   count, depth, branch count, rounded areas and gain — are compared
+//!   exactly (areas within 1e-6 to absorb decimal-text round-tripping);
+//!   `--tolerance` is ignored.
+//!
+//! For the sweep schema, two classes of checks:
 //!
 //! * **Semantic (exact):** suite name, job count, and the per-operator
 //!   `jobs` / `verified` / `maximal` / `on_minterms` / `dc_minterms` /
@@ -76,13 +89,27 @@ fn f64_field(doc: &Value, key: &str, path: &str) -> Result<f64, String> {
 fn run(args: &Args) -> Result<Vec<String>, String> {
     let baseline = load(&args.baseline)?;
     let current = load(&args.current)?;
-    let mut failures = Vec::new();
 
-    for (doc, path) in [(&baseline, &args.baseline), (&current, &args.current)] {
-        if doc.get("schema").and_then(Value::as_str) != Some("bidecomp-sweep-v1") {
-            return Err(format!("{path}: not a bidecomp-sweep-v1 document"));
-        }
+    let schema_of = |doc: &Value, path: &str| {
+        doc.get("schema")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{path}: missing schema field"))
+    };
+    let base_schema = schema_of(&baseline, &args.baseline)?;
+    let cur_schema = schema_of(&current, &args.current)?;
+    if base_schema != cur_schema {
+        return Err(format!("schema mismatch: baseline is {base_schema}, current is {cur_schema}"));
     }
+    match base_schema.as_str() {
+        "bidecomp-sweep-v1" => run_sweep(args, &baseline, &current),
+        "bidecomp-synth-v1" => run_synth(args, &baseline, &current),
+        other => Err(format!("{}: unknown schema '{other}'", args.baseline)),
+    }
+}
+
+fn run_sweep(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
 
     // --- Semantic comparison (exact) ---
     let base_suite = baseline.get("suite").and_then(Value::as_str).unwrap_or("?");
@@ -91,8 +118,8 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
         failures.push(format!("suite differs: baseline '{base_suite}' vs current '{cur_suite}'"));
     }
     for key in ["jobs", "verified", "maximal"] {
-        let b = u64_field(&baseline, key, &args.baseline)?;
-        let c = u64_field(&current, key, &args.current)?;
+        let b = u64_field(baseline, key, &args.baseline)?;
+        let c = u64_field(current, key, &args.current)?;
         if b != c {
             failures.push(format!("{key} differs: baseline {b} vs current {c}"));
         }
@@ -131,8 +158,8 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
     }
 
     // --- Performance comparison (tolerance band) ---
-    let base_speedup = f64_field(&baseline, "speedup", &args.baseline)?;
-    let cur_speedup = f64_field(&current, "speedup", &args.current)?;
+    let base_speedup = f64_field(baseline, "speedup", &args.baseline)?;
+    let cur_speedup = f64_field(current, "speedup", &args.current)?;
     let floor = (base_speedup * (1.0 - args.tolerance)).max(1.0);
     println!(
         "speedup over the sequential/allocating path: baseline {base_speedup:.2}x, \
@@ -146,10 +173,97 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
             args.tolerance
         ));
     }
-    let base_ms = f64_field(&baseline, "engine_wall_ms", &args.baseline)?;
-    let cur_ms = f64_field(&current, "engine_wall_ms", &args.current)?;
+    let base_ms = f64_field(baseline, "engine_wall_ms", &args.baseline)?;
+    let cur_ms = f64_field(current, "engine_wall_ms", &args.current)?;
     println!(
         "engine wall time: baseline {base_ms:.1} ms, current {cur_ms:.1} ms \
+         (informational; hosts differ)"
+    );
+
+    Ok(failures)
+}
+
+/// The synth-schema gate: everything in a `bidecomp-synth-v1` document
+/// except the wall time is deterministic, so the comparison is exact —
+/// aggregate counters bit for bit, areas within 1e-6 (decimal-text
+/// round-tripping only), one row per `(instance, output)`.
+fn run_synth(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+
+    let base_suite = baseline.get("suite").and_then(Value::as_str).unwrap_or("?");
+    let cur_suite = current.get("suite").and_then(Value::as_str).unwrap_or("?");
+    if base_suite != cur_suite {
+        failures.push(format!("suite differs: baseline '{base_suite}' vs current '{cur_suite}'"));
+    }
+    for key in ["jobs", "verified", "total_gates", "total_branches"] {
+        let b = u64_field(baseline, key, &args.baseline)?;
+        let c = u64_field(current, key, &args.current)?;
+        if b != c {
+            failures.push(format!("{key} differs: baseline {b} vs current {c}"));
+        }
+    }
+    let base_gain = f64_field(baseline, "average_gain_percent", &args.baseline)?;
+    let cur_gain = f64_field(current, "average_gain_percent", &args.current)?;
+    println!(
+        "average mapped-area gain over flat 2-SPP: baseline {base_gain:.3}%, \
+         current {cur_gain:.3}% (deterministic; compared exactly)"
+    );
+    if (base_gain - cur_gain).abs() > 1e-6 {
+        failures.push(format!(
+            "average_gain_percent differs: baseline {base_gain} vs current {cur_gain}"
+        ));
+    }
+
+    let base_rows = baseline
+        .get("instances")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing instances array", args.baseline))?;
+    let cur_rows = current
+        .get("instances")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing instances array", args.current))?;
+    for base_row in base_rows {
+        let name = base_row.get("instance").and_then(Value::as_str).unwrap_or("?");
+        let output = base_row.get("output").and_then(Value::as_u64).unwrap_or(u64::MAX);
+        let Some(cur_row) = cur_rows.iter().find(|r| {
+            r.get("instance").and_then(Value::as_str) == Some(name)
+                && r.get("output").and_then(Value::as_u64) == Some(output)
+        }) else {
+            failures.push(format!("{name}[{output}] missing from current run"));
+            continue;
+        };
+        for key in ["num_vars", "gates", "depth", "branches"] {
+            let b = u64_field(base_row, key, &args.baseline)?;
+            let c = u64_field(cur_row, key, &args.current)?;
+            if b != c {
+                failures.push(format!("{name}[{output}].{key}: baseline {b} vs current {c}"));
+            }
+        }
+        for key in ["mapped_area", "flat_area", "gain_percent"] {
+            let b = f64_field(base_row, key, &args.baseline)?;
+            let c = f64_field(cur_row, key, &args.current)?;
+            if (b - c).abs() > 1e-6 {
+                failures.push(format!("{name}[{output}].{key}: baseline {b} vs current {c}"));
+            }
+        }
+        let b = base_row.get("verified").and_then(Value::as_bool);
+        let c = cur_row.get("verified").and_then(Value::as_bool);
+        if b != c {
+            failures.push(format!("{name}[{output}].verified: baseline {b:?} vs current {c:?}"));
+        }
+    }
+    if cur_rows.len() != base_rows.len() {
+        failures.push(format!(
+            "instance-row count differs: baseline {} vs current {}",
+            base_rows.len(),
+            cur_rows.len()
+        ));
+    }
+
+    let base_ms = f64_field(baseline, "wall_ms", &args.baseline)?;
+    let cur_ms = f64_field(current, "wall_ms", &args.current)?;
+    println!(
+        "synthesis wall time: baseline {base_ms:.1} ms, current {cur_ms:.1} ms \
          (informational; hosts differ)"
     );
 

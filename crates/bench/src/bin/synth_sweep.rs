@@ -1,0 +1,188 @@
+//! The recursive-synthesis sweep: runs `bidecomp::engine::sweep_synthesis`
+//! on a benchmark suite — every `(instance, output)` pair through the
+//! cost-driven recursive bi-decomposition synthesizer — checks that every
+//! produced network verified against its function, and serializes the
+//! result as `BENCH_synth.json`.
+//!
+//! Usage (all flags optional):
+//!
+//! ```text
+//! cargo run -p bidecomp-bench --release --bin synth_sweep -- \
+//!     [--suite smoke|table3|table4|all] [--threads N] [--seed N] \
+//!     [--max-inputs N] [--max-outputs N] [--depth N] [--min-gain F] \
+//!     [--json PATH] [--write-baseline]
+//! ```
+//!
+//! The artifact follows the sweep-v1 style: a few exact aggregate counters
+//! the CI gate compares bit for bit (`jobs`, `verified`, `total_gates`,
+//! `total_branches`), rounded deterministic areas, and one row per
+//! `(instance, output)` with gate count, depth, mapped area and the gain
+//! over the flat 2-SPP realization. Everything except the wall times is a
+//! pure function of `(suite, config)` — the `regress` binary checks it
+//! against the committed `BENCH_synth_baseline.json` exactly, no tolerance
+//! band needed.
+//!
+//! `--write-baseline` additionally rewrites `BENCH_synth_baseline.json`.
+//! Output lands in `BENCH_OUT_DIR` (default: working directory).
+
+use std::process::ExitCode;
+
+use benchmarks::Suite;
+use bidecomp::engine::{sweep_synthesis, SynthesisConfig, SynthesisReport};
+use bidecomp_bench::cli::{bench_out_path, ArgCursor};
+use bidecomp_bench::json::{self, Value};
+
+struct Args {
+    suite: String,
+    config: SynthesisConfig,
+    json_path: String,
+    write_baseline: bool,
+}
+
+/// Exits with code 2 on any unknown flag, missing value or unparsable
+/// number (via [`ArgCursor`]): this binary feeds the CI gate and writes the
+/// committed baseline, so silently falling back to defaults would be worse
+/// than refusing to run.
+fn parse_args() -> Args {
+    let mut args = Args {
+        suite: "all".to_string(),
+        config: SynthesisConfig::default(),
+        json_path: "BENCH_synth.json".to_string(),
+        write_baseline: false,
+    };
+    let mut argv = ArgCursor::from_env("synth_sweep");
+    while let Some(flag) = argv.next_flag() {
+        match flag.as_str() {
+            "--suite" => args.suite = argv.value(&flag),
+            "--threads" => args.config.threads = argv.number(&flag) as usize,
+            "--seed" => args.config.seed = argv.number(&flag),
+            "--max-inputs" => args.config.max_inputs = argv.number(&flag) as usize,
+            "--max-outputs" => args.config.max_outputs = argv.number(&flag) as usize,
+            "--depth" => args.config.recursive.max_depth = argv.number(&flag) as usize,
+            "--min-gain" => args.config.recursive.min_gain = argv.float(&flag),
+            "--json" => args.json_path = argv.value(&flag),
+            "--write-baseline" => args.write_baseline = true,
+            other => argv.fail(format_args!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn suite_by_name(name: &str) -> Option<Suite> {
+    match name {
+        "smoke" => Some(Suite::smoke()),
+        "table3" => Some(Suite::table3()),
+        "table4" => Some(Suite::table4()),
+        "all" => Some(Suite::all()),
+        _ => None,
+    }
+}
+
+/// Rounds to 3 decimals so the serialized artifact is stable and readable;
+/// the underlying computation is deterministic, so the rounded value is too.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn report_to_json(report: &SynthesisReport) -> Value {
+    let instances = report
+        .jobs
+        .iter()
+        .map(|j| {
+            Value::Object(vec![
+                ("instance".into(), json::s(j.instance.as_str())),
+                ("output".into(), json::num(j.output as u64)),
+                ("num_vars".into(), json::num(j.num_vars as u64)),
+                ("gates".into(), json::num(j.gates as u64)),
+                ("depth".into(), json::num(j.depth as u64)),
+                ("branches".into(), json::num(j.branches as u64)),
+                ("mapped_area".into(), Value::Num(round3(j.mapped_area))),
+                ("flat_area".into(), Value::Num(round3(j.flat_area))),
+                ("gain_percent".into(), Value::Num(round3(j.gain_percent()))),
+                ("verified".into(), Value::Bool(j.verified)),
+            ])
+        })
+        .collect();
+    let total_branches: u64 = report.jobs.iter().map(|j| j.branches as u64).sum();
+    Value::Object(vec![
+        ("schema".into(), json::s("bidecomp-synth-v1")),
+        ("suite".into(), json::s(report.suite.as_str())),
+        ("threads".into(), json::num(report.threads as u64)),
+        ("jobs".into(), json::num(report.jobs.len() as u64)),
+        ("verified".into(), json::num(report.jobs.iter().filter(|j| j.verified).count() as u64)),
+        ("total_gates".into(), json::num(report.total_gates() as u64)),
+        ("total_branches".into(), json::num(total_branches)),
+        ("average_gain_percent".into(), Value::Num(round3(report.average_gain_percent()))),
+        ("wall_ms".into(), Value::Num(report.wall_micros as f64 / 1000.0)),
+        ("instances".into(), Value::Array(instances)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some(suite) = suite_by_name(&args.suite) else {
+        eprintln!("unknown suite '{}'; expected smoke, table3, table4 or all", args.suite);
+        return ExitCode::FAILURE;
+    };
+
+    println!(
+        "== recursive synthesis sweep: suite '{}' ({} instances, depth <= {}, {} candidates) ==",
+        suite.name(),
+        suite.instances().len(),
+        args.config.recursive.max_depth,
+        args.config.recursive.portfolio.len(),
+    );
+    let report = sweep_synthesis(&suite, &args.config);
+
+    let mut current = "";
+    for job in &report.jobs {
+        if job.instance != current {
+            current = &job.instance;
+            println!("{current}");
+        }
+        println!(
+            "  [{}] n={:<2} gates {:>4}  depth {}  branches {:>2}  \
+             flat {:>7.1} -> mapped {:>7.1}  gain {:>5.1}%{}",
+            job.output,
+            job.num_vars,
+            job.gates,
+            job.depth,
+            job.branches,
+            job.flat_area,
+            job.mapped_area,
+            job.gain_percent(),
+            if job.verified { "" } else { "  NOT VERIFIED" },
+        );
+    }
+    println!(
+        "{} jobs on {} threads in {:.1} ms: {} gates, average gain {:.2}% over flat 2-SPP",
+        report.total_jobs(),
+        report.threads,
+        report.wall_micros as f64 / 1000.0,
+        report.total_gates(),
+        report.average_gain_percent(),
+    );
+
+    if !report.all_verified() {
+        eprintln!("FAIL: some synthesized networks did not verify against their function");
+        return ExitCode::FAILURE;
+    }
+
+    let doc = report_to_json(&report);
+    let text = json::pretty(&doc);
+    let path = bench_out_path(&args.json_path);
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("could not write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    if args.write_baseline {
+        let path = bench_out_path("BENCH_synth_baseline.json");
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

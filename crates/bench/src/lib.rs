@@ -19,7 +19,12 @@
 //!   timed against the sequential/allocating reference path and serialized
 //!   as `BENCH_sweep.json` (`--write-baseline` refreshes
 //!   `BENCH_baseline.json`);
-//! * `regress`        — compares a `BENCH_sweep.json` against the committed
+//! * `synth_sweep`    — the recursive bi-decomposition synthesis engine on a
+//!   whole suite (multi-level networks, mapped-area gains over flat 2-SPP,
+//!   every network exhaustively verified), serialized as `BENCH_synth.json`
+//!   (`--write-baseline` refreshes `BENCH_synth_baseline.json`);
+//! * `regress`        — compares a sweep artifact (`BENCH_sweep.json`,
+//!   `BENCH_bdd_sweep.json` or `BENCH_synth.json`) against its committed
 //!   baseline and fails on semantic or performance regressions (the CI
 //!   `bench-smoke` gate).
 

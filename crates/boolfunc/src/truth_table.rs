@@ -303,13 +303,31 @@ impl TruthTable {
     ///
     /// This is the *error rate* used in Section IV of the paper when `other`
     /// is an approximation of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ, naming both arities in the message.
     pub fn error_rate(&self, other: &TruthTable) -> f64 {
+        assert_eq!(
+            self.num_vars, other.num_vars,
+            "truth table arity mismatch: {} vs {} variables",
+            self.num_vars, other.num_vars
+        );
         let differing = (self ^ other).count_ones();
         differing as f64 / self.num_minterms() as f64
     }
 
     /// Number of minterms on which the two functions differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ, naming both arities in the message.
     pub fn hamming_distance(&self, other: &TruthTable) -> u64 {
+        assert_eq!(
+            self.num_vars, other.num_vars,
+            "truth table arity mismatch: {} vs {} variables",
+            self.num_vars, other.num_vars
+        );
         (self ^ other).count_ones()
     }
 
@@ -544,6 +562,18 @@ mod tests {
         let diff = a.difference(&ab);
         assert_eq!(diff.count_ones(), a.count_ones() - ab.count_ones());
         assert!((a.error_rate(&ab) - (4.0 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "truth table arity mismatch: 4 vs 3 variables")]
+    fn error_rate_panics_with_both_arities() {
+        let _ = TruthTable::zero(4).error_rate(&TruthTable::zero(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "truth table arity mismatch: 2 vs 5 variables")]
+    fn hamming_distance_panics_with_both_arities() {
+        let _ = TruthTable::zero(2).hamming_distance(&TruthTable::zero(5));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use spp::{BoundedExpansion, FullExpansion, SppForm, SppSynthesizer};
 use techmap::{AreaModel, CombineOp};
 
 use crate::approximation::{classify_approximation, ApproximationStats};
+use crate::engine::seeded_divisor;
 use crate::error::BidecompError;
 use crate::operator::BinaryOp;
 use crate::quotient::full_quotient;
@@ -28,8 +29,17 @@ pub enum ApproxStrategy {
         /// Maximum fraction of the 2^n minterms that may be complemented.
         max_error_rate: f64,
     },
+    /// A seed-stable noise divisor from [`crate::engine::seeded_divisor`]:
+    /// valid for the operator's Table II side condition by construction, but
+    /// structure-free. Useful as a portfolio baseline and for seed-stability
+    /// tests; it rarely wins an area comparison.
+    Seeded {
+        /// The noise seed fed to the divisor derivation.
+        seed: u64,
+    },
     /// Use an externally supplied divisor (the plan's `decompose_with` entry
-    /// point); the strategy is recorded for reporting purposes only.
+    /// point). Asking a plan with this strategy to *derive* a divisor is an
+    /// error ([`BidecompError::MissingExternalDivisor`]).
     External,
 }
 
@@ -58,7 +68,10 @@ pub struct BiDecomposition {
     pub area_h: f64,
     /// Mapped area of the bi-decomposed form `g op h`.
     pub area_bidecomposition: f64,
-    /// `true` if [`verify_decomposition`] holds (it always should).
+    /// `true` if [`verify_decomposition`] holds. Kept for reporting: a
+    /// failed verification never reaches this struct, it is surfaced as
+    /// [`BidecompError::VerificationFailed`] instead, so on an `Ok` result
+    /// this field is always `true`.
     pub verified: bool,
 }
 
@@ -149,13 +162,17 @@ impl DecompositionPlan {
     ///
     /// # Errors
     ///
-    /// Returns an error if the derived divisor does not satisfy the side
-    /// condition of Table II for the plan's operator (this cannot happen for
-    /// the AND-like operators with 0→1 strategies, but the plan supports all
-    /// ten operators).
+    /// Returns [`BidecompError::MissingExternalDivisor`] if the plan's
+    /// strategy is [`ApproxStrategy::External`] (an external divisor can only
+    /// be used through [`DecompositionPlan::decompose_with`]), or an error if
+    /// the derived divisor does not satisfy the side condition of Table II
+    /// for the plan's operator (this cannot happen for the AND-like
+    /// operators with 0→1 strategies, but the plan supports all ten
+    /// operators).
     pub fn decompose(&self, f: &Isf) -> Result<BiDecomposition, BidecompError> {
         let f_form = self.synthesizer.synthesize(f);
-        let g_table = self.derive_divisor(f, &f_form);
+        let g_table =
+            derive_strategy_divisor(f, &f_form, self.op, self.strategy, &self.synthesizer)?;
         self.decompose_with_tables(f, f_form, g_table)
     }
 
@@ -171,48 +188,6 @@ impl DecompositionPlan {
     ) -> Result<BiDecomposition, BidecompError> {
         let f_form = self.synthesizer.synthesize(f);
         self.decompose_with_tables(f, f_form, g.clone())
-    }
-
-    /// Derives a divisor of the kind the operator needs.
-    ///
-    /// For operators that need an approximation of `f` the 2-SPP expansion is
-    /// applied to `f` itself; for operators that need an approximation of the
-    /// complement, it is applied to `f'` and the required side is selected.
-    fn derive_divisor(&self, f: &Isf, f_form: &SppForm) -> TruthTable {
-        // Which base function must be over-approximated (0→1)?
-        //   AND, ⇏           : over-approximate f              → g = approx(f)
-        //   OR, ⇐            : under-approximate f             → g = ¬approx(f')
-        //   ⇒, NAND          : over-approximate f' (f_off ⊆ g) → g = approx(f')
-        //   ⇍, NOR           : under-approximate f' (g ⊆ f_off)→ g = ¬approx(f)
-        //   XOR, XNOR        : any; use approx(f)
-        let complement_base = matches!(
-            self.op,
-            BinaryOp::Or | BinaryOp::ConverseImplication | BinaryOp::Implication | BinaryOp::Nand
-        );
-        let base = if complement_base {
-            Isf::new(f.off(), f.dc().clone()).expect("off and dc are disjoint")
-        } else {
-            f.clone()
-        };
-        let base_form =
-            if complement_base { self.synthesizer.synthesize(&base) } else { f_form.clone() };
-        let over = match self.strategy {
-            ApproxStrategy::FullExpansion | ApproxStrategy::External => {
-                FullExpansion::new().approximate(&base_form, &base, &self.synthesizer).g_table
-            }
-            ApproxStrategy::Bounded { max_error_rate } => {
-                BoundedExpansion::new(max_error_rate).approximate(&base_form, &base).g_table
-            }
-        };
-        match self.op {
-            // g_on ⊆ f_on: complement the over-approximation of f' and drop
-            // any don't-care minterms so the Table II side condition holds
-            // strictly.
-            BinaryOp::Or | BinaryOp::ConverseImplication => &(!&over) & f.on(),
-            // g_on ⊆ f_off: complement the over-approximation of f.
-            BinaryOp::ConverseNonImplication | BinaryOp::Nor => &(!&over) & &f.off(),
-            _ => over,
-        }
     }
 
     fn decompose_with_tables(
@@ -233,7 +208,13 @@ impl DecompositionPlan {
         let area_bidecomposition =
             self.area_model.bidecomposition_area(&g_form, &h_form, combine_op(self.op));
 
+        // A failed verification is a quotient bug, not a reportable outcome:
+        // surface it as an error instead of an `Ok` the caller has to
+        // remember to inspect. The `verified` field stays for reporting.
         let verified = verify_decomposition(f, &g_table, &h, self.op);
+        if !verified {
+            return Err(BidecompError::VerificationFailed { op: self.op });
+        }
 
         Ok(BiDecomposition {
             op: self.op,
@@ -250,6 +231,74 @@ impl DecompositionPlan {
             verified,
         })
     }
+}
+
+/// Derives the divisor a `(op, strategy)` pair asks for, reusing an already
+/// synthesized 2-SPP form of `f`.
+///
+/// For operators that need an approximation of `f`, the 2-SPP expansion is
+/// applied to `f` itself; for operators that need an approximation of the
+/// complement, it is applied to `f'` and the required side is selected.
+/// Table II side conditions:
+///
+/// * `AND`, `⇏`: over-approximate `f` → `g = approx(f)`;
+/// * `OR`, `⇐`: under-approximate `f` → `g = ¬approx(f')`;
+/// * `⇒`, `NAND`: over-approximate `f'` (`f_off ⊆ g`) → `g = approx(f')`;
+/// * `⇍`, `NOR`: under-approximate `f'` (`g ⊆ f_off`) → `g = ¬approx(f)`;
+/// * `XOR`, `XNOR`: anything goes; use `approx(f)`.
+///
+/// This is the derivation both [`DecompositionPlan::decompose`] and the
+/// recursive synthesizer ([`crate::recursive`]) dispatch on, so the two
+/// flows cannot drift apart strategy by strategy.
+///
+/// # Errors
+///
+/// Returns [`BidecompError::MissingExternalDivisor`] for
+/// [`ApproxStrategy::External`]: the external strategy records that the
+/// divisor is supplied by the caller, so there is nothing to derive —
+/// silently substituting a [`ApproxStrategy::FullExpansion`] divisor (the
+/// old behavior) would hide the mistake.
+pub fn derive_strategy_divisor(
+    f: &Isf,
+    f_form: &SppForm,
+    op: BinaryOp,
+    strategy: ApproxStrategy,
+    synthesizer: &SppSynthesizer,
+) -> Result<TruthTable, BidecompError> {
+    // The noise strategy is op-aware on its own and needs no expansion.
+    if let ApproxStrategy::Seeded { seed } = strategy {
+        return Ok(seeded_divisor(f, op, seed));
+    }
+    // Which base function must be over-approximated (0→1)?
+    let complement_base = matches!(
+        op,
+        BinaryOp::Or | BinaryOp::ConverseImplication | BinaryOp::Implication | BinaryOp::Nand
+    );
+    let base = if complement_base {
+        Isf::new(f.off(), f.dc().clone()).expect("off and dc are disjoint")
+    } else {
+        f.clone()
+    };
+    let base_form = if complement_base { synthesizer.synthesize(&base) } else { f_form.clone() };
+    let over = match strategy {
+        ApproxStrategy::FullExpansion => {
+            FullExpansion::new().approximate(&base_form, &base, synthesizer).g_table
+        }
+        ApproxStrategy::Bounded { max_error_rate } => {
+            BoundedExpansion::new(max_error_rate).approximate(&base_form, &base).g_table
+        }
+        ApproxStrategy::Seeded { .. } => unreachable!("handled above"),
+        ApproxStrategy::External => return Err(BidecompError::MissingExternalDivisor),
+    };
+    Ok(match op {
+        // g_on ⊆ f_on: complement the over-approximation of f' and drop
+        // any don't-care minterms so the Table II side condition holds
+        // strictly.
+        BinaryOp::Or | BinaryOp::ConverseImplication => &(!&over) & f.on(),
+        // g_on ⊆ f_off: complement the over-approximation of f.
+        BinaryOp::ConverseNonImplication | BinaryOp::Nor => &(!&over) & &f.off(),
+        _ => over,
+    })
 }
 
 /// Maps a semantic operator onto the structural top gate used by the area
@@ -321,6 +370,35 @@ mod tests {
         // An invalid divisor is rejected.
         let bad = boolfunc::TruthTable::zero(4);
         assert!(plan.decompose_with(&f, &bad).is_err());
+    }
+
+    #[test]
+    fn external_strategy_refuses_to_derive_a_divisor() {
+        // Regression: the External match arm used to fall through to
+        // FullExpansion, so `decompose` silently invented a divisor instead
+        // of reporting that the caller forgot to supply one.
+        for op in BinaryOp::all() {
+            let plan = DecompositionPlan::new(op, ApproxStrategy::External);
+            let err = plan.decompose(&fig2()).unwrap_err();
+            assert_eq!(err, BidecompError::MissingExternalDivisor, "{op}");
+        }
+        // `decompose_with` remains the entry point for external divisors.
+        let plan = DecompositionPlan::new(BinaryOp::And, ApproxStrategy::External);
+        let g = boolfunc::TruthTable::one(4);
+        assert!(plan.decompose_with(&fig2(), &g).is_ok());
+    }
+
+    #[test]
+    fn seeded_strategy_is_valid_and_reproducible_for_every_operator() {
+        let f = fig2();
+        for (i, op) in BinaryOp::all().into_iter().enumerate() {
+            let plan =
+                DecompositionPlan::new(op, ApproxStrategy::Seeded { seed: 0xBEEF ^ i as u64 });
+            let a = plan.decompose(&f).unwrap_or_else(|e| panic!("{op}: {e}"));
+            let b = plan.decompose(&f).unwrap();
+            assert!(a.verified, "{op}");
+            assert_eq!(a.g_table, b.g_table, "{op}: same seed must give the same divisor");
+        }
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   bit-identical to the dense backend's (same noise words, same algebra),
 //!   so the two backends produce the same report minterm counts.
 //!
+//! Besides the quotient sweep, the module hosts a second sweep kind:
+//! [`sweep_synthesis`] fans the recursive bi-decomposition synthesizer
+//! ([`crate::recursive`]) over a suite's dense instances on the same
+//! slot-indexed pool, reporting gate counts, mapped areas and gains instead
+//! of minterm statistics.
+//!
 //! ```rust
 //! use benchmarks::Suite;
 //! use bidecomp::engine::{sweep, Backend, EngineConfig};
@@ -47,8 +53,10 @@ use benchmarks::{DetRng, Suite};
 use boolfunc::{Isf, TruthTable};
 
 use crate::approximation::{is_valid_divisor, is_valid_divisor_bdd};
+use crate::decompose::ApproxStrategy;
 use crate::operator::BinaryOp;
 use crate::quotient::{full_quotient_bdd, quotient_off_bdd, QuotientScratch, QuotientSets};
+use crate::recursive::{RecursiveConfig, RecursiveSynthesizer};
 use crate::verify::{
     verify_decomposition_bdd, verify_decomposition_sets, verify_maximal_flexibility_bdd,
     verify_maximal_flexibility_sets,
@@ -400,38 +408,11 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
     }
 
     let threads = config.effective_threads().clamp(1, specs.len().max(1));
-    let next = AtomicUsize::new(0);
-
-    // Workers accumulate (slot, result) pairs locally — no shared lock in
-    // the hot loop (jobs are sub-microsecond, a per-job mutex would
-    // serialize the pool) — and the slots are scattered into job order after
-    // the scope joins, keeping the report scheduling-independent.
     let start = Instant::now();
-    let worker_results: Vec<Vec<(usize, JobResult)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut buffers = WorkerScratch::new();
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(spec) = specs.get(i) else { break };
-                        local.push((i, run_job(suite, config, *spec, &mut buffers)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
+    let jobs = run_pool(&specs, threads, WorkerScratch::new, |buffers, spec| {
+        run_job(suite, config, *spec, buffers)
     });
     let wall_micros = start.elapsed().as_micros() as u64;
-
-    let mut slots: Vec<Option<JobResult>> = vec![None; specs.len()];
-    for (i, result) in worker_results.into_iter().flatten() {
-        slots[i] = Some(result);
-    }
-    let jobs: Vec<JobResult> =
-        slots.into_iter().map(|r| r.expect("every claimed job writes its slot")).collect();
 
     let operators = aggregate(&config.ops, &jobs);
     SweepReport {
@@ -442,6 +423,47 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
         operators,
         wall_micros,
     }
+}
+
+/// Fans `specs` over a pool of `threads` scoped workers, each with its own
+/// local state from `init`, and scatters the results back into spec order.
+///
+/// Workers claim jobs from a shared atomic counter and accumulate
+/// `(slot, result)` pairs locally — no shared lock in the hot loop (dense
+/// quotient jobs are sub-microsecond; a per-job mutex would serialize the
+/// pool). The slot scatter after the scope joins makes the output a pure
+/// function of `specs`, independent of thread count and scheduling — the
+/// bit-identical guarantee both sweep kinds advertise.
+fn run_pool<S: Sync, L, R: Send>(
+    specs: &[S],
+    threads: usize,
+    init: impl Fn() -> L + Sync,
+    job: impl Fn(&mut L, &S) -> R + Sync,
+) -> Vec<R> {
+    let next = AtomicUsize::new(0);
+    let worker_results: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        local.push((i, job(&mut state, spec)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(specs.len());
+    slots.resize_with(specs.len(), || None);
+    for (i, result) in worker_results.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    slots.into_iter().map(|r| r.expect("every claimed job writes its slot")).collect()
 }
 
 fn run_job(
@@ -579,6 +601,230 @@ fn care_errors(f: &Isf, g: &TruthTable) -> u64 {
     fw.iter().zip(dw).zip(gw).map(|((&on, &dc), &gv)| ((gv ^ on) & !dc).count_ones() as u64).sum()
 }
 
+/// Configuration of a [`sweep_synthesis`] run: pool sizing and instance
+/// filtering as in [`EngineConfig`], plus the [`RecursiveConfig`] every job
+/// synthesizes under.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+    /// Skip instances with more than this many inputs (recursive synthesis
+    /// needs the dense representation, so symbolic instances are never
+    /// enumerated).
+    pub max_inputs: usize,
+    /// Use at most this many outputs per instance.
+    pub max_outputs: usize,
+    /// Base seed mixed into every job (only [`ApproxStrategy::Seeded`]
+    /// portfolio entries consume it; the expansion strategies are
+    /// deterministic on their own).
+    pub seed: u64,
+    /// The portfolio and termination knobs of the recursive synthesizer.
+    pub recursive: RecursiveConfig,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            threads: 0,
+            max_inputs: 12,
+            max_outputs: 6,
+            seed: 0xB1DE_C04D,
+            recursive: RecursiveConfig::default(),
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// The worker-pool size actually used (see
+    /// [`EngineConfig::effective_threads`]).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// The seed of job `(instance_index, output_index)` — a pure function of
+    /// the base seed and the two indices, never of thread count or
+    /// scheduling.
+    pub fn job_seed(&self, instance: usize, output: usize) -> u64 {
+        let mixed = self.seed
+            ^ (instance as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (output as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        DetRng::seed_from_u64(mixed).next_u64()
+    }
+}
+
+/// The outcome of one `(instance, output)` recursive-synthesis job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisJobResult {
+    /// Benchmark instance name.
+    pub instance: String,
+    /// Output index within the instance.
+    pub output: usize,
+    /// Arity of the function.
+    pub num_vars: usize,
+    /// Logic-gate count of the produced multi-level network.
+    pub gates: usize,
+    /// Bi-decomposition depth of the produced tree (0 = realized flat).
+    pub depth: usize,
+    /// Number of bi-decomposition branches in the tree.
+    pub branches: usize,
+    /// Mapped area of the produced network.
+    pub mapped_area: f64,
+    /// Mapped area of the flat 2-SPP realization the recursion competed
+    /// against.
+    pub flat_area: f64,
+    /// `true` if exhaustive `Network::eval` agreed with `f` on every care
+    /// minterm.
+    pub verified: bool,
+    /// Wall time of the job in nanoseconds. Excluded from determinism
+    /// comparisons.
+    pub nanos: u64,
+}
+
+impl SynthesisJobResult {
+    /// Mapped-area gain over the flat 2-SPP realization, in percent.
+    pub fn gain_percent(&self) -> f64 {
+        if self.flat_area == 0.0 {
+            0.0
+        } else {
+            (self.flat_area - self.mapped_area) / self.flat_area * 100.0
+        }
+    }
+
+    /// The scheduling-independent portion of the result (everything except
+    /// the wall time), for bit-identical comparisons across thread counts.
+    /// The two areas are pure f64 functions of the inputs, so exact equality
+    /// is the right comparison.
+    #[allow(clippy::type_complexity)]
+    pub fn semantic(&self) -> (&str, usize, usize, usize, usize, usize, u64, u64, bool) {
+        (
+            &self.instance,
+            self.output,
+            self.num_vars,
+            self.gates,
+            self.depth,
+            self.branches,
+            self.mapped_area.to_bits(),
+            self.flat_area.to_bits(),
+            self.verified,
+        )
+    }
+}
+
+/// The machine-readable result of a synthesis sweep: per-job results in
+/// deterministic `(instance, output)` order.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Name of the suite that was swept.
+    pub suite: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// One result per job, in `(instance, output)` order — independent of
+    /// scheduling.
+    pub jobs: Vec<SynthesisJobResult>,
+    /// End-to-end wall time of the sweep in microseconds.
+    pub wall_micros: u64,
+}
+
+impl SynthesisReport {
+    /// Total number of jobs.
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if every produced network verified against its function.
+    pub fn all_verified(&self) -> bool {
+        self.jobs.iter().all(|j| j.verified)
+    }
+
+    /// Total logic gates across all produced networks.
+    pub fn total_gates(&self) -> usize {
+        self.jobs.iter().map(|j| j.gates).sum()
+    }
+
+    /// Mean per-job mapped-area gain over the flat 2-SPP realization, in
+    /// percent (0 for an empty sweep).
+    pub fn average_gain_percent(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.jobs.iter().map(SynthesisJobResult::gain_percent).sum::<f64>()
+                / self.jobs.len() as f64
+        }
+    }
+}
+
+/// The second sweep kind: fans the recursive bi-decomposition synthesizer
+/// ([`RecursiveSynthesizer`]) over every `(instance, output)` pair of
+/// `suite`'s dense instances, on the same slot-indexed worker pool as
+/// [`sweep`]. Results are bit-identical for any thread count, and every
+/// produced network is exhaustively verified against its function's care
+/// set.
+///
+/// ```rust
+/// use benchmarks::Suite;
+/// use bidecomp::engine::{sweep_synthesis, SynthesisConfig};
+///
+/// let report = sweep_synthesis(&Suite::smoke(), &SynthesisConfig::default());
+/// assert!(report.all_verified());
+/// assert!(report.average_gain_percent() >= 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the portfolio contains [`ApproxStrategy::External`]: there is
+/// no caller to supply a divisor inside the recursion.
+pub fn sweep_synthesis(suite: &Suite, config: &SynthesisConfig) -> SynthesisReport {
+    assert!(
+        !config.recursive.portfolio.iter().any(|(_, s)| *s == ApproxStrategy::External),
+        "the External strategy has no divisor to derive inside a synthesis sweep"
+    );
+    let instances = suite.instances();
+    let mut specs = Vec::new();
+    for (instance, inst) in instances.iter().enumerate() {
+        if inst.num_inputs() > config.max_inputs {
+            continue;
+        }
+        for output in 0..inst.num_outputs().min(config.max_outputs) {
+            specs.push((instance, output));
+        }
+    }
+
+    let threads = config.effective_threads().clamp(1, specs.len().max(1));
+    let start = Instant::now();
+    let jobs = run_pool(
+        &specs,
+        threads,
+        || RecursiveSynthesizer::new(config.recursive.clone()),
+        |synthesizer, &(instance, output)| {
+            let inst = &instances[instance];
+            let f = &inst.outputs()[output];
+            let job_start = Instant::now();
+            let result = synthesizer
+                .synthesize_seeded(f, config.job_seed(instance, output))
+                .expect("portfolio validated before the sweep started");
+            SynthesisJobResult {
+                instance: inst.name().to_string(),
+                output,
+                num_vars: f.num_vars(),
+                gates: result.gate_count(),
+                depth: result.tree.depth(),
+                branches: result.tree.num_branches(),
+                mapped_area: result.mapped_area,
+                flat_area: result.flat_area,
+                verified: result.verified,
+                nanos: job_start.elapsed().as_nanos() as u64,
+            }
+        },
+    );
+    let wall_micros = start.elapsed().as_micros() as u64;
+
+    SynthesisReport { suite: suite.name().to_string(), threads, jobs, wall_micros }
+}
+
 fn aggregate(ops: &[BinaryOp], jobs: &[JobResult]) -> Vec<OperatorStats> {
     ops.iter()
         .map(|&op| {
@@ -712,6 +958,38 @@ mod tests {
         // And the dense backend cannot even enumerate these jobs.
         let dense_config = EngineConfig { backend: Backend::Dense, ..config };
         assert_eq!(sweep(&suite, &dense_config).total_jobs(), 0);
+    }
+
+    #[test]
+    fn synthesis_sweep_verifies_every_network_on_smoke() {
+        let suite = Suite::smoke();
+        let config = SynthesisConfig { threads: 2, ..SynthesisConfig::default() };
+        let report = sweep_synthesis(&suite, &config);
+        let expected: usize =
+            suite.instances().iter().map(|i| i.num_outputs().min(config.max_outputs)).sum();
+        assert_eq!(report.total_jobs(), expected);
+        assert!(report.all_verified(), "every produced network must verify");
+        assert!(report.average_gain_percent() >= 0.0, "flat is always a candidate");
+        for job in &report.jobs {
+            assert!(job.flat_area >= job.mapped_area, "{}[{}]", job.instance, job.output);
+        }
+    }
+
+    #[test]
+    fn synthesis_sweep_filters_oversized_instances() {
+        let config = SynthesisConfig { max_inputs: 4, ..SynthesisConfig::default() };
+        let report = sweep_synthesis(&Suite::table4(), &config);
+        assert_eq!(report.total_jobs(), 0);
+        assert!(report.all_verified(), "vacuously true on an empty job list");
+        assert_eq!(report.average_gain_percent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "External strategy")]
+    fn synthesis_sweep_rejects_external_portfolio_entries() {
+        let mut config = SynthesisConfig::default();
+        config.recursive.portfolio.push((BinaryOp::And, ApproxStrategy::External));
+        sweep_synthesis(&Suite::smoke(), &config);
     }
 
     #[test]

@@ -22,6 +22,19 @@ pub enum BidecompError {
         /// Human-readable description of the violated side condition.
         requirement: String,
     },
+    /// A plan with [`crate::ApproxStrategy::External`] was asked to *derive*
+    /// a divisor: the external strategy records that the divisor is supplied
+    /// by the caller (`decompose_with`), so there is nothing to derive and
+    /// silently substituting another strategy would hide the mistake.
+    MissingExternalDivisor,
+    /// The computed decomposition failed the exhaustive check of Lemmas 1–5
+    /// (`f = g op h` for every completion of `h`). This indicates a bug in
+    /// the quotient computation, never a user error, and is surfaced instead
+    /// of an `Ok` result carrying `verified: false`.
+    VerificationFailed {
+        /// The operator whose decomposition failed to verify.
+        op: BinaryOp,
+    },
     /// A lower-level Boolean-function error (e.g. too many variables for the
     /// dense backend).
     BoolFunc(boolfunc::BoolFuncError),
@@ -35,6 +48,16 @@ impl fmt::Display for BidecompError {
             }
             BidecompError::InvalidDivisor { op, requirement } => {
                 write!(f, "divisor is not a valid approximation for {op}: {requirement}")
+            }
+            BidecompError::MissingExternalDivisor => {
+                write!(
+                    f,
+                    "the External strategy needs a caller-supplied divisor; \
+                     use decompose_with instead of decompose"
+                )
+            }
+            BidecompError::VerificationFailed { op } => {
+                write!(f, "the {op} decomposition failed the Lemma 1-5 verification")
             }
             BidecompError::BoolFunc(e) => write!(f, "boolean function error: {e}"),
         }
@@ -72,6 +95,11 @@ mod tests {
             requirement: "f_on ⊆ g_on".into(),
         };
         assert!(invalid.to_string().contains("AND"));
+        let missing = BidecompError::MissingExternalDivisor;
+        assert!(missing.to_string().contains("decompose_with"));
+        let unverified = BidecompError::VerificationFailed { op: BinaryOp::Xor };
+        assert!(unverified.to_string().contains("XOR"));
+        assert!(unverified.to_string().contains("verification"));
     }
 
     #[test]

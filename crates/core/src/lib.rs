@@ -28,7 +28,13 @@
 //! * [`engine`] — the batch decomposition engine: the full
 //!   operator × instance × divisor sweep of a benchmark suite over a worker
 //!   pool, with an allocation-free quotient/verify hot path
-//!   ([`QuotientScratch`]) and deterministic, seed-stable reports.
+//!   ([`QuotientScratch`]) and deterministic, seed-stable reports; a second
+//!   sweep kind ([`sweep_synthesis`]) fans the recursive synthesizer over a
+//!   suite on the same pool;
+//! * [`recursive`] — the recursive synthesis engine: cost-driven multi-level
+//!   bi-decomposition with a configurable `(operator, strategy)` portfolio,
+//!   a [`techmap::Network`] emitter and a [`DecompositionTree`] report, every
+//!   network exhaustively verified against `f`'s care set.
 //!
 //! ```rust
 //! use bidecomp::{full_quotient, verify_decomposition, BinaryOp};
@@ -56,6 +62,7 @@ mod error;
 pub mod flexibility;
 pub mod operator;
 pub mod quotient;
+pub mod recursive;
 pub mod report;
 pub mod sequence;
 pub mod verify;
@@ -63,10 +70,12 @@ pub mod verify;
 pub use approximation::{
     classify_approximation, is_valid_divisor_bdd, ApproxKind, ApproximationStats,
 };
-pub use decompose::{ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient};
+pub use decompose::{
+    derive_strategy_divisor, ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient,
+};
 pub use engine::{
-    seeded_divisor, seeded_divisor_bdd, sweep, Backend, EngineConfig, JobResult, OperatorStats,
-    SweepReport,
+    seeded_divisor, seeded_divisor_bdd, sweep, sweep_synthesis, Backend, EngineConfig, JobResult,
+    OperatorStats, SweepReport, SynthesisConfig, SynthesisJobResult, SynthesisReport,
 };
 pub use error::BidecompError;
 pub use flexibility::FlexibilityReport;
@@ -74,6 +83,10 @@ pub use operator::{BinaryOp, OperatorClass};
 pub use quotient::{
     full_quotient, full_quotient_bdd, quotient_off_bdd, quotient_sets, table2_row, DcTerm,
     QuotientScratch, QuotientSets, Table2Row,
+};
+pub use recursive::{
+    verify_network, DecompositionTree, LeafKind, RecursiveConfig, RecursiveSynthesis,
+    RecursiveSynthesizer,
 };
 pub use report::{BenchmarkRow, TableReport};
 pub use sequence::decomposition_sequence;

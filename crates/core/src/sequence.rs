@@ -20,9 +20,11 @@ use crate::operator::BinaryOp;
 ///
 /// # Errors
 ///
-/// Propagates any error from the individual decompositions (which cannot
-/// happen for the AND-like operators used here unless `f` has more variables
-/// than the dense backend supports).
+/// Propagates any error from the individual decompositions — including
+/// [`BidecompError::VerificationFailed`], so a decomposition that fails the
+/// Lemma 1–5 check can never ride through the sequence as an `Ok` entry
+/// (none of this can happen for the AND-like operators used here unless `f`
+/// has more variables than the dense backend supports).
 pub fn decomposition_sequence(
     f: &Isf,
     op: BinaryOp,

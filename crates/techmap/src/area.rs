@@ -118,41 +118,9 @@ impl AreaModel {
     ) -> MappingResult {
         assert_eq!(g.num_vars(), h.num_vars(), "divisor/quotient arity mismatch");
         let mut net = Network::new(g.num_vars());
-        let g_root = net.add_spp(g);
-        let h_root = net.add_spp(h);
-        let combined = match op {
-            CombineOp::And => net.and(g_root, h_root),
-            CombineOp::AndNotRight => {
-                let nh = net.not(h_root);
-                net.and(g_root, nh)
-            }
-            CombineOp::AndNotLeft => {
-                let ng = net.not(g_root);
-                net.and(ng, h_root)
-            }
-            CombineOp::Nor => {
-                let o = net.or(g_root, h_root);
-                net.not(o)
-            }
-            CombineOp::Or => net.or(g_root, h_root),
-            CombineOp::OrNotLeft => {
-                let ng = net.not(g_root);
-                net.or(ng, h_root)
-            }
-            CombineOp::OrNotRight => {
-                let nh = net.not(h_root);
-                net.or(g_root, nh)
-            }
-            CombineOp::Nand => {
-                let a = net.and(g_root, h_root);
-                net.not(a)
-            }
-            CombineOp::Xor => net.xor(g_root, h_root),
-            CombineOp::Xnor => {
-                let x = net.xor(g_root, h_root);
-                net.not(x)
-            }
-        };
+        let g_root = net.build_spp(g);
+        let h_root = net.build_spp(h);
+        let combined = net.combine(g_root, h_root, op);
         net.add_output(combined);
         self.mapper.map(&net)
     }

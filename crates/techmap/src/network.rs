@@ -4,6 +4,8 @@ use std::fmt;
 use boolfunc::{Cover, CubeValue};
 use spp::{SppForm, XorFactor};
 
+use crate::area::CombineOp;
+
 /// Identifier of a node inside a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(u32);
@@ -206,9 +208,10 @@ impl Network {
         }
     }
 
-    /// Builds (and registers as an output) the network of an SOP cover,
-    /// returning the root node.
-    pub fn add_cover(&mut self, cover: &Cover) -> NodeId {
+    /// Builds the network of an SOP cover and returns the root node without
+    /// registering it as an output — the building block multi-level flows
+    /// (like the recursive bi-decomposition synthesizer) compose internally.
+    pub fn build_cover(&mut self, cover: &Cover) -> NodeId {
         assert_eq!(cover.num_vars(), self.num_inputs, "cover arity mismatch");
         let mut products = Vec::with_capacity(cover.num_cubes());
         for cube in cover.iter() {
@@ -225,14 +228,20 @@ impl Network {
             }
             products.push(self.and_many(&lits));
         }
-        let root = self.or_many(&products);
+        self.or_many(&products)
+    }
+
+    /// Builds (and registers as an output) the network of an SOP cover,
+    /// returning the root node.
+    pub fn add_cover(&mut self, cover: &Cover) -> NodeId {
+        let root = self.build_cover(cover);
         self.add_output(root);
         root
     }
 
-    /// Builds (and registers as an output) the network of a 2-SPP form,
-    /// returning the root node.
-    pub fn add_spp(&mut self, form: &SppForm) -> NodeId {
+    /// Builds the network of a 2-SPP form and returns the root node without
+    /// registering it as an output (see [`Network::build_cover`]).
+    pub fn build_spp(&mut self, form: &SppForm) -> NodeId {
         assert_eq!(form.num_vars(), self.num_inputs, "form arity mismatch");
         let mut products = Vec::with_capacity(form.num_pseudoproducts());
         for pp in form.iter() {
@@ -262,9 +271,54 @@ impl Network {
             }
             products.push(self.and_many(&factors));
         }
-        let root = self.or_many(&products);
+        self.or_many(&products)
+    }
+
+    /// Builds (and registers as an output) the network of a 2-SPP form,
+    /// returning the root node.
+    pub fn add_spp(&mut self, form: &SppForm) -> NodeId {
+        let root = self.build_spp(form);
         self.add_output(root);
         root
+    }
+
+    /// Combines two sub-networks with the structural top gate of a
+    /// bi-decomposition `a op b` (constant folding and structural hashing
+    /// apply as usual).
+    pub fn combine(&mut self, a: NodeId, b: NodeId, op: CombineOp) -> NodeId {
+        match op {
+            CombineOp::And => self.and(a, b),
+            CombineOp::AndNotRight => {
+                let nb = self.not(b);
+                self.and(a, nb)
+            }
+            CombineOp::AndNotLeft => {
+                let na = self.not(a);
+                self.and(na, b)
+            }
+            CombineOp::Nor => {
+                let o = self.or(a, b);
+                self.not(o)
+            }
+            CombineOp::Or => self.or(a, b),
+            CombineOp::OrNotLeft => {
+                let na = self.not(a);
+                self.or(na, b)
+            }
+            CombineOp::OrNotRight => {
+                let nb = self.not(b);
+                self.or(a, nb)
+            }
+            CombineOp::Nand => {
+                let x = self.and(a, b);
+                self.not(x)
+            }
+            CombineOp::Xor => self.xor(a, b),
+            CombineOp::Xnor => {
+                let x = self.xor(a, b);
+                self.not(x)
+            }
+        }
     }
 
     /// Evaluates every declared output on a minterm.

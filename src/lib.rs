@@ -51,7 +51,7 @@ pub mod prelude {
     pub use benchmarks::{BenchmarkInstance, Suite};
     pub use bidecomp::{
         full_quotient, verify_decomposition, ApproxKind, BiDecomposition, BinaryOp,
-        DecompositionPlan, Quotient,
+        DecompositionPlan, Quotient, RecursiveSynthesizer,
     };
     pub use boolfunc::{Cover, Cube, Isf, TruthTable};
     pub use sop::espresso;
