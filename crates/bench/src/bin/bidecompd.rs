@@ -1,0 +1,98 @@
+//! The persistent decomposition daemon: binds the `service::Server` on
+//! localhost and serves until a `shutdown` request arrives.
+//!
+//! Usage (all flags optional):
+//!
+//! ```text
+//! cargo run -p bidecomp-bench --release --bin bidecompd -- \
+//!     [--port N] [--port-file PATH] [--workers N] \
+//!     [--cache-capacity N] [--shards N] [--no-cache] \
+//!     [--max-vars N] [--depth N] [--min-gain F]
+//! ```
+//!
+//! `--port 0` (the default) picks an ephemeral port; the chosen address is
+//! printed as `listening on 127.0.0.1:PORT` and, with `--port-file`, the
+//! bare port number is also written to the given file once the listener is
+//! bound — which is how scripts (CI, `service_loadgen --port-file`) find
+//! the server without a port race.
+
+use std::process::ExitCode;
+
+use bidecomp_bench::cli::ArgCursor;
+use service::{Server, ServiceConfig};
+
+struct Args {
+    port: u16,
+    port_file: Option<String>,
+    config: ServiceConfig,
+}
+
+/// Strict parsing (exit code 2 on any problem), like the other gate-feeding
+/// binaries: a daemon silently falling back to defaults would hand the CI
+/// gate a differently-configured server.
+fn parse_args() -> Args {
+    let mut args = Args { port: 0, port_file: None, config: ServiceConfig::default() };
+    let mut argv = ArgCursor::from_env("bidecompd");
+    while let Some(flag) = argv.next_flag() {
+        match flag.as_str() {
+            "--port" => args.port = argv.number(&flag) as u16,
+            "--port-file" => args.port_file = Some(argv.value(&flag)),
+            "--workers" => args.config.workers = argv.number(&flag) as usize,
+            "--cache-capacity" => args.config.cache_capacity = argv.number(&flag) as usize,
+            "--shards" => args.config.cache_shards = argv.number(&flag) as usize,
+            "--no-cache" => args.config.cache_capacity = 0,
+            "--max-vars" => args.config.max_vars = argv.number(&flag) as usize,
+            "--depth" => args.config.recursive.max_depth = argv.number(&flag) as usize,
+            "--min-gain" => args.config.recursive.min_gain = argv.float(&flag),
+            other => argv.fail(format_args!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let server = match Server::bind(("127.0.0.1", args.port), args.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bidecompd: cannot bind 127.0.0.1:{}: {e}", args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("bidecompd: cannot read the bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {addr}");
+    println!(
+        "workers {} | cache {} | max_vars {} | portfolio {} candidates, depth {}",
+        if args.config.workers == 0 { "auto".to_string() } else { args.config.workers.to_string() },
+        if args.config.cache_capacity == 0 {
+            "disabled".to_string()
+        } else {
+            format!("{} entries / {} shards", args.config.cache_capacity, args.config.cache_shards)
+        },
+        args.config.max_vars,
+        args.config.recursive.portfolio.len(),
+        args.config.recursive.max_depth,
+    );
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("bidecompd: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("bidecompd: shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bidecompd: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,6 +20,15 @@
 //!   count, depth, branch count, rounded areas and gain — are compared
 //!   exactly (areas within 1e-6 to absorb decimal-text round-tripping);
 //!   `--tolerance` is ignored.
+//! * `bidecomp-service-v1` — the service load generator
+//!   (`service_loadgen`): the workload shape (request counts, arity, base
+//!   pool, connection count) and the zero-error requirement are exact; the
+//!   cached-over-cold `speedup` ratio uses the same tolerance band as the
+//!   sweep schema (both arms run in one process against one server, so the
+//!   ratio is machine-comparable), and the cached arm's `hit_rate` may dip
+//!   at most 5 points below the baseline (concurrent first-misses of one
+//!   key can steal a handful of hits). Latencies are reported, never
+//!   compared.
 //!
 //! For the sweep schema, two classes of checks:
 //!
@@ -104,6 +113,7 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
     match base_schema.as_str() {
         "bidecomp-sweep-v1" => run_sweep(args, &baseline, &current),
         "bidecomp-synth-v1" => run_synth(args, &baseline, &current),
+        "bidecomp-service-v1" => run_service(args, &baseline, &current),
         other => Err(format!("{}: unknown schema '{other}'", args.baseline)),
     }
 }
@@ -266,6 +276,70 @@ fn run_synth(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<Strin
         "synthesis wall time: baseline {base_ms:.1} ms, current {cur_ms:.1} ms \
          (informational; hosts differ)"
     );
+
+    Ok(failures)
+}
+
+/// The service-schema gate: exact on the seeded workload shape and the
+/// zero-error requirement, tolerance-banded on the measured cache effect.
+fn run_service(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+
+    for key in ["requests", "synthesize", "decompose", "connections", "num_vars", "bases"] {
+        let b = u64_field(baseline, key, &args.baseline)?;
+        let c = u64_field(current, key, &args.current)?;
+        if b != c {
+            failures.push(format!("{key} differs: baseline {b} vs current {c}"));
+        }
+    }
+    let errors = u64_field(current, "errors", &args.current)?;
+    if errors != 0 {
+        failures.push(format!("{errors} responses were not ok/verified"));
+    }
+
+    let base_speedup = f64_field(baseline, "speedup", &args.baseline)?;
+    let cur_speedup = f64_field(current, "speedup", &args.current)?;
+    let floor = (base_speedup * (1.0 - args.tolerance)).max(1.0);
+    println!(
+        "cached-over-cold throughput: baseline {base_speedup:.2}x, current {cur_speedup:.2}x \
+         (floor {floor:.2}x, tolerance {})",
+        args.tolerance
+    );
+    if cur_speedup < floor {
+        failures.push(format!(
+            "cache speedup regression: {cur_speedup:.2}x fell below the floor {floor:.2}x \
+             (baseline {base_speedup:.2}x, tolerance {})",
+            args.tolerance
+        ));
+    }
+
+    let base_hit_rate = f64_field(baseline, "hit_rate", &args.baseline)?;
+    let cur_hit_rate = f64_field(current, "hit_rate", &args.current)?;
+    println!(
+        "cached-arm hit rate: baseline {:.1}%, current {:.1}% (floor {:.1}%)",
+        base_hit_rate * 100.0,
+        cur_hit_rate * 100.0,
+        (base_hit_rate - 0.05) * 100.0
+    );
+    if cur_hit_rate < base_hit_rate - 0.05 {
+        failures.push(format!(
+            "hit-rate regression: {:.3} fell more than 5 points below the baseline {:.3}",
+            cur_hit_rate, base_hit_rate
+        ));
+    }
+
+    for arm in ["cold", "cached"] {
+        let b = baseline.get(arm).ok_or_else(|| format!("{}: missing {arm} arm", args.baseline))?;
+        let c = current.get(arm).ok_or_else(|| format!("{}: missing {arm} arm", args.current))?;
+        println!(
+            "{arm} arm: baseline p50 {:.2} ms / p99 {:.2} ms, current p50 {:.2} ms / \
+             p99 {:.2} ms (informational; hosts differ)",
+            f64_field(b, "p50_ms", &args.baseline)?,
+            f64_field(b, "p99_ms", &args.baseline)?,
+            f64_field(c, "p50_ms", &args.current)?,
+            f64_field(c, "p99_ms", &args.current)?,
+        );
+    }
 
     Ok(failures)
 }

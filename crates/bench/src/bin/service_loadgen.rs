@@ -1,0 +1,444 @@
+//! The service load generator: replays a seeded mixed workload against a
+//! running `bidecompd` and measures what the NPN cache buys.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bidecomp-bench --release --bin service_loadgen -- \
+//!     (--port N | --port-file PATH) [--requests N] [--connections N] \
+//!     [--num-vars N] [--bases N] [--repeat-ratio F] [--seed N] \
+//!     [--json PATH] [--write-baseline] [--shutdown-server]
+//! ```
+//!
+//! The workload mirrors a synthesis campaign: a pool of `--bases` seeded
+//! random cover functions plays the role of the recurring subfunctions, and
+//! each request is, with probability `--repeat-ratio`, one of them under a
+//! *fresh random NPN transform* (permuted, input/output-complemented — the
+//! repeats a canonical cache must recognize), otherwise a never-seen random
+//! function. ~80% of requests are `synthesize`, the rest `decompose` with a
+//! random operator and a server-derived seeded divisor.
+//!
+//! The same request sequence runs twice: once with `"no_cache":true` on
+//! every request (the cold arm) and once cached. Both arms run in the same
+//! process against the same server, so their throughput ratio — the
+//! artifact's `speedup` — is comparable across machines, like the `sweep`
+//! binary's engine-vs-reference ratio. Every response is checked: `ok`,
+//! `verified` (and `maximal` for decompose) must hold, and any failure
+//! fails the run.
+//!
+//! The artifact (`BENCH_service.json`, schema `bidecomp-service-v1`)
+//! records the workload shape (exact, gated bit for bit), per-arm
+//! throughput and p50/p99 latency, the cached arm's hit rate and the
+//! speedup; `regress` compares it against the committed
+//! `BENCH_service_baseline.json` with a tolerance band on the measured
+//! quantities. `--write-baseline` refreshes the baseline.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use benchmarks::DetRng;
+use bidecomp::engine::seeded_divisor;
+use bidecomp::BinaryOp;
+use bidecomp_bench::cli::{bench_out_path, ArgCursor};
+use bidecomp_bench::json::{self, Value};
+use boolfunc::Isf;
+use service::npn::NpnTransform;
+use service::server::table_to_hex;
+
+struct Args {
+    port: Option<u16>,
+    port_file: Option<String>,
+    requests: usize,
+    connections: usize,
+    num_vars: usize,
+    bases: usize,
+    repeat_ratio: f64,
+    seed: u64,
+    json_path: String,
+    write_baseline: bool,
+    shutdown_server: bool,
+}
+
+/// Strict parsing (exit code 2 on any problem): this binary feeds the CI
+/// gate and writes the committed baseline.
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: None,
+        port_file: None,
+        requests: 240,
+        connections: 8,
+        num_vars: 9,
+        bases: 12,
+        repeat_ratio: 0.9,
+        seed: 0x5EED_CAFE,
+        json_path: "BENCH_service.json".to_string(),
+        write_baseline: false,
+        shutdown_server: false,
+    };
+    let mut argv = ArgCursor::from_env("service_loadgen");
+    while let Some(flag) = argv.next_flag() {
+        match flag.as_str() {
+            "--port" => args.port = Some(argv.number(&flag) as u16),
+            "--port-file" => args.port_file = Some(argv.value(&flag)),
+            "--requests" => args.requests = argv.number(&flag) as usize,
+            "--connections" => args.connections = (argv.number(&flag) as usize).max(1),
+            "--num-vars" => args.num_vars = argv.number(&flag) as usize,
+            "--bases" => args.bases = (argv.number(&flag) as usize).max(1),
+            "--repeat-ratio" => args.repeat_ratio = argv.float(&flag),
+            "--seed" => args.seed = argv.number(&flag),
+            "--json" => args.json_path = argv.value(&flag),
+            "--write-baseline" => args.write_baseline = true,
+            "--shutdown-server" => args.shutdown_server = true,
+            other => argv.fail(format_args!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+/// Resolves the server port: `--port`, or poll `--port-file` (written by
+/// `bidecompd` after binding) for up to 30 seconds.
+fn resolve_port(args: &Args) -> Result<u16, String> {
+    if let Some(port) = args.port {
+        return Ok(port);
+    }
+    let Some(path) = &args.port_file else {
+        return Err("one of --port or --port-file is required".to_string());
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                return Ok(port);
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!("no usable port appeared in {path} within 30s"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn connect(port: u16) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) if Instant::now() > deadline => {
+                return Err(format!("cannot connect to 127.0.0.1:{port}: {e}"))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// A seeded random on/dc cover pair: the structured functions a synthesis
+/// workload actually sees (random dense tables are 2-SPP worst cases and
+/// would measure the synthesizer, not the cache).
+fn random_isf(rng: &mut DetRng, num_vars: usize) -> Isf {
+    let cube = |rng: &mut DetRng| {
+        let mut chars = vec!['-'; num_vars];
+        let literals = 2 + (rng.next_u64() % 2) as usize;
+        for _ in 0..literals {
+            let var = (rng.next_u64() % num_vars as u64) as usize;
+            chars[var] = if rng.next_u64() & 1 == 0 { '0' } else { '1' };
+        }
+        chars.into_iter().collect::<String>()
+    };
+    let on: Vec<String> = (0..8).map(|_| cube(rng)).collect();
+    let dc: Vec<String> = (0..2).map(|_| cube(rng)).collect();
+    let on_refs: Vec<&str> = on.iter().map(String::as_str).collect();
+    let dc_refs: Vec<&str> = dc.iter().map(String::as_str).collect();
+    Isf::from_cover_str(num_vars, &on_refs, &dc_refs).expect("generated cubes are well-formed")
+}
+
+fn random_transform(rng: &mut DetRng, num_vars: usize) -> NpnTransform {
+    let mut perm: Vec<u8> = (0..num_vars as u8).collect();
+    for i in (1..num_vars).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    let neg = (rng.next_u64() as u32) & ((1u32 << num_vars) - 1);
+    NpnTransform::new(perm, neg, rng.next_u64() & 1 == 1)
+}
+
+/// One precomputed request line (without the `no_cache` marker, which the
+/// cold arm splices in) plus what kind it is.
+struct WorkItem {
+    line: String,
+    synthesize: bool,
+}
+
+fn build_workload(args: &Args) -> Vec<WorkItem> {
+    let mut base_rng = DetRng::seed_from_u64(args.seed);
+    let bases: Vec<Isf> =
+        (0..args.bases).map(|_| random_isf(&mut base_rng, args.num_vars)).collect();
+    (0..args.requests)
+        .map(|i| {
+            let mut rng = DetRng::seed_from_u64(
+                args.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let repeat = (rng.next_u64() % 1000) as f64 / 1000.0 < args.repeat_ratio;
+            let synthesize = rng.next_u64() % 5 < 4; // 80% synthesize
+            let (f, base_and_transform) = if repeat {
+                let index = (rng.next_u64() % args.bases as u64) as usize;
+                let t = random_transform(&mut rng, args.num_vars);
+                (t.apply_isf(&bases[index]), Some((index, &bases[index], t)))
+            } else {
+                (random_isf(&mut rng, args.num_vars), None)
+            };
+            let line = if synthesize {
+                format!(
+                    r#"{{"verb":"synthesize","num_vars":{},"f_on":"{}","f_dc":"{}""#,
+                    args.num_vars,
+                    table_to_hex(f.on()),
+                    table_to_hex(f.dc()),
+                )
+            } else {
+                // Repeats carry the diagonally transformed (f, g, op) of a
+                // deterministic per-base divisor — the operator is tied to
+                // the base so the same decomposition problem recurs under
+                // fresh NPN clothing and the cache can recognize it; fresh
+                // functions pick a random operator and let the server
+                // derive a seeded divisor.
+                match base_and_transform {
+                    Some((index, base, ref t)) => {
+                        let op = BinaryOp::all()[index % 10];
+                        let g = seeded_divisor(base, op, args.seed ^ index as u64);
+                        format!(
+                            r#"{{"verb":"decompose","num_vars":{},"f_on":"{}","f_dc":"{}","op":"{}","g":"{}""#,
+                            args.num_vars,
+                            table_to_hex(f.on()),
+                            table_to_hex(f.dc()),
+                            t.map_op(op).symbol(),
+                            table_to_hex(&t.permute_table(&g)),
+                        )
+                    }
+                    None => {
+                        let op = BinaryOp::all()[(rng.next_u64() % 10) as usize];
+                        // Seeds are full 64-bit values, so they travel as
+                        // decimal strings (JSON numbers are only exact to
+                        // 2^53).
+                        format!(
+                            r#"{{"verb":"decompose","num_vars":{},"f_on":"{}","f_dc":"{}","op":"{}","seed":"{}""#,
+                            args.num_vars,
+                            table_to_hex(f.on()),
+                            table_to_hex(f.dc()),
+                            op.symbol(),
+                            rng.next_u64(),
+                        )
+                    }
+                }
+            };
+            WorkItem { line, synthesize }
+        })
+        .collect()
+}
+
+#[derive(Debug, Default)]
+struct ArmResult {
+    wall_ms: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hits: u64,
+    errors: u64,
+}
+
+/// Runs one arm: the work items round-robined over `connections` synchronous
+/// request/response workers.
+fn run_arm(
+    port: u16,
+    args: &Args,
+    workload: &[WorkItem],
+    no_cache: bool,
+) -> Result<ArmResult, String> {
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(workload.len()));
+    let hits = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for worker in 0..args.connections {
+            let stream = connect(port)?;
+            let latencies = &latencies;
+            let hits = &hits;
+            let errors = &errors;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut local_latencies = Vec::new();
+                for item in workload.iter().skip(worker).step_by(args.connections) {
+                    let suffix = if no_cache { r#","no_cache":true}"# } else { "}" };
+                    let request = format!("{}{}\n", item.line, suffix);
+                    let sent = Instant::now();
+                    writer.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
+                    writer.flush().map_err(|e| e.to_string())?;
+                    let mut line = String::new();
+                    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+                    local_latencies.push(sent.elapsed().as_micros() as u64);
+                    let response = Value::parse(line.trim())
+                        .map_err(|e| format!("unparsable response: {e}"))?;
+                    let ok = response.get("ok").and_then(Value::as_bool) == Some(true);
+                    let verified = response.get("verified").and_then(Value::as_bool) == Some(true);
+                    // Decompose responses additionally claim maximal
+                    // flexibility (Corollaries 1–4); when present the field
+                    // must hold.
+                    let maximal = response.get("maximal").and_then(Value::as_bool) != Some(false);
+                    if !ok || !verified || !maximal {
+                        eprintln!("service_loadgen: bad response: {}", line.trim());
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if response.get("cache").and_then(Value::as_str) == Some("hit") {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                latencies.lock().unwrap().extend(local_latencies);
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("loadgen worker panicked")?;
+        }
+        Ok(())
+    })?;
+    let wall = start.elapsed();
+
+    let mut micros = latencies.into_inner().unwrap();
+    micros.sort_unstable();
+    let percentile = |p: usize| -> f64 {
+        if micros.is_empty() {
+            0.0
+        } else {
+            micros[(micros.len() * p / 100).min(micros.len() - 1)] as f64 / 1000.0
+        }
+    };
+    Ok(ArmResult {
+        wall_ms: wall.as_secs_f64() * 1000.0,
+        rps: workload.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(50),
+        p99_ms: percentile(99),
+        hits: hits.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    })
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn arm_to_json(arm: &ArmResult) -> Vec<(String, Value)> {
+    vec![
+        ("rps".into(), Value::Num(round3(arm.rps))),
+        ("p50_ms".into(), Value::Num(round3(arm.p50_ms))),
+        ("p99_ms".into(), Value::Num(round3(arm.p99_ms))),
+        ("wall_ms".into(), Value::Num(round3(arm.wall_ms))),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let port = match resolve_port(&args) {
+        Ok(port) => port,
+        Err(message) => {
+            eprintln!("service_loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let workload = build_workload(&args);
+    let synth_count = workload.iter().filter(|w| w.synthesize).count();
+    println!(
+        "== service load generator: {} requests ({} synthesize / {} decompose), \
+         {} vars, {} bases, repeat ratio {:.2}, {} connections ==",
+        workload.len(),
+        synth_count,
+        workload.len() - synth_count,
+        args.num_vars,
+        args.bases,
+        args.repeat_ratio,
+        args.connections,
+    );
+
+    let run = |label: &str, no_cache: bool| -> Result<ArmResult, String> {
+        let arm = run_arm(port, &args, &workload, no_cache)?;
+        println!(
+            "{label:>6}: {:8.1} req/s | p50 {:7.2} ms | p99 {:7.2} ms | wall {:8.1} ms | \
+             hits {} | errors {}",
+            arm.rps, arm.p50_ms, arm.p99_ms, arm.wall_ms, arm.hits, arm.errors,
+        );
+        Ok(arm)
+    };
+    let (cold, cached) = match run("cold", true).and_then(|c| Ok((c, run("cached", false)?))) {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("service_loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.shutdown_server {
+        if let Ok(stream) = connect(port) {
+            let mut writer = stream.try_clone().expect("clone stream");
+            let _ = writer.write_all(b"{\"verb\":\"shutdown\"}\n");
+            let _ = writer.flush();
+            let mut line = String::new();
+            let _ = BufReader::new(stream).read_line(&mut line);
+        }
+    }
+
+    let speedup = if cold.rps > 0.0 { cached.rps / cold.rps } else { 0.0 };
+    let hit_rate = cached.hits as f64 / workload.len() as f64;
+    println!(
+        "cached arm: {:.2}x the cold arm's throughput, hit rate {:.1}%",
+        speedup,
+        hit_rate * 100.0
+    );
+    let errors = cold.errors + cached.errors;
+    if errors > 0 {
+        eprintln!("FAIL: {errors} responses were not ok/verified");
+        return ExitCode::FAILURE;
+    }
+    if cold.hits != 0 {
+        eprintln!("FAIL: the no_cache arm reported {} cache hits", cold.hits);
+        return ExitCode::FAILURE;
+    }
+
+    let doc = Value::Object(vec![
+        ("schema".into(), json::s("bidecomp-service-v1")),
+        ("requests".into(), json::num(workload.len() as u64)),
+        ("synthesize".into(), json::num(synth_count as u64)),
+        ("decompose".into(), json::num((workload.len() - synth_count) as u64)),
+        ("connections".into(), json::num(args.connections as u64)),
+        ("num_vars".into(), json::num(args.num_vars as u64)),
+        ("bases".into(), json::num(args.bases as u64)),
+        ("repeat_ratio".into(), Value::Num(args.repeat_ratio)),
+        ("errors".into(), json::num(errors)),
+        ("cold".into(), Value::Object(arm_to_json(&cold))),
+        ("cached".into(), Value::Object(arm_to_json(&cached))),
+        ("hit_rate".into(), Value::Num(round3(hit_rate))),
+        ("speedup".into(), Value::Num(round3(speedup))),
+    ]);
+    let text = json::pretty(&doc);
+    let path = bench_out_path(&args.json_path);
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("could not write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    if args.write_baseline {
+        let path = bench_out_path("BENCH_service_baseline.json");
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

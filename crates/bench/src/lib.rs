@@ -23,10 +23,18 @@
 //!   whole suite (multi-level networks, mapped-area gains over flat 2-SPP,
 //!   every network exhaustively verified), serialized as `BENCH_synth.json`
 //!   (`--write-baseline` refreshes `BENCH_synth_baseline.json`);
+//! * `bidecompd`      — the persistent decomposition service (`service`
+//!   crate): localhost TCP, line-delimited JSON, NPN-canonical result cache;
+//! * `service_loadgen` — replays a seeded mixed workload (repeats under
+//!   random NPN transforms + fresh functions) against a running `bidecompd`,
+//!   once cache-bypassed and once cached, and serializes throughput,
+//!   latency percentiles, hit rate and the cached-over-cold speedup as
+//!   `BENCH_service.json` (`--write-baseline` refreshes
+//!   `BENCH_service_baseline.json`);
 //! * `regress`        — compares a sweep artifact (`BENCH_sweep.json`,
-//!   `BENCH_bdd_sweep.json` or `BENCH_synth.json`) against its committed
-//!   baseline and fails on semantic or performance regressions (the CI
-//!   `bench-smoke` gate).
+//!   `BENCH_bdd_sweep.json`, `BENCH_synth.json` or `BENCH_service.json`)
+//!   against its committed baseline and fails on semantic or performance
+//!   regressions (the CI `bench-smoke` gate).
 
 use std::time::Instant;
 
@@ -34,8 +42,12 @@ use benchmarks::BenchmarkInstance;
 use bidecomp::{ApproxStrategy, BenchmarkRow, BinaryOp, DecompositionPlan, TableReport};
 
 pub mod cli;
-pub mod json;
 pub mod microbench;
+
+/// The dependency-free JSON module. It lives in the `service` crate now (the
+/// wire protocol of `bidecompd` is built on it), re-exported here unchanged
+/// so every artifact producer keeps its `bidecomp_bench::json::` paths.
+pub use service::json;
 
 pub use microbench::Criterion;
 

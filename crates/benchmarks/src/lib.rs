@@ -37,5 +37,5 @@ pub mod synthetic;
 
 pub use instance::BenchmarkInstance;
 pub use rng::DetRng;
-pub use suite::Suite;
+pub use suite::{Suite, SuiteEntry};
 pub use symbolic::{SymbolicFunction, SymbolicInstance};

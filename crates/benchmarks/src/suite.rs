@@ -100,9 +100,71 @@ impl Suite {
         &self.symbolic
     }
 
-    /// Looks up a dense instance of any suite by its paper name.
+    /// Looks up a dense instance of any suite by its paper name (see
+    /// [`Suite::lookup`] for a resolver that also finds the symbolic
+    /// large-`n` instances).
     pub fn by_name(name: &str) -> Option<BenchmarkInstance> {
         Suite::all().instances.into_iter().find(|i| i.name() == name)
+    }
+
+    /// Looks up a symbolic instance of the [`Suite::large`] suite by name.
+    pub fn symbolic_by_name(name: &str) -> Option<SymbolicInstance> {
+        Suite::large().symbolic.into_iter().find(|i| i.name() == name)
+    }
+
+    /// Unified name resolution across both instance kinds: the dense
+    /// Table III/IV instances first, then the symbolic 24–40 input
+    /// instances of [`Suite::large`]. Names are disjoint across the two
+    /// lists, so the order never shadows anything.
+    ///
+    /// ```rust
+    /// use benchmarks::{Suite, SuiteEntry};
+    ///
+    /// assert!(matches!(Suite::lookup("adr4"), Some(SuiteEntry::Dense(_))));
+    /// assert!(matches!(Suite::lookup("carry40"), Some(SuiteEntry::Symbolic(_))));
+    /// assert!(Suite::lookup("not-a-benchmark").is_none());
+    /// ```
+    pub fn lookup(name: &str) -> Option<SuiteEntry> {
+        if let Some(dense) = Suite::by_name(name) {
+            return Some(SuiteEntry::Dense(dense));
+        }
+        Suite::symbolic_by_name(name).map(SuiteEntry::Symbolic)
+    }
+}
+
+/// A name-resolved benchmark instance of either representation, from
+/// [`Suite::lookup`].
+#[derive(Debug, Clone)]
+pub enum SuiteEntry {
+    /// A dense (truth-table backed) instance.
+    Dense(BenchmarkInstance),
+    /// A symbolic (BDD-only, 24–40 input) instance.
+    Symbolic(SymbolicInstance),
+}
+
+impl SuiteEntry {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            SuiteEntry::Dense(inst) => inst.name(),
+            SuiteEntry::Symbolic(inst) => inst.name(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            SuiteEntry::Dense(inst) => inst.num_inputs(),
+            SuiteEntry::Symbolic(inst) => inst.num_inputs(),
+        }
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            SuiteEntry::Dense(inst) => inst.num_outputs(),
+            SuiteEntry::Symbolic(inst) => inst.num_outputs(),
+        }
     }
 }
 
@@ -122,6 +184,40 @@ mod tests {
         assert!(Suite::by_name("adr4").is_some());
         assert!(Suite::by_name("bcb").is_some());
         assert!(Suite::by_name("not-a-benchmark").is_none());
+        // Symbolic names are not dense instances.
+        assert!(Suite::by_name("carry32").is_none());
+    }
+
+    #[test]
+    fn unified_lookup_resolves_both_instance_kinds() {
+        // Every dense instance resolves as Dense...
+        for inst in Suite::all().instances() {
+            match Suite::lookup(inst.name()) {
+                Some(SuiteEntry::Dense(found)) => {
+                    assert_eq!(found.name(), inst.name());
+                    assert_eq!(found.num_inputs(), inst.num_inputs());
+                }
+                other => panic!("{}: expected a dense entry, got {other:?}", inst.name()),
+            }
+        }
+        // ...and every symbolic instance of the large suite as Symbolic.
+        for inst in Suite::large().symbolic_instances() {
+            match Suite::lookup(inst.name()) {
+                Some(SuiteEntry::Symbolic(found)) => {
+                    assert_eq!(found.name(), inst.name());
+                    assert_eq!(found.num_inputs(), inst.num_inputs());
+                    assert_eq!(found.num_outputs(), inst.num_outputs());
+                    assert!(found.num_inputs() >= 24);
+                }
+                other => panic!("{}: expected a symbolic entry, got {other:?}", inst.name()),
+            }
+            assert!(Suite::symbolic_by_name(inst.name()).is_some());
+        }
+        assert!(Suite::lookup("not-a-benchmark").is_none());
+        // The two name spaces stay disjoint.
+        for inst in Suite::large().symbolic_instances() {
+            assert!(Suite::by_name(inst.name()).is_none(), "{} is shadowed", inst.name());
+        }
     }
 
     #[test]

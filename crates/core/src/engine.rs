@@ -53,6 +53,7 @@ use benchmarks::{DetRng, Suite};
 use boolfunc::{Isf, TruthTable};
 
 use crate::approximation::{is_valid_divisor, is_valid_divisor_bdd};
+use crate::cache::SharedQuotientCache;
 use crate::decompose::ApproxStrategy;
 use crate::operator::BinaryOp;
 use crate::quotient::{full_quotient_bdd, quotient_off_bdd, QuotientScratch, QuotientSets};
@@ -99,6 +100,14 @@ pub struct EngineConfig {
     pub seed: u64,
     /// The representation executing the jobs.
     pub backend: Backend,
+    /// Optional shared memoization of full-quotient results, consulted by
+    /// the dense backend before each Table II computation (the BDD backend
+    /// keeps its own per-manager memo tables and ignores this). Because the
+    /// full quotient is unique, the report is bit-identical with or without
+    /// a cache — the flag only changes how much work is skipped when the
+    /// same `(f, g, op)` subproblem (up to the cache's normalization)
+    /// recurs across jobs.
+    pub quotient_cache: Option<SharedQuotientCache>,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +119,7 @@ impl Default for EngineConfig {
             max_outputs: 6,
             seed: 0xB1DE_C04D,
             backend: Backend::Dense,
+            quotient_cache: None,
         }
     }
 }
@@ -434,7 +444,13 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
 /// pool). The slot scatter after the scope joins makes the output a pure
 /// function of `specs`, independent of thread count and scheduling — the
 /// bit-identical guarantee both sweep kinds advertise.
-fn run_pool<S: Sync, L, R: Send>(
+///
+/// This is the one worker-pool abstraction of the workspace: both sweep
+/// kinds run on it, and the `bidecomp-service` job server drains each batch
+/// of queued requests through it. It is generic over the spec, per-worker
+/// state and result types precisely so those callers do not need pools of
+/// their own.
+pub fn run_pool<S: Sync, L, R: Send>(
     specs: &[S],
     threads: usize,
     init: impl Fn() -> L + Sync,
@@ -492,7 +508,23 @@ fn run_job_dense(
 
     let g = seeded_divisor(f, op, config.job_seed(spec.instance, spec.output, spec.op_index));
     buffers.ensure(f.num_vars());
-    buffers.scratch.quotient_sets_into(f, &g, op, &mut buffers.sets);
+    match config.quotient_cache.as_deref().and_then(|c| c.lookup(f, &g, op)) {
+        Some(h) => {
+            // Cache hit: the full quotient is unique, so the cached sets are
+            // bit-identical to what quotient_sets_into would compute.
+            buffers.sets.on.copy_from(h.on());
+            buffers.sets.dc.copy_from(h.dc());
+            h.off_into(&mut buffers.sets.off);
+        }
+        None => {
+            buffers.scratch.quotient_sets_into(f, &g, op, &mut buffers.sets);
+            if let Some(cache) = config.quotient_cache.as_deref() {
+                let h = Isf::new(buffers.sets.on.clone(), buffers.sets.dc.clone())
+                    .expect("Table II on/dc sets are disjoint");
+                cache.store(f, &g, op, &h);
+            }
+        }
+    }
     let sets = &buffers.sets;
     let verified = verify_decomposition_sets(f, &g, &sets.on, &sets.dc, op);
     let maximal = verify_maximal_flexibility_sets(f, &g, &sets.on, &sets.dc, op);
@@ -620,6 +652,11 @@ pub struct SynthesisConfig {
     pub seed: u64,
     /// The portfolio and termination knobs of the recursive synthesizer.
     pub recursive: RecursiveConfig,
+    /// Optional shared quotient memoization, plugged into every worker's
+    /// synthesizer so subproblems recur across levels *and* jobs (see
+    /// [`EngineConfig::quotient_cache`]; results are bit-identical either
+    /// way).
+    pub quotient_cache: Option<SharedQuotientCache>,
 }
 
 impl Default for SynthesisConfig {
@@ -630,6 +667,7 @@ impl Default for SynthesisConfig {
             max_outputs: 6,
             seed: 0xB1DE_C04D,
             recursive: RecursiveConfig::default(),
+            quotient_cache: None,
         }
     }
 }
@@ -798,7 +836,13 @@ pub fn sweep_synthesis(suite: &Suite, config: &SynthesisConfig) -> SynthesisRepo
     let jobs = run_pool(
         &specs,
         threads,
-        || RecursiveSynthesizer::new(config.recursive.clone()),
+        || {
+            let synthesizer = RecursiveSynthesizer::new(config.recursive.clone());
+            match config.quotient_cache.clone() {
+                Some(cache) => synthesizer.with_quotient_cache(cache),
+                None => synthesizer,
+            }
+        },
         |synthesizer, &(instance, output)| {
             let inst = &instances[instance];
             let f = &inst.outputs()[output];
@@ -990,6 +1034,60 @@ mod tests {
         let mut config = SynthesisConfig::default();
         config.recursive.portfolio.push((BinaryOp::And, ApproxStrategy::External));
         sweep_synthesis(&Suite::smoke(), &config);
+    }
+
+    #[test]
+    fn sweep_with_quotient_cache_is_bit_identical() {
+        use crate::cache::testutil::MapCache;
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let suite = Suite::smoke();
+        let plain = sweep(&suite, &EngineConfig { threads: 2, ..EngineConfig::default() });
+        let cache = Arc::new(MapCache::default());
+        let config = EngineConfig {
+            threads: 2,
+            quotient_cache: Some(cache.clone()),
+            ..EngineConfig::default()
+        };
+        let cached = sweep(&suite, &config);
+        // Run the same sweep again so every job replays from the cache.
+        let warm = sweep(&suite, &config);
+        assert_eq!(plain.total_jobs(), cached.total_jobs());
+        for (a, b, c) in
+            plain.jobs.iter().zip(&cached.jobs).zip(&warm.jobs).map(|((a, b), c)| (a, b, c))
+        {
+            assert_eq!(a.semantic(), b.semantic());
+            assert_eq!(a.semantic(), c.semantic());
+        }
+        assert_eq!(
+            cache.hits.load(Ordering::Relaxed),
+            plain.total_jobs() as u64,
+            "the second sweep must answer every job from the cache"
+        );
+    }
+
+    #[test]
+    fn synthesis_sweep_with_quotient_cache_is_bit_identical() {
+        use crate::cache::testutil::MapCache;
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let suite = Suite::smoke();
+        let plain = sweep_synthesis(&suite, &SynthesisConfig::default());
+        let cache = Arc::new(MapCache::default());
+        let config =
+            SynthesisConfig { quotient_cache: Some(cache.clone()), ..SynthesisConfig::default() };
+        let cached = sweep_synthesis(&suite, &config);
+        let warm = sweep_synthesis(&suite, &config);
+        assert_eq!(plain.total_jobs(), cached.total_jobs());
+        for (a, b) in plain.jobs.iter().zip(&cached.jobs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
+        for (a, b) in plain.jobs.iter().zip(&warm.jobs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
+        assert!(cache.hits.load(Ordering::Relaxed) > 0, "the warm sweep must hit");
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   ([`QuotientScratch`]) and deterministic, seed-stable reports; a second
 //!   sweep kind ([`sweep_synthesis`]) fans the recursive synthesizer over a
 //!   suite on the same pool;
+//! * [`cache`] — the [`QuotientCache`] trait: pluggable memoization of
+//!   full-quotient results (sound because the full quotient is unique), with
+//!   hooks in both the engine and the recursive synthesizer; the production
+//!   NPN-canonical implementation is `service::NpnCache`;
 //! * [`recursive`] — the recursive synthesis engine: cost-driven multi-level
 //!   bi-decomposition with a configurable `(operator, strategy)` portfolio,
 //!   a [`techmap::Network`] emitter and a [`DecompositionTree`] report, every
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod approximation;
+pub mod cache;
 pub mod decompose;
 pub mod engine;
 mod error;
@@ -70,12 +75,13 @@ pub mod verify;
 pub use approximation::{
     classify_approximation, is_valid_divisor_bdd, ApproxKind, ApproximationStats,
 };
+pub use cache::{cached_full_quotient, QuotientCache, SharedQuotientCache};
 pub use decompose::{
     derive_strategy_divisor, ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient,
 };
 pub use engine::{
-    seeded_divisor, seeded_divisor_bdd, sweep, sweep_synthesis, Backend, EngineConfig, JobResult,
-    OperatorStats, SweepReport, SynthesisConfig, SynthesisJobResult, SynthesisReport,
+    run_pool, seeded_divisor, seeded_divisor_bdd, sweep, sweep_synthesis, Backend, EngineConfig,
+    JobResult, OperatorStats, SweepReport, SynthesisConfig, SynthesisJobResult, SynthesisReport,
 };
 pub use error::BidecompError;
 pub use flexibility::FlexibilityReport;

@@ -155,6 +155,40 @@ impl BinaryOp {
         )
     }
 
+    /// The operator computing the complemented result: `g op.complement() h
+    /// = ¬(g op h)` for all inputs.
+    ///
+    /// The ten operators of Table I are closed under output complementation
+    /// (AND↔NAND, OR↔NOR, XOR↔XNOR, `⇏`↔`⇒`, `⇍`↔`⇐`), which is what lets an
+    /// NPN-canonical cache fold the output-negation half of every orbit onto
+    /// the other: the quotient of `(¬f, g, op)` is the quotient of
+    /// `(f, g, op.complement())`.
+    ///
+    /// ```rust
+    /// use bidecomp::BinaryOp;
+    ///
+    /// for op in BinaryOp::all() {
+    ///     assert_eq!(op.complement().complement(), op);
+    ///     for (g, h) in [(false, false), (false, true), (true, false), (true, true)] {
+    ///         assert_eq!(op.complement().apply(g, h), !op.apply(g, h));
+    ///     }
+    /// }
+    /// ```
+    pub fn complement(self) -> BinaryOp {
+        match self {
+            BinaryOp::And => BinaryOp::Nand,
+            BinaryOp::Nand => BinaryOp::And,
+            BinaryOp::Or => BinaryOp::Nor,
+            BinaryOp::Nor => BinaryOp::Or,
+            BinaryOp::Xor => BinaryOp::Xnor,
+            BinaryOp::Xnor => BinaryOp::Xor,
+            BinaryOp::NonImplication => BinaryOp::Implication,
+            BinaryOp::Implication => BinaryOp::NonImplication,
+            BinaryOp::ConverseNonImplication => BinaryOp::ConverseImplication,
+            BinaryOp::ConverseImplication => BinaryOp::ConverseNonImplication,
+        }
+    }
+
     /// The paper's symbol for the operator.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -168,6 +202,26 @@ impl BinaryOp {
             BinaryOp::Nand => "NAND",
             BinaryOp::Xor => "XOR",
             BinaryOp::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a [`BinaryOp::symbol`] string back into the operator (the
+    /// round-trip used by the service protocol and the bench artifacts).
+    /// ASCII aliases are accepted for the four implication arrows so clients
+    /// without the unicode symbols can still name them.
+    pub fn from_symbol(s: &str) -> Option<BinaryOp> {
+        match s {
+            "AND" => Some(BinaryOp::And),
+            "⇍" | "NCIMPL" => Some(BinaryOp::ConverseNonImplication),
+            "⇏" | "NIMPL" => Some(BinaryOp::NonImplication),
+            "NOR" => Some(BinaryOp::Nor),
+            "OR" => Some(BinaryOp::Or),
+            "⇒" | "IMPL" => Some(BinaryOp::Implication),
+            "⇐" | "CIMPL" => Some(BinaryOp::ConverseImplication),
+            "NAND" => Some(BinaryOp::Nand),
+            "XOR" => Some(BinaryOp::Xor),
+            "XNOR" => Some(BinaryOp::Xnor),
+            _ => None,
         }
     }
 

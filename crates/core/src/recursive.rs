@@ -37,10 +37,10 @@ use boolfunc::{Isf, TruthTable};
 use spp::{SppForm, SppSynthesizer};
 use techmap::{AreaModel, Network, NodeId};
 
+use crate::cache::{cached_full_quotient, SharedQuotientCache};
 use crate::decompose::{combine_op, derive_strategy_divisor, ApproxStrategy};
 use crate::error::BidecompError;
 use crate::operator::BinaryOp;
-use crate::quotient::full_quotient;
 use crate::verify::verify_decomposition;
 
 /// Configuration of the recursive synthesizer: which candidates to try at
@@ -244,6 +244,7 @@ pub struct RecursiveSynthesizer {
     config: RecursiveConfig,
     synthesizer: SppSynthesizer,
     area_model: AreaModel,
+    cache: Option<SharedQuotientCache>,
 }
 
 impl Default for RecursiveSynthesizer {
@@ -260,7 +261,19 @@ impl RecursiveSynthesizer {
             config,
             synthesizer: SppSynthesizer::new(),
             area_model: AreaModel::mcnc(),
+            cache: None,
         }
+    }
+
+    /// Plugs a shared [`crate::cache::QuotientCache`] into every
+    /// `full_quotient` call of the recursion, so identical (up to the
+    /// cache's normalization) quotient subproblems are answered from the
+    /// cache across levels — and, because the cache is shared, across
+    /// concurrent synthesis jobs. The full quotient is unique, so caching
+    /// never changes a result bit; it only skips recomputation.
+    pub fn with_quotient_cache(mut self, cache: SharedQuotientCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Replaces the 2-SPP synthesizer.
@@ -371,7 +384,7 @@ impl RecursiveSynthesizer {
             let Ok(g) = derive_strategy_divisor(f, f_form, op, strategy, &self.synthesizer) else {
                 continue; // External is rejected before recursion starts.
             };
-            let Ok(h) = full_quotient(f, &g, op) else {
+            let Ok(h) = cached_full_quotient(self.cache.as_deref(), f, &g, op) else {
                 continue; // The strategy produced an invalid divisor for op.
             };
             debug_assert!(verify_decomposition(f, &g, &h, op), "{op}: full quotient must verify");
@@ -567,6 +580,28 @@ mod tests {
         assert_eq!(a.mapped_area.to_bits(), b.mapped_area.to_bits());
         assert_eq!(a.tree.depth(), b.tree.depth());
         assert!(a.verified && b.verified);
+    }
+
+    #[test]
+    fn quotient_cache_never_changes_the_result() {
+        use crate::cache::testutil::MapCache;
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let f = fig2();
+        let plain = RecursiveSynthesizer::default().synthesize(&f).unwrap();
+        let cache = Arc::new(MapCache::default());
+        let synth = RecursiveSynthesizer::default().with_quotient_cache(cache.clone());
+        let cold = synth.synthesize(&f).unwrap(); // populates the cache
+        let warm = synth.synthesize(&f).unwrap(); // replays it from the cache
+        for result in [&cold, &warm] {
+            assert!(result.verified);
+            assert_eq!(plain.mapped_area.to_bits(), result.mapped_area.to_bits());
+            assert_eq!(plain.flat_area.to_bits(), result.flat_area.to_bits());
+            assert_eq!(plain.gate_count(), result.gate_count());
+            assert_eq!(plain.tree.depth(), result.tree.depth());
+        }
+        assert!(cache.hits.load(Ordering::Relaxed) > 0, "the warm run must hit");
     }
 
     #[test]

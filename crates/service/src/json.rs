@@ -2,8 +2,11 @@
 //! deterministic serializer.
 //!
 //! The container this workspace builds in has no access to crates.io, so the
-//! bench artifacts (`BENCH_*.json`) are produced and consumed by this module
-//! instead of `serde_json`. The subset implemented is full RFC 8259 minus
+//! bench artifacts (`BENCH_*.json`) and the line-delimited service protocol
+//! of [`crate::server`] are produced and consumed by this module instead of
+//! `serde_json` (it moved here from `bidecomp-bench`, which re-exports it
+//! unchanged, so the server sits below the bench harness in the dependency
+//! graph). The subset implemented is full RFC 8259 minus
 //! niceties nobody writing bench reports needs: numbers are `f64`
 //! (integers round-trip exactly up to 2^53), objects preserve insertion
 //! order so serialization is deterministic, and parse errors carry a byte

@@ -1,0 +1,816 @@
+//! The persistent decomposition server: localhost TCP, line-delimited JSON,
+//! a request queue drained in batches through `bidecomp::engine::run_pool`.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in each direction. Requests carry a `"verb"`:
+//!
+//! * `decompose` — `{"verb":"decompose","num_vars":N,"f_on":HEX,
+//!   "f_dc":HEX?,"op":"AND","g":HEX?,"seed":S?,"no_cache":B?,"tables":B?}`.
+//!   Truth tables travel as fixed-width hex words ([`table_to_hex`] /
+//!   [`table_from_hex`]). Without `g`, a seed-stable valid divisor is
+//!   derived server-side (`bidecomp::engine::seeded_divisor` with `seed`;
+//!   pass seeds above 2^53 as decimal *strings* — JSON numbers are `f64`).
+//!   The reply reports the quotient's on/dc/off minterm counts, the
+//!   Lemma 1–5 (`verified`) and Corollary 1–4 (`maximal`) verdicts, and
+//!   `cache` ∈ `hit`/`miss`/`bypass`; with `"tables":true` it includes
+//!   `h_on`/`h_dc` hex words.
+//! * `synthesize` — `{"verb":"synthesize","num_vars":N,"f_on":HEX,
+//!   "f_dc":HEX?,"no_cache":B?}`. Runs the recursive bi-decomposition
+//!   synthesizer; the reply reports gates, depth, branches, mapped/flat
+//!   areas, the exhaustive-verification verdict and the `cache` status. On
+//!   an NPN cache hit the stored canonical network is rewired to the
+//!   queried function (inverters may appear at relabeled inputs/output), so
+//!   `gates`/`mapped_area` can differ slightly from a cold run and
+//!   `flat_area` is the canonical representative's; every rewired network
+//!   is re-verified exhaustively before it is reported.
+//! * `stats` — server uptime, queue/batch counters, per-verb totals and the
+//!   cache counters.
+//! * `shutdown` — acknowledges, then stops accepting and drains the queue.
+//!
+//! Errors (malformed JSON, unknown verbs, bad hex, invalid divisors) are
+//! per-request: `{"ok":false,"error":"..."}` on the same line slot, the
+//! connection stays usable.
+//!
+//! ## Execution model
+//!
+//! Each connection gets a reader thread (parses lines into the shared
+//! queue) and a writer thread (drains an unbounded reply channel, so a slow
+//! client never stalls the service). The queue itself is drained by
+//! [`bidecomp::engine::run_pool`] — the same worker abstraction the sweep
+//! engines fan over — invoked once with one everlasting spec per worker:
+//! each "job" is the claim loop, popping requests one at a time until
+//! shutdown, so a cheap cache hit is answered the microsecond a worker is
+//! free instead of waiting out a slow miss behind a batch barrier. Workers
+//! send replies in completion order and the writer reorders by
+//! per-connection sequence number, so the wire still answers strictly in
+//! request order. The NPN cache ([`crate::NpnCache`]) is shared by every
+//! worker and doubles as the quotient cache *inside* the recursive
+//! synthesizer, so subproblems hit across levels, requests and
+//! connections.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bidecomp::approximation::is_valid_divisor;
+use bidecomp::engine::{run_pool, seeded_divisor};
+use bidecomp::{
+    full_quotient, verify_decomposition, verify_maximal_flexibility, verify_network, BinaryOp,
+    QuotientCache, RecursiveConfig, RecursiveSynthesizer,
+};
+use boolfunc::{Isf, TruthTable};
+use techmap::AreaModel;
+
+use crate::json::{self, Value};
+use crate::NpnCache;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads per batch; `0` uses the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Total capacity of the NPN result cache in entries; `0` disables
+    /// caching entirely (every request reports `cache: bypass`).
+    pub cache_capacity: usize,
+    /// Lock stripes of the cache (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Largest request arity accepted (bounds both the wire payload and the
+    /// exhaustive verification work per request).
+    pub max_vars: usize,
+    /// The recursive synthesizer configuration `synthesize` requests run
+    /// under (its fingerprint partitions the synthesis cache).
+    pub recursive: RecursiveConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 65_536,
+            cache_shards: 16,
+            max_vars: 14,
+            recursive: RecursiveConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// FNV-1a of the recursive configuration's debug rendering: a stable
+/// in-process fingerprint keeping synthesis cache entries from aliasing
+/// across configurations.
+fn config_fingerprint(config: &RecursiveConfig) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in format!("{config:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A parsed compute request (the queue's unit of work).
+#[derive(Debug, Clone)]
+enum Payload {
+    Decompose {
+        f: Isf,
+        g: Option<TruthTable>,
+        seed: u64,
+        op: BinaryOp,
+        no_cache: bool,
+        tables: bool,
+    },
+    Synthesize {
+        f: Isf,
+        no_cache: bool,
+    },
+    Stats,
+    Shutdown,
+    Malformed(String),
+}
+
+/// The reply channel: `(per-connection sequence number, response line)`.
+/// Workers send out of completion order; the writer thread reorders.
+type ReplyTx = Sender<(u64, String)>;
+
+struct QueueItem {
+    payload: Payload,
+    seq: u64,
+    reply: ReplyTx,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    decompose: AtomicU64,
+    synthesize: AtomicU64,
+    stats: AtomicU64,
+    errors: AtomicU64,
+    /// High-water mark of the request queue (how far compute fell behind
+    /// intake).
+    peak_queue: AtomicU64,
+}
+
+struct ServiceState {
+    config: ServiceConfig,
+    cache: Option<Arc<NpnCache>>,
+    config_fp: u64,
+    queue: Mutex<VecDeque<QueueItem>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    started: Instant,
+    counters: Counters,
+}
+
+/// The persistent decomposition service. Bind, then [`Server::run`] until a
+/// `shutdown` request arrives.
+///
+/// ```no_run
+/// use service::{Server, ServiceConfig};
+///
+/// let server = Server::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
+/// println!("listening on {}", server.local_addr().unwrap());
+/// server.run().unwrap();
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state (no thread starts
+    /// until [`Server::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TcpListener::bind`] error.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(NpnCache::new(config.cache_capacity, config.cache_shards)));
+        let config_fp = config_fingerprint(&config.recursive);
+        let state = Arc::new(ServiceState {
+            config,
+            cache,
+            config_fp,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            counters: Counters::default(),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (query it after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TcpListener::local_addr`] error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains the queue and
+    /// returns. Connection reader/writer threads are detached: a client
+    /// that keeps its connection open past shutdown gets an error line per
+    /// further request and ends its threads by closing the connection.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-request problems are protocol-level
+    /// error replies.
+    pub fn run(self) -> io::Result<()> {
+        let dispatcher_state = Arc::clone(&self.state);
+        let dispatcher = std::thread::spawn(move || dispatch_loop(&dispatcher_state));
+        self.listener.set_nonblocking(true)?;
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || serve_connection(stream, &state));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        dispatcher.join().expect("dispatcher panicked");
+        Ok(())
+    }
+}
+
+/// Per-connection reader: parses request lines into the shared queue. The
+/// paired writer thread drains the reply channel so responses never block
+/// request intake (or other connections).
+fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) {
+    // Request/response over one connection is latency-bound by Nagle's
+    // algorithm colliding with delayed ACKs (~40 ms per round trip) unless
+    // small writes go out immediately.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<(u64, String)>();
+    std::thread::spawn(move || {
+        // Reorder buffer: workers complete jobs in any order, the wire
+        // answers in request order. Each response goes out as one write
+        // (payload + newline) so no trailing fragment waits on an ACK.
+        let mut out = write_half;
+        let mut pending: std::collections::BTreeMap<u64, String> =
+            std::collections::BTreeMap::new();
+        let mut next = 0u64;
+        'outer: for (seq, mut response) in rx {
+            response.push('\n');
+            pending.insert(seq, response);
+            while let Some(response) = pending.remove(&next) {
+                if out.write_all(response.as_bytes()).is_err() {
+                    break 'outer;
+                }
+                let _ = out.flush();
+                next += 1;
+            }
+        }
+    });
+
+    let reader = BufReader::new(stream);
+    let mut seq = 0u64;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let payload = parse_request(&line, &state.config);
+        let queue = state.queue.lock().expect("request queue poisoned");
+        if state.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            let _ = tx.send((seq, error_response("server is shutting down")));
+            seq += 1;
+            continue;
+        }
+        let mut queue = queue;
+        queue.push_back(QueueItem { payload, seq, reply: tx.clone() });
+        state.counters.peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
+        seq += 1;
+        drop(queue);
+        state.available.notify_one();
+    }
+    // Dropping the last sender (workers drop their per-item clones after
+    // replying) ends the writer thread once its buffer drains.
+}
+
+/// The queue drain: one `run_pool` invocation whose specs are one
+/// everlasting unit of work per worker — each job claims requests one at a
+/// time until shutdown, giving item-granular scheduling (a hit never waits
+/// behind a miss) while reusing the engine's worker abstraction, per-worker
+/// state and all.
+fn dispatch_loop(state: &Arc<ServiceState>) {
+    let workers = state.config.effective_workers();
+    let specs = vec![(); workers];
+    run_pool(
+        &specs,
+        workers,
+        || {
+            let uncached = RecursiveSynthesizer::new(state.config.recursive.clone());
+            let cached = match &state.cache {
+                Some(cache) => uncached
+                    .clone()
+                    .with_quotient_cache(Arc::clone(cache) as Arc<dyn QuotientCache>),
+                None => uncached.clone(),
+            };
+            Worker { cached, uncached, area: AreaModel::mcnc() }
+        },
+        |worker, ()| drain_queue(state, worker),
+    );
+}
+
+/// Per-worker scratch: two synthesizers — the normal one with the shared
+/// NPN cache plugged into its quotient path, and a fully uncached twin for
+/// `no_cache` requests (the bypass contract is "touches the cache in no
+/// way", including the quotient subproblems inside the recursion) — plus
+/// the area model.
+struct Worker {
+    cached: RecursiveSynthesizer,
+    uncached: RecursiveSynthesizer,
+    area: AreaModel,
+}
+
+/// One worker's life: pop a request, handle it, reply immediately; park on
+/// the condvar when idle; exit once shutdown is flagged and the queue is
+/// empty.
+fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
+    loop {
+        let item = {
+            let mut queue = state.queue.lock().expect("request queue poisoned");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return; // drained and shutting down
+                }
+                let (q, _) = state
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("request queue poisoned");
+                queue = q;
+            }
+        };
+        let response = handle(state, worker, &item.payload);
+        let _ = item.reply.send((item.seq, response));
+    }
+}
+
+fn handle(state: &ServiceState, worker: &mut Worker, payload: &Payload) -> String {
+    match payload {
+        Payload::Decompose { f, g, seed, op, no_cache, tables } => {
+            state.counters.decompose.fetch_add(1, Ordering::Relaxed);
+            handle_decompose(state, f, g.as_ref(), *seed, *op, *no_cache, *tables).unwrap_or_else(
+                |message| {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(&message)
+                },
+            )
+        }
+        Payload::Synthesize { f, no_cache } => {
+            state.counters.synthesize.fetch_add(1, Ordering::Relaxed);
+            handle_synthesize(state, worker, f, *no_cache).unwrap_or_else(|message| {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&message)
+            })
+        }
+        Payload::Stats => {
+            state.counters.stats.fetch_add(1, Ordering::Relaxed);
+            handle_stats(state)
+        }
+        Payload::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Value::Object(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("verb".into(), json::s("shutdown")),
+            ])
+            .to_string()
+        }
+        Payload::Malformed(message) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(message)
+        }
+    }
+}
+
+fn handle_decompose(
+    state: &ServiceState,
+    f: &Isf,
+    g: Option<&TruthTable>,
+    seed: u64,
+    op: BinaryOp,
+    no_cache: bool,
+    tables: bool,
+) -> Result<String, String> {
+    let g = match g {
+        Some(g) => g.clone(),
+        None => seeded_divisor(f, op, seed),
+    };
+    if !is_valid_divisor(f, &g, op) {
+        return Err(format!("divisor violates the Table II side condition of {op}"));
+    }
+    let (h, cache_status) = match (&state.cache, no_cache) {
+        (Some(cache), false) => match cache.lookup(f, &g, op) {
+            Some(h) => (h, "hit"),
+            None => {
+                let h = full_quotient(f, &g, op).map_err(|e| e.to_string())?;
+                cache.store(f, &g, op, &h);
+                (h, "miss")
+            }
+        },
+        _ => (full_quotient(f, &g, op).map_err(|e| e.to_string())?, "bypass"),
+    };
+    let verified = verify_decomposition(f, &g, &h, op);
+    let maximal = verify_maximal_flexibility(f, &g, &h, op);
+    let mut fields = vec![
+        ("ok".into(), Value::Bool(true)),
+        ("verb".into(), json::s("decompose")),
+        ("num_vars".into(), json::num(f.num_vars() as u64)),
+        ("op".into(), json::s(op.symbol())),
+        ("on_minterms".into(), json::num(h.on().count_ones())),
+        ("dc_minterms".into(), json::num(h.dc().count_ones())),
+        ("off_minterms".into(), json::num(h.off().count_ones())),
+        ("verified".into(), Value::Bool(verified)),
+        ("maximal".into(), Value::Bool(maximal)),
+        ("cache".into(), json::s(cache_status)),
+    ];
+    if tables {
+        fields.push(("h_on".into(), json::s(table_to_hex(h.on()))));
+        fields.push(("h_dc".into(), json::s(table_to_hex(h.dc()))));
+    }
+    Ok(Value::Object(fields).to_string())
+}
+
+fn handle_synthesize(
+    state: &ServiceState,
+    worker: &mut Worker,
+    f: &Isf,
+    no_cache: bool,
+) -> Result<String, String> {
+    let respond = |gates: usize,
+                   depth: usize,
+                   branches: usize,
+                   mapped_area: f64,
+                   flat_area: f64,
+                   verified: bool,
+                   cache_status: &str| {
+        let gain =
+            if flat_area == 0.0 { 0.0 } else { (flat_area - mapped_area) / flat_area * 100.0 };
+        Value::Object(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("verb".into(), json::s("synthesize")),
+            ("num_vars".into(), json::num(f.num_vars() as u64)),
+            ("gates".into(), json::num(gates as u64)),
+            ("depth".into(), json::num(depth as u64)),
+            ("branches".into(), json::num(branches as u64)),
+            ("mapped_area".into(), Value::Num(mapped_area)),
+            ("flat_area".into(), Value::Num(flat_area)),
+            ("gain_percent".into(), Value::Num(gain)),
+            ("verified".into(), Value::Bool(verified)),
+            ("cache".into(), json::s(cache_status)),
+        ])
+        .to_string()
+    };
+
+    if let (Some(cache), false) = (&state.cache, no_cache) {
+        if let Some((cached, canon)) = cache.lookup_synthesis(f, state.config_fp) {
+            let network = canon.transform.inverse().rewire_network(&cached.network);
+            if !verify_network(f, &network, 0) {
+                return Err("cached network failed re-verification (cache bug)".to_string());
+            }
+            let mapped_area = worker.area.mapper().map(&network).area;
+            return Ok(respond(
+                network.gate_count(),
+                cached.depth,
+                cached.branches,
+                mapped_area,
+                cached.flat_area,
+                true,
+                "hit",
+            ));
+        }
+        let result = worker.cached.synthesize(f).map_err(|e| e.to_string())?;
+        cache.store_synthesis(
+            f,
+            state.config_fp,
+            &result.network,
+            result.flat_area,
+            result.tree.depth(),
+            result.tree.num_branches(),
+        );
+        return Ok(respond(
+            result.gate_count(),
+            result.tree.depth(),
+            result.tree.num_branches(),
+            result.mapped_area,
+            result.flat_area,
+            result.verified,
+            "miss",
+        ));
+    }
+
+    // Bypass: the fully uncached synthesizer, so not even the quotient
+    // subproblems of the recursion read or populate the shared cache.
+    let result = worker.uncached.synthesize(f).map_err(|e| e.to_string())?;
+    Ok(respond(
+        result.gate_count(),
+        result.tree.depth(),
+        result.tree.num_branches(),
+        result.mapped_area,
+        result.flat_area,
+        result.verified,
+        "bypass",
+    ))
+}
+
+fn handle_stats(state: &ServiceState) -> String {
+    let queue_depth = state.queue.lock().expect("request queue poisoned").len();
+    let cache = match &state.cache {
+        None => Value::Null,
+        Some(cache) => {
+            let stats = cache.stats();
+            Value::Object(vec![
+                ("hits".into(), json::num(stats.hits)),
+                ("misses".into(), json::num(stats.misses)),
+                ("insertions".into(), json::num(stats.insertions)),
+                ("evictions".into(), json::num(stats.evictions)),
+                ("entries".into(), json::num(stats.entries)),
+                ("capacity".into(), json::num(stats.capacity)),
+                ("shards".into(), json::num(stats.shards)),
+                ("hit_rate".into(), Value::Num(stats.hit_rate())),
+            ])
+        }
+    };
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("verb".into(), json::s("stats")),
+        ("uptime_ms".into(), json::num(state.started.elapsed().as_millis() as u64)),
+        ("workers".into(), json::num(state.config.effective_workers() as u64)),
+        ("queue_depth".into(), json::num(queue_depth as u64)),
+        ("peak_queue".into(), json::num(state.counters.peak_queue.load(Ordering::Relaxed))),
+        ("decompose".into(), json::num(state.counters.decompose.load(Ordering::Relaxed))),
+        ("synthesize".into(), json::num(state.counters.synthesize.load(Ordering::Relaxed))),
+        ("stats_requests".into(), json::num(state.counters.stats.load(Ordering::Relaxed))),
+        ("errors".into(), json::num(state.counters.errors.load(Ordering::Relaxed))),
+        ("cache".into(), cache),
+    ])
+    .to_string()
+}
+
+fn error_response(message: &str) -> String {
+    Value::Object(vec![("ok".into(), Value::Bool(false)), ("error".into(), json::s(message))])
+        .to_string()
+}
+
+// --- request parsing ------------------------------------------------------
+
+/// Serializes a truth table as fixed-width lowercase hex: each `u64` word of
+/// [`TruthTable::as_words`] as 16 hex digits, in word order.
+pub fn table_to_hex(t: &TruthTable) -> String {
+    t.as_words().iter().map(|w| format!("{w:016x}")).collect()
+}
+
+/// Parses [`table_to_hex`] output back into a table of the given arity.
+///
+/// # Errors
+///
+/// Describes the problem (wrong length, non-hex digits, set padding bits)
+/// in a protocol-error string.
+pub fn table_from_hex(hex: &str, num_vars: usize) -> Result<TruthTable, String> {
+    // Reject non-ASCII before slicing at fixed byte offsets: a multi-byte
+    // character straddling a chunk boundary would otherwise panic the
+    // connection's reader thread instead of producing a protocol error.
+    if !hex.is_ascii() {
+        return Err("table hex must be ASCII hex digits".to_string());
+    }
+    let words_needed = (1usize << num_vars).div_ceil(64);
+    if hex.len() != words_needed * 16 {
+        return Err(format!(
+            "table hex for {num_vars} variables must be {} digits, got {}",
+            words_needed * 16,
+            hex.len()
+        ));
+    }
+    let mut words = Vec::with_capacity(words_needed);
+    for chunk in 0..words_needed {
+        let digits = &hex[chunk * 16..(chunk + 1) * 16];
+        let word =
+            u64::from_str_radix(digits, 16).map_err(|_| format!("bad hex word '{digits}'"))?;
+        words.push(word);
+    }
+    let mut iter = words.iter().copied();
+    let table = TruthTable::from_words(num_vars, || iter.next().expect("sized above"));
+    if table.as_words() != words.as_slice() {
+        return Err("table hex has bits beyond the declared arity".to_string());
+    }
+    Ok(table)
+}
+
+fn parse_request(line: &str, config: &ServiceConfig) -> Payload {
+    match try_parse_request(line, config) {
+        Ok(payload) => payload,
+        Err(message) => Payload::Malformed(message),
+    }
+}
+
+fn try_parse_request(line: &str, config: &ServiceConfig) -> Result<Payload, String> {
+    let doc = Value::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let verb = doc
+        .get("verb")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing 'verb' field".to_string())?;
+    match verb {
+        "stats" => Ok(Payload::Stats),
+        "shutdown" => Ok(Payload::Shutdown),
+        "decompose" => {
+            let f = parse_isf(&doc, config)?;
+            let op_name = doc
+                .get("op")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "decompose needs an 'op' field".to_string())?;
+            let op = BinaryOp::from_symbol(op_name)
+                .ok_or_else(|| format!("unknown operator '{op_name}'"))?;
+            let g = match doc.get("g").and_then(Value::as_str) {
+                Some(hex) => Some(table_from_hex(hex, f.num_vars())?),
+                None => None,
+            };
+            Ok(Payload::Decompose {
+                f,
+                g,
+                seed: parse_seed(&doc)?,
+                op,
+                no_cache: bool_field(&doc, "no_cache"),
+                tables: bool_field(&doc, "tables"),
+            })
+        }
+        "synthesize" => {
+            let f = parse_isf(&doc, config)?;
+            Ok(Payload::Synthesize { f, no_cache: bool_field(&doc, "no_cache") })
+        }
+        other => Err(format!("unknown verb '{other}'")),
+    }
+}
+
+fn bool_field(doc: &Value, key: &str) -> bool {
+    doc.get(key).and_then(Value::as_bool).unwrap_or(false)
+}
+
+/// The divisor seed: absent → 0; a JSON number (exact only up to 2^53 —
+/// the JSON layer stores numbers as `f64`); or a decimal *string* for full
+/// 64-bit seeds. A present-but-unrepresentable seed is a protocol error,
+/// never a silent 0.
+fn parse_seed(doc: &Value) -> Result<u64, String> {
+    match doc.get("seed") {
+        None => Ok(0),
+        Some(value) => {
+            if let Some(n) = value.as_u64() {
+                return Ok(n);
+            }
+            if let Some(s) = value.as_str() {
+                if let Ok(n) = s.parse::<u64>() {
+                    return Ok(n);
+                }
+            }
+            Err(format!(
+                "seed must be an unsigned integer (exact up to 2^53) or a decimal string \
+                 for full 64-bit seeds, got {value}"
+            ))
+        }
+    }
+}
+
+fn parse_isf(doc: &Value, config: &ServiceConfig) -> Result<Isf, String> {
+    let num_vars = doc
+        .get("num_vars")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing 'num_vars' field".to_string())? as usize;
+    if num_vars == 0 || num_vars > config.max_vars {
+        return Err(format!(
+            "num_vars must be between 1 and {} (server limit), got {num_vars}",
+            config.max_vars
+        ));
+    }
+    let on_hex = doc
+        .get("f_on")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing 'f_on' field".to_string())?;
+    let on = table_from_hex(on_hex, num_vars)?;
+    let dc = match doc.get("f_dc").and_then(Value::as_str) {
+        Some(hex) => table_from_hex(hex, num_vars)?,
+        None => TruthTable::zero(num_vars),
+    };
+    Isf::new(on, dc).map_err(|e| format!("inconsistent ISF: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_all_arities() {
+        for n in [1usize, 3, 6, 7, 9] {
+            let mut state = 0x5EEDu64 ^ n as u64;
+            let t = TruthTable::from_words(n, || {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                state
+            });
+            let hex = table_to_hex(&t);
+            assert_eq!(table_from_hex(&hex, n).unwrap(), t, "n={n}");
+        }
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(table_from_hex("zz", 3).is_err(), "non-hex");
+        assert!(table_from_hex("00", 3).is_err(), "wrong length");
+        // Multi-byte UTF-8 straddling a word boundary must be an error, not
+        // a slice panic (32 bytes: 15 ASCII + 2-byte 'é' + 15 ASCII).
+        let sneaky = format!("{}é{}", "0".repeat(15), "0".repeat(15));
+        assert_eq!(sneaky.len(), 32);
+        assert!(table_from_hex(&sneaky, 7).is_err(), "non-ASCII");
+        // 3 vars use 8 bits; a set bit 9 is beyond the arity.
+        assert!(table_from_hex("0000000000000100", 3).is_err(), "padding bit");
+        assert!(table_from_hex(&"0".repeat(16), 3).is_ok());
+    }
+
+    #[test]
+    fn request_parsing_covers_the_verbs_and_errors() {
+        let config = ServiceConfig::default();
+        assert!(matches!(parse_request(r#"{"verb":"stats"}"#, &config), Payload::Stats));
+        assert!(matches!(parse_request(r#"{"verb":"shutdown"}"#, &config), Payload::Shutdown));
+        let line = format!(
+            r#"{{"verb":"decompose","num_vars":3,"f_on":"{}","op":"AND","seed":7}}"#,
+            "00000000000000c0" // x0 x1 (minterms 6 and 7)
+        );
+        match parse_request(&line, &config) {
+            Payload::Decompose { f, op, seed, g, no_cache, tables } => {
+                assert_eq!(f.num_vars(), 3);
+                assert_eq!(f.on().count_ones(), 2);
+                assert_eq!(op, BinaryOp::And);
+                assert_eq!(seed, 7);
+                assert!(g.is_none() && !no_cache && !tables);
+            }
+            other => panic!("expected a decompose payload, got {other:?}"),
+        }
+        for bad in [
+            "not json",
+            r#"{"verb":"launch"}"#,
+            r#"{"verb":"decompose","num_vars":3,"f_on":"00000000000000c0"}"#,
+            r#"{"verb":"decompose","num_vars":99,"f_on":"00","op":"AND"}"#,
+            r#"{"verb":"synthesize","num_vars":3}"#,
+        ] {
+            assert!(
+                matches!(parse_request(bad, &config), Payload::Malformed(_)),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_round_trip_numbers_and_strings() {
+        let config = ServiceConfig::default();
+        let request = |seed: &str| {
+            format!(
+                r#"{{"verb":"decompose","num_vars":3,"f_on":"00000000000000c0","op":"AND","seed":{seed}}}"#
+            )
+        };
+        let seed_of = |line: &str| match parse_request(line, &config) {
+            Payload::Decompose { seed, .. } => Ok(seed),
+            Payload::Malformed(message) => Err(message),
+            other => panic!("unexpected payload {other:?}"),
+        };
+        assert_eq!(seed_of(&request("7")), Ok(7));
+        // Full 64-bit seeds travel as decimal strings.
+        assert_eq!(seed_of(&request(&format!("\"{}\"", u64::MAX))), Ok(u64::MAX));
+        // A numeric seed beyond f64 exactness is an error, not a silent 0.
+        assert!(seed_of(&request("18446744073709551615")).is_err());
+        assert!(seed_of(&request("\"banana\"")).is_err());
+    }
+
+    #[test]
+    fn config_fingerprint_distinguishes_configs() {
+        let a = RecursiveConfig::default();
+        let mut b = RecursiveConfig::default();
+        b.max_depth += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&RecursiveConfig::default()));
+    }
+}

@@ -1,0 +1,47 @@
+//! The production cache under the production engines: `NpnCache` plugged
+//! into `bidecomp::engine::sweep` and `sweep_synthesis` must leave every
+//! reported number bit-identical while actually serving hits.
+
+use benchmarks::Suite;
+use bidecomp::engine::{sweep, sweep_synthesis, EngineConfig, SynthesisConfig};
+use service::NpnCache;
+
+#[test]
+fn sweep_with_npn_cache_is_bit_identical_and_hits_on_replay() {
+    let suite = Suite::smoke();
+    let plain = sweep(&suite, &EngineConfig { threads: 2, ..EngineConfig::default() });
+    let cache = NpnCache::shared(4096, 8);
+    let config =
+        EngineConfig { threads: 2, quotient_cache: Some(cache.clone()), ..EngineConfig::default() };
+    let cold = sweep(&suite, &config);
+    let warm = sweep(&suite, &config);
+    assert_eq!(plain.total_jobs(), cold.total_jobs());
+    for ((a, b), c) in plain.jobs.iter().zip(&cold.jobs).zip(&warm.jobs) {
+        assert_eq!(a.semantic(), b.semantic(), "cold cache run diverged");
+        assert_eq!(a.semantic(), c.semantic(), "warm cache run diverged");
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits,
+        plain.total_jobs() as u64,
+        "every job of the replayed sweep must be answered from the cache"
+    );
+}
+
+#[test]
+fn synthesis_sweep_with_npn_cache_is_bit_identical() {
+    let suite = Suite::smoke();
+    let plain = sweep_synthesis(&suite, &SynthesisConfig::default());
+    let cache = NpnCache::shared(4096, 8);
+    let config =
+        SynthesisConfig { quotient_cache: Some(cache.clone()), ..SynthesisConfig::default() };
+    let cold = sweep_synthesis(&suite, &config);
+    let warm = sweep_synthesis(&suite, &config);
+    for (a, b) in plain.jobs.iter().zip(&cold.jobs) {
+        assert_eq!(a.semantic(), b.semantic(), "cold cache run diverged");
+    }
+    for (a, b) in plain.jobs.iter().zip(&warm.jobs) {
+        assert_eq!(a.semantic(), b.semantic(), "warm cache run diverged");
+    }
+    assert!(cache.stats().hits > 0, "recursion subproblems must hit across jobs");
+}

@@ -98,6 +98,15 @@ impl Network {
         self.nodes.len()
     }
 
+    /// Identifiers of all nodes in creation order (inputs, constants and
+    /// gates interleaved; operands always precede their users). This is the
+    /// traversal order used by passes that rebuild or export a network node
+    /// by node, like [`Network::to_dot`] and the service cache's NPN
+    /// rewiring.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
     /// Number of logic nodes (everything except inputs and constants) — a
     /// technology-independent size measure.
     pub fn gate_count(&self) -> usize {
@@ -337,6 +346,114 @@ impl Network {
         self.outputs.iter().map(|o| values[o.index()]).collect()
     }
 
+    /// Per-node flag: is the node reachable from a declared output? The
+    /// shared traversal under [`Network::pruned`] and [`Network::to_dot`].
+    fn reachable_from_outputs(&self) -> Vec<bool> {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.clone();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.index()], true) {
+                continue;
+            }
+            match self.kind(id) {
+                NodeKind::Not(a) => stack.push(a),
+                NodeKind::And(a, b) | NodeKind::Or(a, b) | NodeKind::Xor(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                NodeKind::Input(_) | NodeKind::Const(_) => {}
+            }
+        }
+        reachable
+    }
+
+    /// A copy with every node unreachable from the declared outputs
+    /// removed (creation order of the survivors is preserved, so operands
+    /// still precede their users). Rewiring passes — like the service
+    /// cache's NPN transform, whose double negations fold away — leave dead
+    /// candidates behind; pruning keeps [`Network::gate_count`] an honest
+    /// size measure afterwards.
+    pub fn pruned(&self) -> Network {
+        let reachable = self.reachable_from_outputs();
+        let mut out = Network::new(self.num_inputs);
+        let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        for id in self.node_ids().filter(|id| reachable[id.index()]) {
+            let remap = |m: &[Option<NodeId>], a: NodeId| m[a.index()].expect("operand precedes");
+            let new = match self.kind(id) {
+                NodeKind::Input(var) => out.input(var),
+                NodeKind::Const(v) => out.constant(v),
+                NodeKind::Not(a) => out.not(remap(&map, a)),
+                NodeKind::And(a, b) => out.and(remap(&map, a), remap(&map, b)),
+                NodeKind::Or(a, b) => out.or(remap(&map, a), remap(&map, b)),
+                NodeKind::Xor(a, b) => out.xor(remap(&map, a), remap(&map, b)),
+            };
+            map[id.index()] = Some(new);
+        }
+        for root in &self.outputs {
+            out.add_output(map[root.index()].expect("outputs are reachable"));
+        }
+        out
+    }
+
+    /// Renders the sub-network reachable from the declared outputs as a
+    /// Graphviz DOT digraph, mirroring `bdd::BddManager::to_dot`: inputs and
+    /// constants are boxes, gates are circles labeled with their operator,
+    /// and each output `k` gets a plaintext `y<k>` marker pointing at its
+    /// root. Unreachable nodes (dead candidates left behind by structural
+    /// hashing) are omitted.
+    ///
+    /// ```rust
+    /// use techmap::Network;
+    ///
+    /// let mut net = Network::new(2);
+    /// let x0 = net.input(0);
+    /// let x1 = net.input(1);
+    /// let f = net.and(x0, x1);
+    /// net.add_output(f);
+    /// let dot = net.to_dot("f");
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("AND"));
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+
+        let reachable = self.reachable_from_outputs();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for id in self.node_ids().filter(|id| reachable[id.index()]) {
+            let i = id.index();
+            match self.kind(id) {
+                NodeKind::Input(var) => {
+                    let _ = writeln!(out, "  node{i} [label=\"x{var}\", shape=box];");
+                }
+                NodeKind::Const(v) => {
+                    let _ = writeln!(out, "  node{i} [label=\"{}\", shape=box];", u8::from(v));
+                }
+                NodeKind::Not(a) => {
+                    let _ = writeln!(out, "  node{i} [label=\"NOT\", shape=circle];");
+                    let _ = writeln!(out, "  node{} -> node{i};", a.index());
+                }
+                NodeKind::And(a, b) | NodeKind::Or(a, b) | NodeKind::Xor(a, b) => {
+                    let label = match self.kind(id) {
+                        NodeKind::And(..) => "AND",
+                        NodeKind::Or(..) => "OR",
+                        _ => "XOR",
+                    };
+                    let _ = writeln!(out, "  node{i} [label=\"{label}\", shape=circle];");
+                    let _ = writeln!(out, "  node{} -> node{i};", a.index());
+                    let _ = writeln!(out, "  node{} -> node{i};", b.index());
+                }
+            }
+        }
+        for (k, root) in self.outputs.iter().enumerate() {
+            let _ = writeln!(out, "  out{k} [shape=plaintext, label=\"y{k}\"];");
+            let _ = writeln!(out, "  node{} -> out{k};", root.index());
+        }
+        out.push_str("}\n");
+        out
+    }
+
     /// Fanout count of every node (used by the mapper to find tree roots).
     pub fn fanouts(&self) -> Vec<usize> {
         let mut fanout = vec![0usize; self.nodes.len()];
@@ -445,6 +562,60 @@ mod tests {
         assert_eq!(fanouts[x0.index()], 2);
         assert_eq!(fanouts[a.index()], 1);
         assert_eq!(fanouts[o.index()], 1);
+    }
+
+    #[test]
+    fn dot_export_mentions_reachable_nodes_and_outputs_only() {
+        let mut net = Network::new(3);
+        let x0 = net.input(0);
+        let x1 = net.input(1);
+        let a = net.and(x0, x1);
+        let na = net.not(a);
+        let x2 = net.input(2); // dead: never reaches an output
+        let o = net.or(na, x0);
+        net.add_output(o);
+        let dot = net.to_dot("g");
+        assert!(dot.starts_with("digraph \"g\""));
+        assert!(dot.contains("x0") && dot.contains("x1"));
+        assert!(dot.contains("AND") && dot.contains("NOT") && dot.contains("OR"));
+        assert!(dot.contains("out0") && dot.contains("y0"));
+        assert!(!dot.contains(&format!("node{} ", x2.index())), "dead input must be omitted");
+        assert!(dot.trim_end().ends_with('}'));
+        // Every node referenced by an edge is also declared.
+        for line in dot.lines().filter(|l| l.contains("->")) {
+            let src = line.split_whitespace().next().unwrap();
+            assert!(dot.contains(&format!("{src} [")), "undeclared edge source {src}");
+        }
+    }
+
+    #[test]
+    fn pruning_drops_dead_nodes_and_preserves_semantics() {
+        let mut net = Network::new(3);
+        let x0 = net.input(0);
+        let x1 = net.input(1);
+        let x2 = net.input(2);
+        let a = net.and(x0, x1);
+        let _dead = net.xor(a, x2); // never reaches an output
+        let _dead2 = net.not(x2);
+        let o = net.or(a, x0);
+        net.add_output(o);
+        assert_eq!(net.gate_count(), 4);
+        let pruned = net.pruned();
+        assert_eq!(pruned.gate_count(), 2);
+        assert_eq!(pruned.outputs().len(), 1);
+        for m in 0..8u64 {
+            assert_eq!(pruned.eval(m), net.eval(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn node_ids_enumerate_in_creation_order() {
+        let mut net = Network::new(2);
+        let x0 = net.input(0);
+        let x1 = net.input(1);
+        let a = net.and(x0, x1);
+        let ids: Vec<NodeId> = net.node_ids().collect();
+        assert_eq!(ids, vec![x0, x1, a]);
     }
 
     #[test]

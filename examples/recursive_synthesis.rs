@@ -44,6 +44,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\ndecomposition tree:\n{}", result.tree);
 
+    // The synthesized multi-level network renders as Graphviz DOT (pipe it
+    // into `dot -Tsvg` to see the shared AND/OR/XOR structure the flat form
+    // cannot express).
+    let dot = result.network.to_dot("z4_sum3");
+    let path = std::env::temp_dir().join("z4_sum3.dot");
+    std::fs::write(&path, &dot)?;
+    println!(
+        "wrote {} ({} nodes in the drawing; render with `dot -Tsvg {}`)",
+        path.display(),
+        dot.lines().filter(|l| l.contains("label=")).count(),
+        path.display(),
+    );
+
     // The engine has already checked the network exhaustively against the
     // care set of f; `verified` reports the outcome.
     assert!(result.verified);

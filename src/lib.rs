@@ -19,7 +19,9 @@
 //!   flexibility for all ten binary operators (Table II), verification of
 //!   Lemmas 1–5, and end-to-end decomposition drivers;
 //! * [`benchmarks`] — regenerated / synthetic stand-ins for the LGSynth91 instances
-//!   used in Tables III and IV.
+//!   used in Tables III and IV;
+//! * [`service`] — the serving layer: NPN-canonical result caching (sharded,
+//!   CLOCK-evicted) and the persistent `bidecompd` TCP job server.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use bdd;
 pub use benchmarks;
 pub use bidecomp;
 pub use boolfunc;
+pub use service;
 pub use sop;
 pub use spp;
 pub use techmap;
