@@ -29,6 +29,10 @@
 //!   at most 5 points below the baseline (concurrent first-misses of one
 //!   key can steal a handful of hits). Latencies are reported, never
 //!   compared.
+//! * `bidecomp-oracle-v1` — the cross-backend fuzzer (`oracle_fuzz`):
+//!   everything except the wall time is deterministic and compared exactly;
+//!   additionally the current run must report zero three-way disagreements
+//!   and a fully effective tamper self-check.
 //!
 //! For the sweep schema, two classes of checks:
 //!
@@ -114,8 +118,63 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
         "bidecomp-sweep-v1" => run_sweep(args, &baseline, &current),
         "bidecomp-synth-v1" => run_synth(args, &baseline, &current),
         "bidecomp-service-v1" => run_service(args, &baseline, &current),
+        "bidecomp-oracle-v1" => run_oracle(args, &baseline, &current),
         other => Err(format!("{}: unknown schema '{other}'", args.baseline)),
     }
+}
+
+/// The oracle-schema gate: a `bidecomp-oracle-v1` document is fully
+/// deterministic (seeded corpus, seeded divisors, complete SAT solver), so
+/// the workload shape and the divisor-verdict split are compared exactly;
+/// on top of that the current run must report **zero** three-way
+/// disagreements and a fully effective tamper self-check. `--tolerance` is
+/// ignored; `wall_ms` is reported, never compared.
+fn run_oracle(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+
+    for key in [
+        "seed",
+        "cases",
+        "min_vars",
+        "max_vars",
+        "ops",
+        "checks",
+        "valid_divisors",
+        "invalid_divisors",
+        "tamper_checks",
+    ] {
+        let b = u64_field(baseline, key, &args.baseline)?;
+        let c = u64_field(current, key, &args.current)?;
+        if b != c {
+            failures.push(format!("{key} differs: baseline {b} vs current {c}"));
+        }
+    }
+    let disagreements = u64_field(current, "disagreements", &args.current)?;
+    if disagreements != 0 {
+        failures.push(format!("{disagreements} three-way disagreement(s) between the judges"));
+    }
+    match current.get("tamper_rejected").and_then(Value::as_bool) {
+        Some(true) => {}
+        other => failures.push(format!(
+            "tamper self-check was not fully effective (tamper_rejected = {other:?})"
+        )),
+    }
+    println!(
+        "oracle fuzz: {} lockstep checks, {} disagreement(s), {} tamper checks \
+         (first failed lemma: {})",
+        u64_field(current, "checks", &args.current)?,
+        disagreements,
+        u64_field(current, "tamper_checks", &args.current)?,
+        current.get("tamper_lemma").and_then(Value::as_str).unwrap_or("none"),
+    );
+    let base_ms = f64_field(baseline, "wall_ms", &args.baseline)?;
+    let cur_ms = f64_field(current, "wall_ms", &args.current)?;
+    println!(
+        "fuzz wall time: baseline {base_ms:.1} ms, current {cur_ms:.1} ms \
+         (informational; hosts differ)"
+    );
+
+    Ok(failures)
 }
 
 fn run_sweep(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<String>, String> {

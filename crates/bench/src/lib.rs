@@ -31,10 +31,18 @@
 //!   latency percentiles, hit rate and the cached-over-cold speedup as
 //!   `BENCH_service.json` (`--write-baseline` refreshes
 //!   `BENCH_service_baseline.json`);
+//! * `oracle_fuzz`    — the cross-backend correctness fuzzer: seeded random
+//!   ISFs driven through the dense, BDD and SAT-oracle verdicts in lockstep
+//!   (any three-way disagreement is a hard failure, with the minimized
+//!   counterexample dumped as a PLA snippet), preceded by a tamper
+//!   self-check in which the oracle must reject corrupted quotients with
+//!   the failing lemma named; serialized as `BENCH_oracle_fuzz.json`
+//!   (`--write-baseline` refreshes `BENCH_oracle_baseline.json`);
 //! * `regress`        — compares a sweep artifact (`BENCH_sweep.json`,
-//!   `BENCH_bdd_sweep.json`, `BENCH_synth.json` or `BENCH_service.json`)
-//!   against its committed baseline and fails on semantic or performance
-//!   regressions (the CI `bench-smoke` gate).
+//!   `BENCH_bdd_sweep.json`, `BENCH_synth.json`, `BENCH_service.json` or
+//!   `BENCH_oracle_fuzz.json`) against its committed baseline and fails on
+//!   semantic or performance regressions (the CI `bench-smoke` and
+//!   `oracle-fuzz` gates).
 
 use std::time::Instant;
 

@@ -1,0 +1,93 @@
+//! Seeded random ISF corpora for the cross-backend oracle fuzzer.
+//!
+//! Every case is a single-output [`BenchmarkInstance`] drawn deterministically
+//! from a [`DetRng`] stream: the corpus is a pure function of `(seed, count,
+//! arity range)`, so a failing case can always be regenerated from the
+//! parameters a harness prints. The generator cycles through the arity range
+//! and varies the dc-set density — fully specified functions, sparse and
+//! dense dc-sets all occur — because the quotient formulas branch on how much
+//! of `f` is unspecified.
+
+use boolfunc::{Isf, TruthTable};
+
+use crate::instance::BenchmarkInstance;
+use crate::rng::DetRng;
+
+/// Deterministic corpus of `count` single-output random ISFs with arities
+/// cycling over `min_vars..=max_vars`.
+///
+/// Case `i` is named `fuzz{i:04}_{n}v` and depends only on `(seed, i)`; the
+/// dc-set density cycles through four profiles (none, sparse, balanced,
+/// dense) so completely specified functions are always part of the corpus.
+///
+/// # Panics
+///
+/// Panics if `min_vars` is 0 or `min_vars > max_vars` (arity 0 would make
+/// every function constant and teach the fuzzer nothing).
+pub fn fuzz_corpus(
+    seed: u64,
+    count: usize,
+    min_vars: usize,
+    max_vars: usize,
+) -> Vec<BenchmarkInstance> {
+    assert!(min_vars >= 1, "fuzz corpus needs at least one input");
+    assert!(min_vars <= max_vars, "empty arity range");
+    let arities = max_vars - min_vars + 1;
+    (0..count)
+        .map(|i| {
+            let n = min_vars + i % arities;
+            let mut rng = DetRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let dc = match i % 4 {
+                0 => TruthTable::zero(n), // completely specified
+                1 => {
+                    // Sparse dc-set: two noise streams intersected.
+                    let a = TruthTable::from_words(n, || rng.next_u64());
+                    let b = TruthTable::from_words(n, || rng.next_u64());
+                    &a & &b
+                }
+                2 => TruthTable::from_words(n, || rng.next_u64()), // balanced
+                _ => {
+                    // Dense dc-set: two noise streams joined.
+                    let a = TruthTable::from_words(n, || rng.next_u64());
+                    let b = TruthTable::from_words(n, || rng.next_u64());
+                    &a | &b
+                }
+            };
+            let noise = TruthTable::from_words(n, || rng.next_u64());
+            let on = noise.difference(&dc);
+            let f = Isf::new(on, dc).expect("on and dc are disjoint by construction");
+            BenchmarkInstance::new(format!("fuzz{i:04}_{n}v"), vec![f])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_cycles_arities() {
+        let a = fuzz_corpus(0xF022, 12, 3, 6);
+        let b = fuzz_corpus(0xF022, 12, 3, 6);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.outputs(), y.outputs());
+        }
+        let arities: Vec<usize> = a.iter().map(|i| i.num_inputs()).collect();
+        assert_eq!(&arities[..5], &[3, 4, 5, 6, 3]);
+        // Every 4th case is completely specified; its neighbours are not.
+        assert!(a[0].outputs()[0].is_completely_specified());
+        assert!(a.iter().any(|i| !i.outputs()[0].is_completely_specified()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = fuzz_corpus(1, 8, 4, 4);
+        let b = fuzz_corpus(2, 8, 4, 4);
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| x.outputs() != y.outputs()),
+            "seed must steer the corpus"
+        );
+    }
+}

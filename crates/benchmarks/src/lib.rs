@@ -24,11 +24,16 @@
 //! backend cannot represent at all; they are built directly into a BDD
 //! manager by the engine's symbolic backend and grouped by
 //! [`Suite::large`].
+//!
+//! Finally, [`fuzz`] generates seeded random ISF corpora for the
+//! cross-backend correctness fuzzer (`oracle_fuzz`): deterministic
+//! single-output instances with varied arity and dc-set density.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arithmetic;
+pub mod fuzz;
 mod instance;
 pub mod rng;
 mod suite;

@@ -66,7 +66,10 @@ pub fn classify_approximation(f: &Isf, g: &TruthTable) -> ApproximationStats {
     assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
     let zero_to_one = (&f.off() & g).count_ones();
     let one_to_zero = (f.on() & &(!g)).count_ones();
-    let error_rate = (zero_to_one + one_to_zero) as f64 / g.num_minterms() as f64;
+    // The rate goes through the shared `TruthTable::error_rate` (the same
+    // accounting `spp` uses): masking `g` to the care set turns its distance
+    // to `f_on` into exactly `zero_to_one + one_to_zero` disagreements.
+    let error_rate = (g & &f.care()).error_rate(f.on());
     let kind = match (zero_to_one, one_to_zero) {
         (0, 0) => ApproxKind::Exact,
         (_, 0) => ApproxKind::ZeroToOne,
@@ -205,6 +208,13 @@ mod tests {
         let stats = classify_approximation(&f, &g);
         assert_eq!(stats.kind, ApproxKind::Exact);
         assert_eq!(stats.total_errors(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn classify_rejects_an_arity_mismatch() {
+        let (f, _) = fig1();
+        classify_approximation(&f, &TruthTable::zero(3));
     }
 
     #[test]

@@ -56,6 +56,7 @@ use crate::approximation::{is_valid_divisor, is_valid_divisor_bdd};
 use crate::cache::SharedQuotientCache;
 use crate::decompose::ApproxStrategy;
 use crate::operator::BinaryOp;
+use crate::oracle::Oracle;
 use crate::quotient::{full_quotient_bdd, quotient_off_bdd, QuotientScratch, QuotientSets};
 use crate::recursive::{RecursiveConfig, RecursiveSynthesizer};
 use crate::verify::{
@@ -108,6 +109,36 @@ pub struct EngineConfig {
     /// same `(f, g, op)` subproblem (up to the cache's normalization)
     /// recurs across jobs.
     pub quotient_cache: Option<SharedQuotientCache>,
+    /// Opt-in self-audit: replay a sampled fraction of dense jobs through
+    /// the SAT [`Oracle`] and record whether its
+    /// verdicts agree with the dense verifiers (see [`OracleConfig`]).
+    /// `None` (the default) runs no oracle; the BDD backend never audits
+    /// (the oracle needs the dense tables).
+    pub oracle: Option<OracleConfig>,
+}
+
+/// Configuration of the sampled SAT-oracle self-audit of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Audit one in `sample_every` jobs (`1` audits every job, `0` is
+    /// treated as `1`). Selection is a pure function of the job seed, so
+    /// which jobs are audited is independent of thread count and
+    /// scheduling.
+    pub sample_every: u64,
+}
+
+impl Default for OracleConfig {
+    /// Audit one job in 16.
+    fn default() -> Self {
+        OracleConfig { sample_every: 16 }
+    }
+}
+
+impl OracleConfig {
+    /// `true` if the job with divisor seed `job_seed` is audited.
+    pub fn samples(&self, job_seed: u64) -> bool {
+        self.sample_every <= 1 || job_seed.is_multiple_of(self.sample_every)
+    }
 }
 
 impl Default for EngineConfig {
@@ -120,6 +151,7 @@ impl Default for EngineConfig {
             seed: 0xB1DE_C04D,
             backend: Backend::Dense,
             quotient_cache: None,
+            oracle: None,
         }
     }
 }
@@ -254,6 +286,13 @@ pub struct JobResult {
     /// verifications (0 on the dense backend). Deterministic: each job runs
     /// in a freshly cleared manager.
     pub bdd_nodes: u64,
+    /// `true` if the opt-in SAT oracle replayed this job
+    /// ([`EngineConfig::oracle`]; dense backend only).
+    pub oracle_audited: bool,
+    /// `false` iff the oracle audited this job and one of its verdicts
+    /// (divisor validity, Lemmas 1–5, Corollaries 1–4) disagreed with the
+    /// dense backend. Always `true` for unaudited jobs.
+    pub oracle_agreed: bool,
     /// Wall time of the job in nanoseconds (divisor + quotient + both
     /// verifications). Excluded from determinism comparisons.
     pub nanos: u64,
@@ -263,7 +302,9 @@ impl JobResult {
     /// The scheduling-independent portion of the result (everything except
     /// the wall time), for bit-identical comparisons across thread counts.
     #[allow(clippy::type_complexity)]
-    pub fn semantic(&self) -> (&str, usize, BinaryOp, usize, u64, u64, u64, u64, bool, bool, u64) {
+    pub fn semantic(
+        &self,
+    ) -> (&str, usize, BinaryOp, usize, u64, u64, u64, u64, bool, bool, u64, (bool, bool)) {
         (
             &self.instance,
             self.output,
@@ -276,6 +317,7 @@ impl JobResult {
             self.verified,
             self.maximal,
             self.bdd_nodes,
+            (self.oracle_audited, self.oracle_agreed),
         )
     }
 }
@@ -330,6 +372,18 @@ impl SweepReport {
     /// `true` if every job verified and was maximally flexible.
     pub fn all_verified(&self) -> bool {
         self.jobs.iter().all(|j| j.verified && j.maximal)
+    }
+
+    /// Number of jobs the opt-in SAT oracle audited
+    /// ([`EngineConfig::oracle`]).
+    pub fn oracle_audited(&self) -> u64 {
+        self.jobs.iter().filter(|j| j.oracle_audited).count() as u64
+    }
+
+    /// Number of audited jobs on which the oracle disagreed with the dense
+    /// verdicts. Anything other than 0 is a cross-backend bug.
+    pub fn oracle_disagreements(&self) -> u64 {
+        self.jobs.iter().filter(|j| !j.oracle_agreed).count() as u64
     }
 }
 
@@ -506,7 +560,8 @@ fn run_job_dense(
     let op = config.ops[spec.op_index];
     let start = Instant::now();
 
-    let g = seeded_divisor(f, op, config.job_seed(spec.instance, spec.output, spec.op_index));
+    let seed = config.job_seed(spec.instance, spec.output, spec.op_index);
+    let g = seeded_divisor(f, op, seed);
     buffers.ensure(f.num_vars());
     match config.quotient_cache.as_deref().and_then(|c| c.lookup(f, &g, op)) {
         Some(h) => {
@@ -530,6 +585,23 @@ fn run_job_dense(
     let maximal = verify_maximal_flexibility_sets(f, &g, &sets.on, &sets.dc, op);
     let divisor_errors = care_errors(f, &g);
 
+    // Opt-in self-audit: replay the job's three verdicts through the SAT
+    // oracle. Sampling keys on the job seed, so the audited subset — like
+    // everything else in the report — is independent of scheduling.
+    let (oracle_audited, oracle_agreed) = match &config.oracle {
+        Some(oracle_config) if oracle_config.samples(seed) => {
+            let h = Isf::new(sets.on.clone(), sets.dc.clone())
+                .expect("Table II on/dc sets are disjoint");
+            let divisor_agreed =
+                Oracle::check_divisor(f, &g, op).is_ok() == is_valid_divisor(f, &g, op);
+            let lemmas_agreed = Oracle::check_decomposition(f, &g, &h, op).is_ok() == verified;
+            let corollaries_agreed =
+                Oracle::check_maximal_flexibility(f, &g, &h, op).is_ok() == maximal;
+            (true, divisor_agreed && lemmas_agreed && corollaries_agreed)
+        }
+        _ => (false, true),
+    };
+
     JobResult {
         instance: inst.name().to_string(),
         output: spec.output,
@@ -542,6 +614,8 @@ fn run_job_dense(
         verified,
         maximal,
         bdd_nodes: 0,
+        oracle_audited,
+        oracle_agreed,
         nanos: start.elapsed().as_nanos() as u64,
     }
 }
@@ -620,6 +694,10 @@ fn run_job_bdd(
         verified,
         maximal,
         bdd_nodes: mgr.num_nodes() as u64,
+        // The oracle audit needs dense tables; symbolic jobs are never
+        // audited, so the BDD backend reports every job as unaudited.
+        oracle_audited: false,
+        oracle_agreed: true,
         nanos: start.elapsed().as_nanos() as u64,
     }
 }
@@ -929,6 +1007,41 @@ mod tests {
             one.operators.iter().map(|s| (s.op, s.jobs, s.dc_minterms)).collect::<Vec<_>>(),
             four.operators.iter().map(|s| (s.op, s.jobs, s.dc_minterms)).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn oracle_audit_samples_jobs_and_always_agrees() {
+        let suite = Suite::smoke();
+        let plain = sweep(&suite, &EngineConfig { threads: 2, ..EngineConfig::default() });
+        assert_eq!(plain.oracle_audited(), 0, "the audit is opt-in");
+        assert_eq!(plain.oracle_disagreements(), 0);
+
+        let config = EngineConfig {
+            threads: 2,
+            oracle: Some(OracleConfig { sample_every: 1 }),
+            ..EngineConfig::default()
+        };
+        let audited = sweep(&suite, &config);
+        assert_eq!(audited.oracle_audited(), audited.total_jobs() as u64);
+        assert_eq!(audited.oracle_disagreements(), 0, "three-way disagreement is a bug");
+        // The audit only observes: every other field is bit-identical to the
+        // unaudited sweep.
+        for (a, b) in plain.jobs.iter().zip(&audited.jobs) {
+            let (mut sa, sb) = (a.semantic(), b.semantic());
+            sa.11 .0 = sb.11 .0; // oracle_audited is the opt-in difference
+            assert_eq!(sa, sb);
+        }
+
+        // Sparse sampling audits a deterministic, seed-keyed subset.
+        let sparse_config =
+            EngineConfig { oracle: Some(OracleConfig { sample_every: 4 }), ..config };
+        let sparse = sweep(&suite, &sparse_config);
+        assert!(sparse.oracle_audited() < sparse.total_jobs() as u64);
+        assert!(sparse.oracle_audited() > 0, "1-in-4 sampling should hit some of 150 jobs");
+        let again = sweep(&suite, &sparse_config);
+        for (a, b) in sparse.jobs.iter().zip(&again.jobs) {
+            assert_eq!(a.semantic(), b.semantic(), "sampling must be deterministic");
+        }
     }
 
     #[test]

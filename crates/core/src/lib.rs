@@ -20,6 +20,10 @@
 //!   collapses into one);
 //! * [`verify_decomposition`] and [`verify_maximal_flexibility`] — executable
 //!   versions of the lemmas and corollaries;
+//! * [`Oracle`] — a third, structurally independent judge: the lemmas and
+//!   corollaries compiled into CNF counterexample searches and decided by
+//!   the deterministic [`sat`] solver, with rejections naming the failing
+//!   lemma and a witness minterm;
 //! * [`DecompositionPlan`] — the end-to-end flow of Section IV (synthesize
 //!   `f` in 2-SPP, approximate, compute `h`, re-synthesize, map, report
 //!   areas and gains);
@@ -66,6 +70,7 @@ pub mod engine;
 mod error;
 pub mod flexibility;
 pub mod operator;
+pub mod oracle;
 pub mod quotient;
 pub mod recursive;
 pub mod report;
@@ -73,7 +78,7 @@ pub mod sequence;
 pub mod verify;
 
 pub use approximation::{
-    classify_approximation, is_valid_divisor_bdd, ApproxKind, ApproximationStats,
+    classify_approximation, is_valid_divisor, is_valid_divisor_bdd, ApproxKind, ApproximationStats,
 };
 pub use cache::{cached_full_quotient, QuotientCache, SharedQuotientCache};
 pub use decompose::{
@@ -81,11 +86,13 @@ pub use decompose::{
 };
 pub use engine::{
     run_pool, seeded_divisor, seeded_divisor_bdd, sweep, sweep_synthesis, Backend, EngineConfig,
-    JobResult, OperatorStats, SweepReport, SynthesisConfig, SynthesisJobResult, SynthesisReport,
+    JobResult, OperatorStats, OracleConfig, SweepReport, SynthesisConfig, SynthesisJobResult,
+    SynthesisReport,
 };
 pub use error::BidecompError;
 pub use flexibility::FlexibilityReport;
 pub use operator::{BinaryOp, OperatorClass};
+pub use oracle::{correctness_lemma, flexibility_corollary, FailedLemma, Oracle, OracleFailure};
 pub use quotient::{
     full_quotient, full_quotient_bdd, quotient_off_bdd, quotient_sets, table2_row, DcTerm,
     QuotientScratch, QuotientSets, Table2Row,

@@ -1,0 +1,468 @@
+//! An independent SAT-based correctness oracle for the paper's claims.
+//!
+//! The dense word-parallel verifiers ([`crate::verify`]) and the BDD lemma
+//! checks share data structures with the quotient code they validate. This
+//! module is a third judge with nothing in common with either backend: each
+//! claim is compiled — via a Tseitin encoding of the truth tables as ITE
+//! (Shannon-expansion) DAGs — into a CNF *counterexample search* and handed
+//! to the deterministic CDCL solver of the [`sat`] crate. `UNSAT` means the
+//! claim holds on every minterm; `SAT` means the model is a witness minterm
+//! where it fails.
+//!
+//! Three claims are encoded (see [`Oracle`]):
+//!
+//! * **`g` is a valid divisor of `f` under `op`** — the Table II side
+//!   condition, as a search for a minterm violating it;
+//! * **`h` completes `(f, g, op)` over the care set** — the correctness
+//!   direction of Lemmas 1–5. The universal quantification over the
+//!   completions of `h` is discharged by one layer of expansion: a free
+//!   variable `hv` ranges over the values `h` may take at the witness
+//!   minterm (`h_on → hv`, `h_off → ¬hv`), so a single existential query
+//!   covers every completion;
+//! * **the computed quotient is maximally flexible** — Corollaries 1–4: the
+//!   on-set must equal the forced-value set and the dc-set must equal the
+//!   free-value set, both re-derived inside the CNF from `g`, `op` and `f`
+//!   alone.
+//!
+//! A rejection names the failing claim with the paper's numbering
+//! ([`FailedLemma`]): Lemma 1 / Corollary 1 are the AND row of Table II (see
+//! `examples/and_decomposition.rs`), Lemmas 2 and 4 cover the remaining
+//! AND-like and OR-like operators, Lemma 3 is OR, Lemma 5 and Corollaries
+//! 3–4 are the XOR-like pair.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use boolfunc::{Isf, TruthTable};
+use sat::{Cnf, Lit, Model, SatResult, Solver};
+
+use crate::operator::{BinaryOp, OperatorClass};
+
+/// The claim a rejected check names, in the paper's numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailedLemma {
+    /// The divisor side condition of Table II does not hold.
+    SideCondition,
+    /// The correctness lemma of the operator's row (Lemmas 1–5): some
+    /// completion of `h` disagrees with `f` on a care minterm.
+    Lemma(u8),
+    /// The maximal-flexibility corollary of the operator's class
+    /// (Corollaries 1–4): the quotient is not the canonical maximal one.
+    Corollary(u8),
+}
+
+impl fmt::Display for FailedLemma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailedLemma::SideCondition => write!(f, "Table II side condition"),
+            FailedLemma::Lemma(k) => write!(f, "Lemma {k}"),
+            FailedLemma::Corollary(k) => write!(f, "Corollary {k}"),
+        }
+    }
+}
+
+/// A rejection from the oracle: which claim failed, for which operator, and
+/// a witness minterm decoded from the SAT model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleFailure {
+    /// The failing claim, named with the paper's numbering.
+    pub lemma: FailedLemma,
+    /// The operator under test.
+    pub op: BinaryOp,
+    /// A minterm on which the claim fails.
+    pub minterm: u64,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed for {}: counterexample minterm {}", self.lemma, self.op, self.minterm)
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+/// The correctness lemma (Lemmas 1–5) covering `op`'s row of Table II.
+pub fn correctness_lemma(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::And => 1,
+        BinaryOp::ConverseNonImplication | BinaryOp::NonImplication | BinaryOp::Nor => 2,
+        BinaryOp::Or => 3,
+        BinaryOp::Implication | BinaryOp::ConverseImplication | BinaryOp::Nand => 4,
+        BinaryOp::Xor | BinaryOp::Xnor => 5,
+    }
+}
+
+/// The maximal-flexibility corollary (Corollaries 1–4) covering `op`.
+pub fn flexibility_corollary(op: BinaryOp) -> u8 {
+    match op.class() {
+        OperatorClass::AndLike => 1,
+        OperatorClass::OrLike => 2,
+        OperatorClass::XorLike => {
+            if op == BinaryOp::Xor {
+                3
+            } else {
+                4
+            }
+        }
+    }
+}
+
+/// Tseitin encoder of dense truth tables over a shared set of minterm
+/// variables `x_0 … x_{n-1}`.
+///
+/// Each table is compiled bottom-up by Shannon expansion on the highest
+/// remaining variable; identical sub-ranges (keyed on their packed bit
+/// content and width) share one output literal, so the emitted circuit is an
+/// ITE DAG, not a tree, and tables encoded against the same encoder share
+/// common subfunctions.
+struct TableEncoder {
+    /// One variable per input, `xs[i]` ↔ bit `i` of the minterm index.
+    xs: Vec<Lit>,
+    /// `(width, packed bits) → output literal` across all encoded tables.
+    memo: HashMap<(usize, Vec<u64>), Lit>,
+}
+
+impl TableEncoder {
+    fn new(cnf: &mut Cnf, num_vars: usize) -> TableEncoder {
+        let xs = (0..num_vars).map(|_| cnf.new_var()).collect();
+        TableEncoder { xs, memo: HashMap::new() }
+    }
+
+    /// The output literal of `t` as a function of the shared `xs`.
+    fn encode(&mut self, cnf: &mut Cnf, t: &TruthTable) -> Lit {
+        assert_eq!(t.num_vars(), self.xs.len(), "arity mismatch");
+        self.encode_range(cnf, t, 0, self.xs.len())
+    }
+
+    /// Encodes the sub-range `[lo, lo + 2^width)` of `t`.
+    fn encode_range(&mut self, cnf: &mut Cnf, t: &TruthTable, lo: u64, width: usize) -> Lit {
+        let len = 1u64 << width;
+        let mut packed = vec![0u64; len.div_ceil(64) as usize];
+        for i in 0..len {
+            if t.get(lo + i) {
+                packed[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        let ones: u32 = packed.iter().map(|w| w.count_ones()).sum();
+        if ones == 0 {
+            return cnf.constant(false);
+        }
+        if u64::from(ones) == len {
+            return cnf.constant(true);
+        }
+        // Constant ranges were handled above, so width ≥ 1 here.
+        let key = (width, packed);
+        if let Some(&lit) = self.memo.get(&key) {
+            return lit;
+        }
+        let half = len >> 1;
+        let low = self.encode_range(cnf, t, lo, width - 1);
+        let high = self.encode_range(cnf, t, lo + half, width - 1);
+        let lit = if low == high { low } else { cnf.ite(self.xs[width - 1], high, low) };
+        self.memo.insert(key, lit);
+        lit
+    }
+
+    /// The witness minterm under `model`.
+    fn decode(&self, model: &Model) -> u64 {
+        self.xs.iter().enumerate().fold(0, |acc, (i, &x)| acc | (u64::from(model.value(x)) << i))
+    }
+}
+
+/// `op` applied to two literals inside the CNF.
+fn apply_op(cnf: &mut Cnf, op: BinaryOp, g: Lit, h: Lit) -> Lit {
+    match op {
+        BinaryOp::And => cnf.and(g, h),
+        BinaryOp::ConverseNonImplication => cnf.and(!g, h),
+        BinaryOp::NonImplication => cnf.and(g, !h),
+        BinaryOp::Nor => !cnf.or(g, h),
+        BinaryOp::Or => cnf.or(g, h),
+        BinaryOp::Implication => cnf.or(!g, h),
+        BinaryOp::ConverseImplication => cnf.or(g, !h),
+        BinaryOp::Nand => !cnf.and(g, h),
+        BinaryOp::Xor => cnf.xor(g, h),
+        BinaryOp::Xnor => cnf.iff(g, h),
+    }
+}
+
+/// The SAT-based correctness oracle. All methods are counterexample
+/// searches: `Ok(())` means the claim holds on **every** minterm, `Err`
+/// carries the failing claim's name and a witness.
+pub struct Oracle;
+
+impl Oracle {
+    /// Checks the Table II side condition: `g` is a valid divisor of `f`
+    /// under `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailedLemma::SideCondition`] with a witness minterm when
+    /// the condition fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities of `f` and `g` differ.
+    pub fn check_divisor(f: &Isf, g: &TruthTable, op: BinaryOp) -> Result<(), OracleFailure> {
+        assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
+        let mut cnf = Cnf::new();
+        let mut enc = TableEncoder::new(&mut cnf, f.num_vars());
+        let f_on = enc.encode(&mut cnf, f.on());
+        let f_dc = enc.encode(&mut cnf, f.dc());
+        let g_lit = enc.encode(&mut cnf, g);
+        // One violating minterm per operator family (Table II).
+        let violation = match op {
+            // f_on ⊆ g.
+            BinaryOp::And | BinaryOp::NonImplication => cnf.and(f_on, !g_lit),
+            // g ⊆ f_off, i.e. g hits neither on- nor dc-set.
+            BinaryOp::ConverseNonImplication | BinaryOp::Nor => {
+                let on_or_dc = cnf.or(f_on, f_dc);
+                cnf.and(g_lit, on_or_dc)
+            }
+            // g ⊆ f_on.
+            BinaryOp::Or | BinaryOp::ConverseImplication => cnf.and(g_lit, !f_on),
+            // f_off ⊆ g.
+            BinaryOp::Implication | BinaryOp::Nand => cnf.and_many(&[!f_on, !f_dc, !g_lit]),
+            // Any g works.
+            BinaryOp::Xor | BinaryOp::Xnor => cnf.constant(false),
+        };
+        cnf.add_clause(&[violation]);
+        match Solver::from_cnf(&cnf).solve() {
+            SatResult::Sat(model) => Err(OracleFailure {
+                lemma: FailedLemma::SideCondition,
+                op,
+                minterm: enc.decode(&model),
+            }),
+            SatResult::Unsat => Ok(()),
+        }
+    }
+
+    /// Checks the correctness direction of Lemmas 1–5: **every** completion
+    /// of `h` satisfies `f = g op h` on the care set of `f`.
+    ///
+    /// The quantifier over completions is expanded into a single free
+    /// variable `hv` constrained to the values `h` admits at the witness
+    /// minterm, so one SAT query covers all completions at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the operator's [`FailedLemma::Lemma`] with a witness minterm
+    /// when some completion disagrees with `f` on a care minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn check_decomposition(
+        f: &Isf,
+        g: &TruthTable,
+        h: &Isf,
+        op: BinaryOp,
+    ) -> Result<(), OracleFailure> {
+        assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
+        assert_eq!(f.num_vars(), h.num_vars(), "arity mismatch");
+        let mut cnf = Cnf::new();
+        let mut enc = TableEncoder::new(&mut cnf, f.num_vars());
+        let f_on = enc.encode(&mut cnf, f.on());
+        let f_dc = enc.encode(&mut cnf, f.dc());
+        let g_lit = enc.encode(&mut cnf, g);
+        let h_on = enc.encode(&mut cnf, h.on());
+        let h_dc = enc.encode(&mut cnf, h.dc());
+        // hv ranges over the values h may take at the witness minterm.
+        let hv = cnf.new_var();
+        cnf.imply(h_on, hv);
+        let h_off = cnf.and_many(&[!h_on, !h_dc]);
+        cnf.imply(h_off, !hv);
+        let result = apply_op(&mut cnf, op, g_lit, hv);
+        let mismatch = cnf.xor(result, f_on);
+        cnf.add_clause(&[!f_dc]); // a care minterm …
+        cnf.add_clause(&[mismatch]); // … where g op hv ≠ f.
+        match Solver::from_cnf(&cnf).solve() {
+            SatResult::Sat(model) => Err(OracleFailure {
+                lemma: FailedLemma::Lemma(correctness_lemma(op)),
+                op,
+                minterm: enc.decode(&model),
+            }),
+            SatResult::Unsat => Ok(()),
+        }
+    }
+
+    /// Checks Corollaries 1–4: `h` is exactly the maximally flexible
+    /// quotient — its on-set is the set of care minterms where only `h = 1`
+    /// reproduces `f`, and its dc-set is the set of minterms where both
+    /// values do (or which are don't-cares of `f`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the operator's [`FailedLemma::Corollary`] with a witness
+    /// minterm where `h` deviates from the canonical quotient, or
+    /// [`FailedLemma::SideCondition`] if the witness shows `g` admits no
+    /// value of `h` at all (an invalid divisor vacuously violates
+    /// maximality, matching the dense and BDD verifiers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn check_maximal_flexibility(
+        f: &Isf,
+        g: &TruthTable,
+        h: &Isf,
+        op: BinaryOp,
+    ) -> Result<(), OracleFailure> {
+        assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
+        assert_eq!(f.num_vars(), h.num_vars(), "arity mismatch");
+        let mut cnf = Cnf::new();
+        let mut enc = TableEncoder::new(&mut cnf, f.num_vars());
+        let f_on = enc.encode(&mut cnf, f.on());
+        let f_dc = enc.encode(&mut cnf, f.dc());
+        let g_lit = enc.encode(&mut cnf, g);
+        let h_on = enc.encode(&mut cnf, h.on());
+        let h_dc = enc.encode(&mut cnf, h.dc());
+        let zero = cnf.constant(false);
+        let one = cnf.constant(true);
+        let with0 = apply_op(&mut cnf, op, g_lit, zero);
+        let with1 = apply_op(&mut cnf, op, g_lit, one);
+        let ok0 = cnf.iff(with0, f_on);
+        let ok1 = cnf.iff(with1, f_on);
+        let care = !f_dc;
+        // The canonical quotient, re-derived from g, op and f alone.
+        let invalid = cnf.and_many(&[care, !ok0, !ok1]);
+        let forced_true = cnf.and_many(&[care, !ok0, ok1]);
+        let both_ok = cnf.and(ok0, ok1);
+        let free = cnf.or(!care, both_ok);
+        let wrong_on = cnf.xor(h_on, forced_true);
+        let wrong_dc = cnf.xor(h_dc, free);
+        let violation = cnf.or_many(&[invalid, wrong_on, wrong_dc]);
+        cnf.add_clause(&[violation]);
+        match Solver::from_cnf(&cnf).solve() {
+            SatResult::Sat(model) => {
+                let minterm = enc.decode(&model);
+                // Name the claim: an invalid-divisor witness is a side
+                // condition failure, anything else is the class corollary.
+                // (Re-evaluated densely at the single witness minterm.)
+                let gw = u64::from(g.get(minterm));
+                let fw = u64::from(f.on().get(minterm));
+                let is_care = !f.dc().get(minterm);
+                let ok0 = op.apply_words(gw, 0) & 1 == fw;
+                let ok1 = op.apply_words(gw, u64::MAX) & 1 == fw;
+                let lemma = if is_care && !ok0 && !ok1 {
+                    FailedLemma::SideCondition
+                } else {
+                    FailedLemma::Corollary(flexibility_corollary(op))
+                };
+                Err(OracleFailure { lemma, op, minterm })
+            }
+            SatResult::Unsat => Ok(()),
+        }
+    }
+
+    /// Runs all three checks in order (side condition, correctness,
+    /// maximality), returning the first rejection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`OracleFailure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn check(f: &Isf, g: &TruthTable, h: &Isf, op: BinaryOp) -> Result<(), OracleFailure> {
+        Oracle::check_divisor(f, g, op)?;
+        Oracle::check_decomposition(f, g, h, op)?;
+        Oracle::check_maximal_flexibility(f, g, h, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quotient::full_quotient;
+    use benchmarks::DetRng;
+    use boolfunc::Cover;
+
+    fn fig1() -> (Isf, TruthTable) {
+        let f = Isf::from_cover_str(4, &["11-1", "-111"], &[]).unwrap();
+        let g = Cover::from_strs(4, &["-1-1"]).unwrap().to_truth_table();
+        (f, g)
+    }
+
+    #[test]
+    fn encoder_round_trips_random_tables() {
+        let mut rng = DetRng::seed_from_u64(0x0E0C);
+        for n in 1..=6 {
+            for _ in 0..4 {
+                let t = TruthTable::from_words(n, || rng.next_u64());
+                let mut cnf = Cnf::new();
+                let mut enc = TableEncoder::new(&mut cnf, n);
+                let lit = enc.encode(&mut cnf, &t);
+                for m in 0..(1u64 << n) {
+                    let mut pinned = cnf.clone();
+                    for (i, &x) in enc.xs.iter().enumerate() {
+                        pinned.add_clause(&[if m >> i & 1 == 1 { x } else { !x }]);
+                    }
+                    pinned.add_clause(&[if t.get(m) { lit } else { !lit }]);
+                    assert!(
+                        Solver::from_cnf(&pinned).solve().is_sat(),
+                        "n={n} m={m}: encoded table must agree with t.get"
+                    );
+                    let mut contra = cnf.clone();
+                    for (i, &x) in enc.xs.iter().enumerate() {
+                        contra.add_clause(&[if m >> i & 1 == 1 { x } else { !x }]);
+                    }
+                    contra.add_clause(&[if t.get(m) { !lit } else { lit }]);
+                    assert!(
+                        !Solver::from_cnf(&contra).solve().is_sat(),
+                        "n={n} m={m}: encoded table must be forced"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_passes_all_three_checks() {
+        let (f, g) = fig1();
+        let h = full_quotient(&f, &g, BinaryOp::And).unwrap();
+        Oracle::check(&f, &g, &h, BinaryOp::And).unwrap();
+    }
+
+    #[test]
+    fn invalid_divisor_names_the_side_condition() {
+        let (f, _) = fig1();
+        let g = TruthTable::zero(4); // f_on ⊄ g: invalid for AND.
+        let err = Oracle::check_divisor(&f, &g, BinaryOp::And).unwrap_err();
+        assert_eq!(err.lemma, FailedLemma::SideCondition);
+        assert!(f.on().get(err.minterm), "witness must be an uncovered on-set minterm");
+        let expected = format!(
+            "Table II side condition failed for {}: counterexample minterm {}",
+            BinaryOp::And,
+            err.minterm
+        );
+        assert_eq!(err.to_string(), expected);
+    }
+
+    #[test]
+    fn lemma_and_corollary_numbers_follow_the_paper() {
+        assert_eq!(correctness_lemma(BinaryOp::And), 1);
+        assert_eq!(correctness_lemma(BinaryOp::Nor), 2);
+        assert_eq!(correctness_lemma(BinaryOp::Or), 3);
+        assert_eq!(correctness_lemma(BinaryOp::Nand), 4);
+        assert_eq!(correctness_lemma(BinaryOp::Xor), 5);
+        assert_eq!(flexibility_corollary(BinaryOp::NonImplication), 1);
+        assert_eq!(flexibility_corollary(BinaryOp::Implication), 2);
+        assert_eq!(flexibility_corollary(BinaryOp::Xor), 3);
+        assert_eq!(flexibility_corollary(BinaryOp::Xnor), 4);
+    }
+
+    #[test]
+    fn every_operator_accepts_its_own_full_quotient() {
+        let mut rng = DetRng::seed_from_u64(0x0AC1E);
+        let x0 = TruthTable::variable(4, 0);
+        let on = &TruthTable::from_words(4, || rng.next_u64()) & &(!&x0);
+        let dc = &TruthTable::from_words(4, || rng.next_u64()) & &x0;
+        let f = Isf::new(on, dc).unwrap();
+        for op in BinaryOp::all() {
+            let g = crate::engine::seeded_divisor(&f, op, 0xFACE);
+            let h = full_quotient(&f, &g, op).unwrap_or_else(|e| panic!("{op}: {e}"));
+            Oracle::check(&f, &g, &h, op).unwrap_or_else(|e| panic!("{op}: {e}"));
+        }
+    }
+}

@@ -41,6 +41,7 @@ use crate::cache::{cached_full_quotient, SharedQuotientCache};
 use crate::decompose::{combine_op, derive_strategy_divisor, ApproxStrategy};
 use crate::error::BidecompError;
 use crate::operator::BinaryOp;
+use crate::oracle::Oracle;
 use crate::verify::verify_decomposition;
 
 /// Configuration of the recursive synthesizer: which candidates to try at
@@ -57,6 +58,12 @@ pub struct RecursiveConfig {
     /// Minimum mapped-area improvement (in library area units) a candidate
     /// `g op h` must have over the flat 2-SPP realization to be recursed on.
     pub min_gain: f64,
+    /// Opt-in self-audit: replay every winning `(g, h, op)` candidate of the
+    /// recursion through the SAT [`crate::oracle::Oracle`] (side condition,
+    /// Lemmas 1–5, Corollaries 1–4). A rejection panics — the dense
+    /// verifiers accepted the same quotient, so a disagreement is a
+    /// cross-backend bug, not a recoverable outcome.
+    pub oracle_audit: bool,
 }
 
 impl Default for RecursiveConfig {
@@ -72,6 +79,7 @@ impl Default for RecursiveConfig {
             ],
             max_depth: 3,
             min_gain: 0.5,
+            oracle_audit: false,
         }
     }
 }
@@ -388,6 +396,10 @@ impl RecursiveSynthesizer {
                 continue; // The strategy produced an invalid divisor for op.
             };
             debug_assert!(verify_decomposition(f, &g, &h, op), "{op}: full quotient must verify");
+            if self.config.oracle_audit {
+                Oracle::check(f, &g, &h, op)
+                    .unwrap_or_else(|e| panic!("{op}: oracle rejected a verified candidate: {e}"));
+            }
             let g_isf = Isf::completely_specified(g);
             let g_form = self.synthesizer.synthesize(&g_isf);
             let h_form = self.synthesizer.synthesize(&h);
@@ -534,6 +546,18 @@ mod tests {
         assert!(result.gain_percent() >= 0.0);
         assert_eq!(result.network.outputs().len(), 1);
         assert_eq!(result.tree.num_leaves(), result.tree.num_branches() + 1);
+    }
+
+    #[test]
+    fn oracle_audit_accepts_every_winning_candidate() {
+        let config = RecursiveConfig { oracle_audit: true, ..RecursiveConfig::default() };
+        let audited = RecursiveSynthesizer::new(config).synthesize(&fig2()).unwrap();
+        assert!(audited.verified);
+        // Auditing only observes: the synthesis result is unchanged.
+        let plain = RecursiveSynthesizer::default().synthesize(&fig2()).unwrap();
+        assert_eq!(plain.mapped_area.to_bits(), audited.mapped_area.to_bits());
+        assert_eq!(plain.gate_count(), audited.gate_count());
+        assert_eq!(plain.tree.depth(), audited.tree.depth());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Three-judge property test: for 320 seeded random ISFs and all ten Table I
+//! operators, the dense word-parallel verifiers, the symbolic BDD verifiers,
+//! and the SAT-based [`Oracle`] must return the same verdict on divisor
+//! validity, decomposition correctness (Lemmas 1–5) and maximal flexibility
+//! (Corollaries 1–4) — on valid seeded divisors *and* on arbitrary random
+//! divisors that usually violate the Table II side conditions.
+//!
+//! A second suite tampers with each quotient set independently and asserts
+//! the oracle rejects with the *specific* failed lemma named.
+
+use bdd::BddManager;
+use benchmarks::fuzz::fuzz_corpus;
+use benchmarks::DetRng;
+use bidecomp::{
+    correctness_lemma, flexibility_corollary, is_valid_divisor, is_valid_divisor_bdd,
+    quotient_sets, seeded_divisor, verify_decomposition_bdd, verify_decomposition_sets,
+    verify_maximal_flexibility_bdd, verify_maximal_flexibility_sets, BinaryOp, FailedLemma, Oracle,
+};
+use boolfunc::{Isf, TruthTable};
+
+/// Compares all three judges on one `(f, g)` pair for one operator; the
+/// quotient is always the Table II closed form, so the verdicts exercise the
+/// full range (invalid divisor / unverified / non-maximal / all-green).
+fn assert_three_way_agreement(
+    mgr: &mut BddManager,
+    f: &Isf,
+    g: &TruthTable,
+    op: BinaryOp,
+    context: &str,
+) {
+    let sets = quotient_sets(f, g, op);
+    let h = Isf::new(sets.on.clone(), sets.dc.clone()).expect("Table II sets are disjoint");
+
+    let dense_valid = is_valid_divisor(f, g, op);
+    let dense_verified = verify_decomposition_sets(f, g, &sets.on, &sets.dc, op);
+    let dense_maximal = verify_maximal_flexibility_sets(f, g, &sets.on, &sets.dc, op);
+
+    let f_on = mgr.from_truth_table(f.on());
+    let f_dc = mgr.from_truth_table(f.dc());
+    let g_bdd = mgr.from_truth_table(g);
+    let h_on = mgr.from_truth_table(&sets.on);
+    let h_dc = mgr.from_truth_table(&sets.dc);
+    let bdd_valid = is_valid_divisor_bdd(mgr, f_on, f_dc, g_bdd, op);
+    let bdd_verified = verify_decomposition_bdd(mgr, f_on, f_dc, g_bdd, h_on, h_dc, op);
+    let bdd_maximal = verify_maximal_flexibility_bdd(mgr, f_on, f_dc, g_bdd, h_on, h_dc, op);
+
+    let sat_valid = Oracle::check_divisor(f, g, op).is_ok();
+    let sat_verified = Oracle::check_decomposition(f, g, &h, op).is_ok();
+    let sat_maximal = Oracle::check_maximal_flexibility(f, g, &h, op).is_ok();
+
+    assert_eq!(dense_valid, bdd_valid, "{context}: divisor verdict dense vs BDD");
+    assert_eq!(dense_valid, sat_valid, "{context}: divisor verdict dense vs oracle");
+    assert_eq!(dense_verified, bdd_verified, "{context}: correctness verdict dense vs BDD");
+    assert_eq!(dense_verified, sat_verified, "{context}: correctness verdict dense vs oracle");
+    assert_eq!(dense_maximal, bdd_maximal, "{context}: maximality verdict dense vs BDD");
+    assert_eq!(dense_maximal, sat_maximal, "{context}: maximality verdict dense vs oracle");
+}
+
+#[test]
+fn three_judges_agree_on_seeded_and_random_divisors() {
+    const CASES: usize = 320;
+    let corpus = fuzz_corpus(0x000F_AC13, CASES, 3, 6);
+    let mut positive = 0usize;
+    let mut negative = 0usize;
+    for (case, inst) in corpus.iter().enumerate() {
+        let f = &inst.outputs()[0];
+        let n = f.num_vars();
+        let mut mgr = BddManager::new(n);
+        let mut rng = DetRng::seed_from_u64(0xD1CE ^ (case as u64) << 7);
+        for op in BinaryOp::all() {
+            // Valid-by-construction divisor: everything must verify.
+            let g = seeded_divisor(f, op, 0xBEEF ^ (case as u64) << 4);
+            assert!(is_valid_divisor(f, &g, op), "case {case}, {op}: seeded divisor");
+            assert_three_way_agreement(&mut mgr, f, &g, op, &format!("case {case}, {op}, seeded"));
+            positive += 1;
+
+            // Arbitrary noise divisor: usually violates the side condition,
+            // so this arm exercises the rejection paths of all three judges.
+            let g_noise = TruthTable::from_words(n, || rng.next_u64());
+            assert_three_way_agreement(
+                &mut mgr,
+                f,
+                &g_noise,
+                op,
+                &format!("case {case}, {op}, noise"),
+            );
+            if !is_valid_divisor(f, &g_noise, op) {
+                negative += 1;
+            }
+        }
+    }
+    assert_eq!(positive, CASES * 10);
+    // The noise arm must actually hit invalid divisors, not vacuously pass.
+    assert!(negative > CASES, "only {negative} invalid noise divisors across {CASES} cases");
+}
+
+/// A fixed dividend whose Table II quotients have non-empty on/dc/off sets
+/// for every operator (checked inside the test), so each tampering direction
+/// is exercised for each operator.
+fn tamper_dividend() -> Isf {
+    let mut rng = DetRng::seed_from_u64(0x7A3B_BEEF);
+    let n = 5;
+    let noise_a = TruthTable::from_words(n, || rng.next_u64());
+    let noise_b = TruthTable::from_words(n, || rng.next_u64());
+    let dc = &noise_a & &noise_b;
+    let on = TruthTable::from_words(n, || rng.next_u64()).difference(&dc);
+    Isf::new(on, dc).unwrap()
+}
+
+#[test]
+fn tampered_quotients_are_rejected_with_the_failing_lemma_named() {
+    let f = tamper_dividend();
+    let mut exercised = [0usize; 3];
+    for op in BinaryOp::all() {
+        let g = seeded_divisor(&f, op, 0xACE);
+        let sets = quotient_sets(&f, &g, op);
+        let h = Isf::new(sets.on.clone(), sets.dc.clone()).unwrap();
+        Oracle::check(&f, &g, &h, op).expect("untampered quotient must pass");
+
+        // off → dc: some completion sets h = 1 where only 0 realizes f, so
+        // the operator's correctness lemma must be named.
+        if let Some(m) = sets.off.ones().next() {
+            let mut dc = sets.dc.clone();
+            dc.set(m, true);
+            let tampered = Isf::new(sets.on.clone(), dc).unwrap();
+            let err = Oracle::check(&f, &g, &tampered, op).expect_err("off→dc must be rejected");
+            assert_eq!(err.lemma, FailedLemma::Lemma(correctness_lemma(op)), "{op}: off→dc tamper");
+            exercised[0] += 1;
+        }
+
+        // on → off: dropping a forced-to-1 minterm allows a completion with
+        // h = 0 there — again the correctness lemma.
+        if let Some(m) = sets.on.ones().next() {
+            let mut on = sets.on.clone();
+            on.set(m, false);
+            let tampered = Isf::new(on, sets.dc.clone()).unwrap();
+            let err = Oracle::check(&f, &g, &tampered, op).expect_err("on→off must be rejected");
+            assert_eq!(err.lemma, FailedLemma::Lemma(correctness_lemma(op)), "{op}: on→off tamper");
+            exercised[1] += 1;
+        }
+
+        // dc → on: every completion still realizes f, but the quotient is no
+        // longer maximally flexible — the operator's corollary is named.
+        if let Some(m) = sets.dc.ones().next() {
+            let mut on = sets.on.clone();
+            let mut dc = sets.dc.clone();
+            on.set(m, true);
+            dc.set(m, false);
+            let tampered = Isf::new(on, dc).unwrap();
+            Oracle::check_decomposition(&f, &g, &tampered, op)
+                .expect("dc→on keeps every completion correct");
+            let err = Oracle::check(&f, &g, &tampered, op).expect_err("dc→on must be rejected");
+            assert_eq!(
+                err.lemma,
+                FailedLemma::Corollary(flexibility_corollary(op)),
+                "{op}: dc→on tamper"
+            );
+            exercised[2] += 1;
+        }
+    }
+    // Every tampering direction must fire for (almost) every operator; the
+    // dividend above is chosen so none of the quotient sets is empty.
+    assert_eq!(exercised, [10, 10, 10], "some tamper direction was never exercised");
+}
+
+#[test]
+fn invalid_divisors_fail_the_side_condition_before_any_lemma() {
+    let f = tamper_dividend();
+    let mut rejected = 0usize;
+    for op in BinaryOp::all() {
+        // The *complement* of a valid divisor violates every one-sided
+        // condition of Table II on this dividend; XOR/XNOR accept anything.
+        let g = !&seeded_divisor(&f, op, 0xACE);
+        let sets = quotient_sets(&f, &g, op);
+        let h = Isf::new(sets.on.clone(), sets.dc.clone()).unwrap();
+        match Oracle::check(&f, &g, &h, op) {
+            Err(err) if !is_valid_divisor(&f, &g, op) => {
+                assert_eq!(err.lemma, FailedLemma::SideCondition, "{op}");
+                rejected += 1;
+            }
+            Err(err) => panic!("{op}: valid divisor rejected: {err}"),
+            Ok(()) => assert!(is_valid_divisor(&f, &g, op), "{op}: invalid divisor accepted"),
+        }
+    }
+    assert_eq!(rejected, 8, "the eight one-sided operators must all reject");
+}

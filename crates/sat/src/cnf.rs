@@ -1,0 +1,240 @@
+//! CNF formulas and a Tseitin-style circuit-to-clause builder.
+//!
+//! Literals use the usual packed encoding (`var * 2 + sign`), clauses are
+//! plain literal vectors, and every gate constructor returns a fresh literal
+//! constrained — by the emitted clauses — to equal the gate's output. Since
+//! negation is free on literals, inverting gates (NAND, NOR, XNOR, …) come
+//! out of `!` on the corresponding positive gate.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable with the given index.
+    pub fn new(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// The index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var * 2 + sign`
+/// (`sign = 1` means negated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// The variable of this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for `x`, `false` for `¬x`.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The packed index (`var * 2 + sign`), used for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().index())
+        } else {
+            write!(f, "!x{}", self.var().index())
+        }
+    }
+}
+
+/// A CNF formula under construction: a variable counter, a clause list, and
+/// Tseitin gate constructors that extend both.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    constant_true: Option<Lit>,
+}
+
+impl Cnf {
+    /// An empty formula over zero variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable and returns its positive literal.
+    pub fn new_var(&mut self) -> Lit {
+        let var = Var(self.num_vars);
+        self.num_vars += 1;
+        Lit::positive(var)
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds a clause (a disjunction of literals). The empty clause makes the
+    /// formula unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// A literal that is forced to the given truth value (backed by a lazily
+    /// allocated variable pinned by a unit clause).
+    pub fn constant(&mut self, value: bool) -> Lit {
+        let t = match self.constant_true {
+            Some(t) => t,
+            None => {
+                let t = self.new_var();
+                self.add_clause(&[t]);
+                self.constant_true = Some(t);
+                t
+            }
+        };
+        if value {
+            t
+        } else {
+            !t
+        }
+    }
+
+    /// Asserts `a → b` (the clause `¬a ∨ b`).
+    pub fn imply(&mut self, a: Lit, b: Lit) {
+        self.add_clause(&[!a, b]);
+    }
+
+    /// A fresh literal `t` constrained to `t ↔ (a ∧ b)`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.new_var();
+        self.add_clause(&[!t, a]);
+        self.add_clause(&[!t, b]);
+        self.add_clause(&[t, !a, !b]);
+        t
+    }
+
+    /// A fresh literal `t` constrained to `t ↔ (a ∨ b)`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// A fresh literal `t` constrained to `t ↔ (a ⊕ b)`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.new_var();
+        self.add_clause(&[!t, a, b]);
+        self.add_clause(&[!t, !a, !b]);
+        self.add_clause(&[t, !a, b]);
+        self.add_clause(&[t, a, !b]);
+        t
+    }
+
+    /// A fresh literal `t` constrained to `t ↔ (a ↔ b)`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// A fresh literal `t` constrained to `t ↔ (c ? x : y)` (if-then-else).
+    pub fn ite(&mut self, c: Lit, x: Lit, y: Lit) -> Lit {
+        let t = self.new_var();
+        self.add_clause(&[!c, !x, t]);
+        self.add_clause(&[!c, x, !t]);
+        self.add_clause(&[c, !y, t]);
+        self.add_clause(&[c, y, !t]);
+        // Redundant but propagation-friendly: x ∧ y → t, ¬x ∧ ¬y → ¬t.
+        self.add_clause(&[!x, !y, t]);
+        self.add_clause(&[x, y, !t]);
+        t
+    }
+
+    /// A fresh literal `t` constrained to the conjunction of all `lits`
+    /// (`true` for the empty conjunction).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.constant(true),
+            [single] => *single,
+            _ => {
+                let t = self.new_var();
+                let mut long = Vec::with_capacity(lits.len() + 1);
+                long.push(t);
+                for &a in lits {
+                    self.add_clause(&[!t, a]);
+                    long.push(!a);
+                }
+                self.add_clause(&long);
+                t
+            }
+        }
+    }
+
+    /// A fresh literal `t` constrained to the disjunction of all `lits`
+    /// (`false` for the empty disjunction).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_many(&negated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let v = Var::new(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.index(), 14);
+        assert_eq!(n.index(), 15);
+        assert_eq!(p.to_string(), "x7");
+        assert_eq!(n.to_string(), "!x7");
+    }
+
+    #[test]
+    fn constants_share_one_variable() {
+        let mut cnf = Cnf::new();
+        let t = cnf.constant(true);
+        let f = cnf.constant(false);
+        assert_eq!(!t, f);
+        assert_eq!(cnf.num_vars(), 1);
+        assert_eq!(cnf.clauses().len(), 1, "one unit clause pins the constant");
+    }
+}

@@ -1,0 +1,35 @@
+//! # sat
+//!
+//! A small, dependency-free SAT toolkit for the bi-decomposition workspace:
+//! a Tseitin-style CNF builder ([`Cnf`], [`Lit`], [`Var`]) and a CDCL solver
+//! ([`Solver`]) with two-watched-literal propagation and first-UIP clause
+//! learning.
+//!
+//! The solver is deliberately **deterministic**: the decision heuristic uses
+//! conflict-bumped activities with lowest-index tie-breaking and a fixed
+//! phase, and there is no randomization or restart jitter anywhere, so a
+//! formula always yields the same verdict, model and statistics. The
+//! correctness oracle in `bidecomp::oracle` relies on this to keep its
+//! cross-backend comparisons seed-stable.
+//!
+//! ```rust
+//! use sat::{Cnf, SatResult, Solver};
+//!
+//! let mut cnf = Cnf::new();
+//! let (a, b) = (cnf.new_var(), cnf.new_var());
+//! let both = cnf.and(a, b);
+//! cnf.add_clause(&[both]);
+//! let SatResult::Sat(model) = Solver::from_cnf(&cnf).solve() else {
+//!     panic!("a ∧ b is satisfiable");
+//! };
+//! assert!(model.value(a) && model.value(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod solver;
+
+pub use cnf::{Cnf, Lit, Var};
+pub use solver::{Model, SatResult, Solver, SolverStats};

@@ -40,8 +40,14 @@ pub struct ApproximationOutcome {
 impl ApproximationOutcome {
     fn from_form(g: SppForm, f: &Isf) -> Self {
         let g_table = g.to_truth_table();
-        let errors = (&g_table & &f.off()).count_ones();
-        let error_rate = errors as f64 / g_table.num_minterms() as f64;
+        // Route the accounting through the shared `TruthTable` helpers
+        // instead of a local formula: masking `g` to the care set makes its
+        // distance to `f_on` count exactly the care disagreements, and both
+        // expansion strategies only ever over-approximate (`f_on ⊆ g`), so
+        // those disagreements are precisely the 0→1 complementations.
+        let masked = &g_table & &f.care();
+        let errors = masked.hamming_distance(f.on());
+        let error_rate = masked.error_rate(f.on());
         ApproximationOutcome { g, g_table, errors, error_rate }
     }
 
@@ -240,6 +246,24 @@ mod tests {
         // The paper obtains g = x2 ⊕ x3 (2 literals, 2 errors).
         assert!(out.g.literal_count() <= 3, "g = {}", out.g);
         assert!(out.errors >= 1);
+    }
+
+    #[test]
+    fn error_rate_matches_the_shared_truth_table_accounting() {
+        let (f, form) = fig2();
+        let out = BoundedExpansion::new(0.25).approximate(&form, &f);
+        assert!((out.error_rate - out.errors as f64 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn outcome_rejects_an_arity_mismatch() {
+        // Regression: the old hand-rolled accounting silently produced a
+        // wrong count when f and g disagreed on arity; the shared
+        // TruthTable helpers panic instead.
+        let (_, form) = fig2();
+        let f3 = Isf::from_cover_str(3, &["1-1"], &[]).unwrap();
+        ApproximationOutcome::from_form(form, &f3);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   and the 0→1 approximation by pseudoproduct expansion;
 //! * [`techmap`] — a gate library and tree-covering technology mapper used for the
 //!   area numbers of the evaluation;
+//! * [`sat`] — a small deterministic CDCL SAT solver and Tseitin CNF builder,
+//!   the engine behind [`bidecomp::Oracle`] (the third, structurally
+//!   independent correctness judge next to the dense and BDD verifiers);
 //! * [`bidecomp`] — the paper's contribution: the full quotient `h` with maximal
 //!   flexibility for all ten binary operators (Table II), verification of
 //!   Lemmas 1–5, and end-to-end decomposition drivers;
@@ -43,6 +46,7 @@ pub use bdd;
 pub use benchmarks;
 pub use bidecomp;
 pub use boolfunc;
+pub use sat;
 pub use service;
 pub use sop;
 pub use spp;
@@ -54,7 +58,7 @@ pub mod prelude {
     pub use benchmarks::{BenchmarkInstance, Suite};
     pub use bidecomp::{
         full_quotient, verify_decomposition, ApproxKind, BiDecomposition, BinaryOp,
-        DecompositionPlan, Quotient, RecursiveSynthesizer,
+        DecompositionPlan, Oracle, Quotient, RecursiveSynthesizer,
     };
     pub use boolfunc::{Cover, Cube, Isf, TruthTable};
     pub use sop::espresso;
