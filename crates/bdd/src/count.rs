@@ -1,8 +1,13 @@
 //! Model counting and minterm enumeration.
+//!
+//! With complement edges, counting works on the *regular* node function and
+//! applies the complement identity `|¬f| = 2^span − |f|` per edge; with a
+//! dynamic variable order, level gaps are measured through the manager's
+//! order maps instead of raw variable labels.
 
 use std::collections::HashMap;
 
-use crate::manager::{Bdd, BddManager, TERMINAL_VAR};
+use crate::manager::{Bdd, BddManager};
 
 impl BddManager {
     /// Number of minterms (satisfying assignments over all `n` variables of
@@ -16,10 +21,8 @@ impl BddManager {
     pub fn sat_count(&mut self, f: Bdd) -> u64 {
         let mut memo = std::mem::take(&mut self.count_memo);
         memo.clear();
-        let below = self.count_from_top(f, &mut memo);
+        let total = self.count_edge(f, 0, &mut memo);
         self.count_memo = memo;
-        let top = self.level_of(f);
-        let total = below << top;
         u64::try_from(total).unwrap_or(u64::MAX)
     }
 
@@ -34,33 +37,38 @@ impl BddManager {
         self.density(x)
     }
 
-    fn level_of(&self, f: Bdd) -> usize {
-        let v = self.node(f).var;
-        if v == TERMINAL_VAR {
-            self.num_vars()
-        } else {
-            v as usize
+    /// Minterms of `f` over the variables at levels `[level, n)`. The memo is
+    /// keyed by node index and holds the count of the *regular* function from
+    /// the node's own level down, so both polarities and all incoming level
+    /// gaps share one entry.
+    fn count_edge(&self, f: Bdd, level: usize, memo: &mut HashMap<u32, u128>) -> u128 {
+        let span = self.num_vars() - level;
+        if self.is_one(f) {
+            return 1u128 << span;
         }
-    }
-
-    fn count_from_top(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
         if self.is_zero(f) {
             return 0;
         }
-        if self.is_one(f) {
-            return 1;
+        let node_level = self.top_level(f);
+        let below = self.count_node(f, memo);
+        let regular = below << (node_level - level);
+        if f.is_complemented() {
+            (1u128 << span) - regular
+        } else {
+            regular
         }
-        if let Some(&c) = memo.get(&f) {
+    }
+
+    /// Count of the regular function of `f`'s node, from its own level down.
+    fn count_node(&self, f: Bdd, memo: &mut HashMap<u32, u128>) -> u128 {
+        let idx = f.index() as u32;
+        if let Some(&c) = memo.get(&idx) {
             return c;
         }
         let n = self.node(f);
-        let v = n.var as usize;
-        let low_count = self.count_from_top(n.low, memo);
-        let high_count = self.count_from_top(n.high, memo);
-        let low_gap = self.level_of(n.low) - v - 1;
-        let high_gap = self.level_of(n.high) - v - 1;
-        let c = (low_count << low_gap) + (high_count << high_gap);
-        memo.insert(f, c);
+        let level = self.top_level(f);
+        let c = self.count_edge(n.low, level + 1, memo) + self.count_edge(n.high, level + 1, memo);
+        memo.insert(idx, c);
         c
     }
 
@@ -74,11 +82,17 @@ impl BddManager {
         let mut cur = f;
         while !self.is_terminal(cur) {
             let n = self.node(cur);
-            if self.is_zero(n.low) {
-                minterm |= 1u64 << n.var;
-                cur = n.high;
+            // Cofactors as seen through this edge (complement pushes down).
+            let (low, high) = if cur.is_complemented() {
+                (self.not(n.low), self.not(n.high))
             } else {
-                cur = n.low;
+                (n.low, n.high)
+            };
+            if self.is_zero(low) {
+                minterm |= 1u64 << n.var;
+                cur = high;
+            } else {
+                cur = low;
             }
         }
         debug_assert!(self.is_one(cur));
@@ -111,11 +125,15 @@ mod tests {
         assert_eq!(mgr.sat_count(mgr.one()), 16);
         let x0 = mgr.variable(0);
         assert_eq!(mgr.sat_count(x0), 8);
+        let nx0 = mgr.not(x0);
+        assert_eq!(mgr.sat_count(nx0), 8, "complemented edges must count correctly");
         let x3 = mgr.variable(3);
         let f = mgr.and(x0, x3);
         assert_eq!(mgr.sat_count(f), 4);
         let g = mgr.or(x0, x3);
         assert_eq!(mgr.sat_count(g), 12);
+        let nf = mgr.not(f);
+        assert_eq!(mgr.sat_count(nf), 12);
     }
 
     #[test]
@@ -125,6 +143,17 @@ mod tests {
         let f = mgr.from_truth_table(&tt);
         assert_eq!(mgr.sat_count(f), tt.count_ones());
         assert_eq!(mgr.all_sat(f).len() as u64, tt.count_ones());
+    }
+
+    #[test]
+    fn count_survives_reordering() {
+        let mut mgr = BddManager::new(8);
+        let tt = boolfunc::TruthTable::from_fn(8, |m| (m.wrapping_mul(0x9E37)) % 13 < 5);
+        let f = mgr.from_truth_table(&tt);
+        let expected = tt.count_ones();
+        assert_eq!(mgr.sat_count(f), expected);
+        mgr.sift(&[f]);
+        assert_eq!(mgr.sat_count(f), expected, "counting must follow the sifted order");
     }
 
     #[test]
@@ -148,5 +177,9 @@ mod tests {
         let m = mgr.one_sat(f).unwrap();
         assert!(mgr.eval(f, m));
         assert_eq!(mgr.one_sat(mgr.zero()), None);
+        // A complemented root must also yield a genuine model.
+        let nf = mgr.not(f);
+        let m2 = mgr.one_sat(nf).unwrap();
+        assert!(mgr.eval(nf, m2));
     }
 }

@@ -9,29 +9,34 @@ impl BddManager {
     /// Renders the BDD rooted at `f` as a Graphviz DOT digraph.
     ///
     /// Solid edges are `high` (then) edges, dashed edges are `low` (else)
-    /// edges; the two terminals are drawn as boxes.
+    /// edges; the single terminal (the constant 1) is drawn as a box.
+    /// Complemented edges — including a complemented root — carry a dot
+    /// arrowhead (`arrowhead=odot`), the usual notation for complement
+    /// edges.
     pub fn to_dot(&self, f: Bdd, name: &str) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{name}\" {{");
         let _ = writeln!(out, "  rankdir=TB;");
-        let _ = writeln!(out, "  node0 [label=\"0\", shape=box];");
-        let _ = writeln!(out, "  node1 [label=\"1\", shape=box];");
-        let mut seen: HashSet<Bdd> = HashSet::new();
-        let mut stack = vec![f];
-        while let Some(n) = stack.pop() {
-            if self.is_terminal(n) || !seen.insert(n) {
+        let _ = writeln!(out, "  node0 [label=\"1\", shape=box];");
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut stack = vec![f.index()];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !seen.insert(i) {
                 continue;
             }
-            let node = self.node(n);
-            let _ = writeln!(out, "  node{} [label=\"x{}\", shape=circle];", n.index(), node.var);
+            let node = self.node(Bdd((i as u32) << 1));
+            let _ = writeln!(out, "  node{i} [label=\"x{}\", shape=circle];", node.var);
+            let low_mark = if node.low.is_complemented() { ", arrowhead=odot" } else { "" };
             let _ =
-                writeln!(out, "  node{} -> node{} [style=dashed];", n.index(), node.low.index());
-            let _ = writeln!(out, "  node{} -> node{};", n.index(), node.high.index());
-            stack.push(node.low);
-            stack.push(node.high);
+                writeln!(out, "  node{i} -> node{} [style=dashed{low_mark}];", node.low.index());
+            // Then-edges are regular by the canonical-form invariant.
+            let _ = writeln!(out, "  node{i} -> node{};", node.high.index());
+            stack.push(node.low.index());
+            stack.push(node.high.index());
         }
         let _ = writeln!(out, "  root [shape=plaintext, label=\"{name}\"];");
-        let _ = writeln!(out, "  root -> node{};", f.index());
+        let root_mark = if f.is_complemented() { " [arrowhead=odot]" } else { "" };
+        let _ = writeln!(out, "  root -> node{}{root_mark};", f.index());
         out.push_str("}\n");
         out
     }
@@ -62,6 +67,21 @@ mod tests {
     fn dot_of_constant_is_well_formed() {
         let mgr = BddManager::new(2);
         let dot = mgr.to_dot(mgr.one(), "one");
-        assert!(dot.contains("root -> node1"));
+        assert!(dot.contains("root -> node0"));
+        assert!(!dot.contains("odot"), "the constant 1 is a regular edge");
+        let zero_dot = mgr.to_dot(mgr.zero(), "zero");
+        assert!(zero_dot.contains("root -> node0 [arrowhead=odot]"));
+    }
+
+    #[test]
+    fn complemented_low_edges_are_marked() {
+        let mut mgr = BddManager::new(2);
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        // x0 ∨ x1 stores ¬(¬x0 ∧ ¬x1): at least one stored low edge is
+        // complemented, so the export must mark it.
+        let f = mgr.or(x0, x1);
+        let dot = mgr.to_dot(f, "or");
+        assert!(dot.contains("odot"), "complement edges must be visible in {dot}");
     }
 }

@@ -39,8 +39,11 @@ impl BddManager {
         if self.is_one(upper) {
             return (Cover::from_cubes(n, [cube]), self.one());
         }
-        // Branch variable: the topmost variable of either bound.
-        let var = self.top_var(lower).min(self.top_var(upper));
+        // Branch variable: the variable at the topmost *level* of either
+        // bound under the current (possibly sifted) order — variable labels
+        // are no longer monotone in the order, levels are.
+        let level = self.top_level(lower).min(self.top_level(upper));
+        let var = self.level_var(level);
         debug_assert!(var < n);
         let (l0, l1) = self.cofactors_at(lower, var);
         let (u0, u1) = self.cofactors_at(upper, var);

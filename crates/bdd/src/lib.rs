@@ -8,24 +8,32 @@
 //!
 //! Features:
 //!
-//! * open-addressed, power-of-two hash-consing unique table with strict
-//!   ROBDD reduction invariants (tombstone-free insertion, load-factor-driven
-//!   rehash),
-//! * specialized binary `apply` operations (`and`, `or`, `xor`, `diff`) with
+//! * **complement edges**: a handle tags its edge with a complement bit, the
+//!   single terminal is the constant 1, every stored node keeps a regular
+//!   then-edge (canonical form) — so [`BddManager::not`] is O(1) and a
+//!   function shares all nodes with its complement,
+//! * **dynamic variable ordering**: an in-place adjacent-level swap
+//!   primitive ([`BddManager::swap_adjacent_levels`]), deterministic
+//!   Rudell-style sifting ([`BddManager::sift`], [`BddManager::maybe_sift`],
+//!   tuned via [`SiftConfig`]), and FORCE-style static-order seeding over
+//!   cube covers ([`force_order`] + [`BddManager::set_order`]),
+//! * per-variable open-addressed, power-of-two hash-consing unique subtables
+//!   with strict ROBDD reduction invariants (tombstone-free backward-shift
+//!   deletion, load-factor-driven rehash),
+//! * specialized binary `apply` operations (`and`, `xor`, with `or`, `diff`,
+//!   `nand`, `nor`, `xnor`, `implies` as free complement-edge rewrites) over
 //!   a shared lossy operation cache, plus a memoized general
-//!   [`BddManager::ite`] for the ternary cases,
-//! * the usual derived operations (`not`, `nand`, `nor`, `xnor`,
-//!   `implies`, …),
+//!   [`BddManager::ite`] with complement-normalized keys,
 //! * manager-owned, reusable recursion memos (restriction, quantification,
 //!   counting) and an explicit [`BddManager::reserve`] /
 //!   [`BddManager::clear`] lifecycle for batch reuse,
-//! * cache and unique-table statistics ([`CacheStats`]),
+//! * cache, unique-table and reordering statistics ([`CacheStats`]),
 //! * cofactors/restriction, functional composition, existential and universal
 //!   quantification over variable sets,
 //! * model counting ([`BddManager::sat_count`]) and minterm enumeration,
 //! * conversion from/to [`boolfunc::TruthTable`] and [`boolfunc::Cover`],
 //! * Minato–Morreale irredundant SOP extraction ([`BddManager::isop`]),
-//! * Graphviz DOT export for debugging.
+//! * Graphviz DOT export (complement edges drawn with dot arrowheads).
 //!
 //! ```rust
 //! use bdd::BddManager;
@@ -51,7 +59,9 @@ mod error;
 mod isop;
 mod manager;
 mod memo;
+mod order;
 mod quant;
 
 pub use error::BddError;
-pub use manager::{Bdd, BddManager, CacheStats};
+pub use manager::{Bdd, BddManager, CacheStats, SiftConfig};
+pub use order::force_order;

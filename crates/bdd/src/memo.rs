@@ -1,14 +1,20 @@
 //! A reusable open-addressed `u32 → u32` memo map for BDD recursions.
 //!
 //! `restrict`, quantification and similar traversals need an exact (lossless)
-//! per-call memo keyed by node id. The pre-rewrite implementation allocated a
-//! fresh `HashMap` per call; this map is owned by the manager instead and
-//! reused across calls — [`Memo::clear`] keeps the slot allocation warm, so
-//! the steady state allocates nothing and probes a flat power-of-two array
-//! with linear probing (the same regime as the unique table).
+//! per-call memo keyed by an edge value. The pre-rewrite implementation
+//! allocated a fresh `HashMap` per call; this map is owned by the manager
+//! instead and reused across calls — [`Memo::clear`] keeps the slot
+//! allocation warm, so the steady state allocates nothing and probes a flat
+//! power-of-two array with linear probing (the same regime as the unique
+//! subtables).
+//!
+//! Keys are complement edges (node index shifted left with the complement
+//! flag in bit 0); whether a recursion keys the full edge or only its regular
+//! part depends on whether it commutes with complement — `restrict` does and
+//! halves its memo, quantification does not.
 
-/// Key sentinel marking an empty slot. Node id `u32::MAX` never occurs (it is
-/// the terminal-var sentinel space and the node store grows far below it).
+/// Key sentinel marking an empty slot. Edge value `u32::MAX` never occurs:
+/// node indices stay below 2^31, so edges stay below `u32::MAX - 1`.
 const KEY_EMPTY: u32 = u32::MAX;
 
 const MIN_SLOTS: usize = 1 << 8;

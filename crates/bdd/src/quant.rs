@@ -47,11 +47,14 @@ impl BddManager {
         if n.var == TERMINAL_VAR {
             return f;
         }
+        // Quantification does not commute with complement (∃ dualizes into ∀),
+        // so the memo is keyed by the full edge including its flag.
         if let Some(r) = memo.get(f.0) {
             return Bdd(r);
         }
-        let low = self.quant_rec(n.low, mask, existential, memo);
-        let high = self.quant_rec(n.high, mask, existential, memo);
+        let (c0, c1) = self.cofactors_at(f, n.var as usize);
+        let low = self.quant_rec(c0, mask, existential, memo);
+        let high = self.quant_rec(c1, mask, existential, memo);
         let result = if mask[n.var as usize] {
             if existential {
                 self.or(low, high)

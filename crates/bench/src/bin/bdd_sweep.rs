@@ -10,8 +10,16 @@
 //! cargo run -p bidecomp-bench --release --bin bdd_sweep -- \
 //!     [--suite large|smoke|table3|table4|all] [--threads N] [--seed N] \
 //!     [--max-inputs N] [--max-outputs N] [--repeat N] [--json PATH] \
-//!     [--write-baseline]
+//!     [--reorder] [--no-reorder] [--sift-threshold N] [--write-baseline]
 //! ```
+//!
+//! Dynamic variable ordering is **on by default** for this bench
+//! (FORCE-seeded static orders plus threshold-triggered sifting at the
+//! bench-tuned [`BENCH_SIFT_THRESHOLD`]): the committed baseline's
+//! `peak_bdd_nodes` is a post-DVO number and the CI gate holds future runs
+//! to it. `--no-reorder` switches back to the identity order (the
+//! pre-DVO behavior); `--sift-threshold N` moves the auto-sift trigger
+//! (0 disables sifting but keeps the static seed).
 //!
 //! As with the dense `sweep` binary, the `speedup` the CI gate consumes is
 //! measured with **both arms at one thread**: the reference arm re-executes
@@ -30,7 +38,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use benchmarks::{DetRng, Suite, SymbolicFunction, SymbolicInstance};
-use bidecomp::engine::{sweep, Backend, EngineConfig, SweepReport};
+use bidecomp::engine::{sweep, Backend, EngineConfig, ReorderConfig, SweepReport};
 use bidecomp::BinaryOp;
 use bidecomp_bench::cli::{bench_out_path, ArgCursor};
 use bidecomp_bench::json::{self, Value};
@@ -504,6 +512,19 @@ struct Args {
     repeat: usize,
 }
 
+/// The bench's default auto-sift trigger, tuned on `Suite::large()`: the
+/// engine's general-purpose default (2048) sifts the 32/40-var jobs so often
+/// that cache invalidation dominates (~5x wall time for a further ~2x peak
+/// reduction), while FORCE seeding alone already leaves the peak at ~17k
+/// nodes. This threshold lets sifting fire only inside the genuinely large
+/// jobs — peak 13,444 live nodes (68% below the pre-DVO 42,629) at a wall
+/// time ~5% *under* the pre-DVO baseline.
+const BENCH_SIFT_THRESHOLD: usize = 14336;
+
+fn bench_reorder() -> ReorderConfig {
+    ReorderConfig { sift_threshold: BENCH_SIFT_THRESHOLD, ..ReorderConfig::default() }
+}
+
 /// Exits with code 2 on any unknown flag, missing value or unparsable
 /// number (via [`ArgCursor`]): this binary feeds the CI gate and writes the
 /// committed baseline, so silently falling back to defaults would be worse
@@ -511,7 +532,11 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         suite: "large".to_string(),
-        config: EngineConfig { backend: Backend::Bdd, ..EngineConfig::default() },
+        config: EngineConfig {
+            backend: Backend::Bdd,
+            reorder: Some(bench_reorder()),
+            ..EngineConfig::default()
+        },
         json_path: "BENCH_bdd_sweep.json".to_string(),
         write_baseline: false,
         repeat: 3,
@@ -526,6 +551,13 @@ fn parse_args() -> Args {
             "--max-outputs" => args.config.max_outputs = argv.number(&flag) as usize,
             "--repeat" => args.repeat = argv.number(&flag) as usize,
             "--json" => args.json_path = argv.value(&flag),
+            "--reorder" => args.config.reorder = Some(bench_reorder()),
+            "--no-reorder" => args.config.reorder = None,
+            "--sift-threshold" => {
+                let threshold = argv.number(&flag) as usize;
+                let reorder = args.config.reorder.get_or_insert_with(bench_reorder);
+                reorder.sift_threshold = threshold;
+            }
             "--write-baseline" => args.write_baseline = true,
             other => argv.fail(format_args!("unknown argument {other}")),
         }
@@ -547,6 +579,7 @@ fn suite_by_name(name: &str) -> Option<Suite> {
 fn report_to_json(
     suite: &str,
     report: &SweepReport,
+    reorder: bool,
     engine_1t_micros: u64,
     reference_micros: u64,
     speedup: f64,
@@ -572,6 +605,7 @@ fn report_to_json(
     Value::Object(vec![
         ("schema".into(), json::s("bidecomp-sweep-v1")),
         ("backend".into(), json::s(report.backend.name())),
+        ("reorder".into(), Value::Bool(reorder)),
         ("suite".into(), json::s(suite)),
         ("threads".into(), json::num(report.threads as u64)),
         ("jobs".into(), json::num(report.jobs.len() as u64)),
@@ -593,6 +627,19 @@ fn main() -> ExitCode {
         eprintln!("unknown suite '{}'; expected large, smoke, table3, table4 or all", args.suite);
         return ExitCode::FAILURE;
     };
+    // The committed baseline is only ever refreshed deliberately: pointing
+    // `--json` at it without `--write-baseline` is almost certainly a typo
+    // that would silently loosen the CI gate to "compare against myself".
+    if !args.write_baseline
+        && bench_out_path(&args.json_path) == bench_out_path("BENCH_bdd_baseline.json")
+    {
+        eprintln!(
+            "refusing to overwrite the committed baseline {}; \
+             pass --write-baseline to refresh it deliberately",
+            args.json_path
+        );
+        return ExitCode::FAILURE;
+    }
 
     println!(
         "== BDD sweep: suite '{}' ({} dense + {} symbolic instances) ==",
@@ -654,6 +701,11 @@ fn main() -> ExitCode {
         engine_1t_micros as f64 / 1000.0,
         reference_micros as f64 / 1000.0,
     );
+    println!(
+        "peak live BDD nodes over any job: {} (reordering {})",
+        report.jobs.iter().map(|j| j.bdd_nodes).max().unwrap_or(0),
+        if args.config.reorder.is_some() { "on" } else { "off" },
+    );
     for s in &report.operators {
         println!(
             "  {:<4} {:>4} jobs  verified {:>4}  maximal {:>4}  |h_dc| {:>16}  {:>8.1} ms",
@@ -666,7 +718,14 @@ fn main() -> ExitCode {
         );
     }
 
-    let doc = report_to_json(suite.name(), &report, engine_1t_micros, reference_micros, speedup);
+    let doc = report_to_json(
+        suite.name(),
+        &report,
+        args.config.reorder.is_some(),
+        engine_1t_micros,
+        reference_micros,
+        speedup,
+    );
     let text = json::pretty(&doc);
     let path = bench_out_path(&args.json_path);
     if let Err(e) = std::fs::write(&path, &text) {

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run -p bidecomp-bench --release --bin regress -- \
-//!     [--baseline PATH] [--current PATH] [--tolerance F]
+//!     [--baseline PATH] [--current PATH] [--tolerance F] [--node-tolerance F]
 //! ```
 //!
 //! Two document schemas are understood, dispatched on the `schema` field
@@ -52,6 +52,15 @@
 //!   still catching the hot path regressing back toward the allocating
 //!   implementation. Raw wall times and thread counts differ between
 //!   machines and are only reported, never compared.
+//! * **Peak node count (ceiling):** when the baseline carries a positive
+//!   `peak_bdd_nodes` (the BDD sweep does, the dense sweep does not), the
+//!   current run's peak live node count must stay under
+//!   `floor(baseline.peak_bdd_nodes × (1 + node_tolerance))`. The peak is
+//!   fully deterministic (fixed suite, seeded divisors, deterministic
+//!   sifting — no time-based triggers), so the default `--node-tolerance`
+//!   of 0.05 is pure headroom for deliberate small algorithmic changes;
+//!   anything above it means variable ordering or garbage collection
+//!   regressed.
 
 use std::process::ExitCode;
 
@@ -62,6 +71,7 @@ struct Args {
     baseline: String,
     current: String,
     tolerance: f64,
+    node_tolerance: f64,
 }
 
 /// Exits with code 2 on any unknown flag, missing value or unparsable
@@ -72,6 +82,7 @@ fn parse_args() -> Args {
         baseline: "BENCH_baseline.json".to_string(),
         current: "BENCH_sweep.json".to_string(),
         tolerance: 0.75,
+        node_tolerance: 0.05,
     };
     let mut argv = ArgCursor::from_env("regress");
     while let Some(flag) = argv.next_flag() {
@@ -79,6 +90,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = argv.value(&flag),
             "--current" => args.current = argv.value(&flag),
             "--tolerance" => args.tolerance = argv.float(&flag),
+            "--node-tolerance" => args.node_tolerance = argv.float(&flag),
             other => argv.fail(format_args!("unknown argument {other}")),
         }
     }
@@ -224,6 +236,29 @@ fn run_sweep(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<Strin
             base_ops.len(),
             cur_ops.len()
         ));
+    }
+
+    // --- Peak BDD node ceiling (deterministic; small headroom only) ---
+    // Only gated when the baseline records a positive peak: the dense
+    // sweep's baseline predates the field and its jobs never touch a BDD
+    // manager, so the gate is specific to the symbolic sweep.
+    if let Some(base_peak) = baseline.get("peak_bdd_nodes").and_then(Value::as_u64) {
+        if base_peak > 0 {
+            let cur_peak = u64_field(current, "peak_bdd_nodes", &args.current)?;
+            let ceiling = (base_peak as f64 * (1.0 + args.node_tolerance)).floor() as u64;
+            println!(
+                "peak live BDD nodes: baseline {base_peak}, current {cur_peak} \
+                 (ceiling {ceiling}, node tolerance {})",
+                args.node_tolerance
+            );
+            if cur_peak > ceiling {
+                failures.push(format!(
+                    "peak node regression: {cur_peak} live BDD nodes exceeds the ceiling \
+                     {ceiling} (baseline {base_peak}, node tolerance {})",
+                    args.node_tolerance
+                ));
+            }
+        }
     }
 
     // --- Performance comparison (tolerance band) ---

@@ -48,8 +48,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use bdd::{Bdd, BddManager};
-use benchmarks::{DetRng, Suite};
+use bdd::{force_order, Bdd, BddManager, SiftConfig};
+use benchmarks::{DetRng, Suite, SymbolicFunction};
 use boolfunc::{Isf, TruthTable};
 
 use crate::approximation::{is_valid_divisor, is_valid_divisor_bdd};
@@ -115,6 +115,42 @@ pub struct EngineConfig {
     /// `None` (the default) runs no oracle; the BDD backend never audits
     /// (the oracle needs the dense tables).
     pub oracle: Option<OracleConfig>,
+    /// Opt-in dynamic variable ordering for the BDD backend (the dense
+    /// backend ignores it). `None` — the default — keeps the fixed identity
+    /// order, which is what the bit-identical cross-backend property tests
+    /// pin. With a [`ReorderConfig`], cover-described symbolic jobs seed a
+    /// FORCE static order and every symbolic job sifts on table-growth
+    /// triggers; all of it is deterministic, so reports stay independent of
+    /// thread count — only `bdd_nodes` changes relative to a non-reordered
+    /// run (semantic minterm counts and verification verdicts cannot).
+    pub reorder: Option<ReorderConfig>,
+}
+
+/// Dynamic-variable-ordering policy of the BDD backend
+/// ([`EngineConfig::reorder`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderConfig {
+    /// Seed each cover-described job's manager with a FORCE static order
+    /// over its on/dc/noise covers before any node is built.
+    pub static_seed: bool,
+    /// Live-node threshold arming the automatic sift trigger
+    /// ([`bdd::SiftConfig::auto_threshold`]); 0 disables sifting and leaves
+    /// only static seeding.
+    pub sift_threshold: usize,
+    /// Growth factor a sifted variable may temporarily inflate the diagram
+    /// by ([`bdd::SiftConfig::max_growth`]).
+    pub max_growth: f64,
+    /// Live-node budget aborting a sift pass (0 = unbounded).
+    pub node_budget: usize,
+}
+
+impl Default for ReorderConfig {
+    /// FORCE seeding on, sifting armed at 2048 live nodes, 20% growth
+    /// headroom, no pass budget — tuned on `Suite::large()` where it cuts
+    /// peak node count without costing wall time.
+    fn default() -> Self {
+        ReorderConfig { static_seed: true, sift_threshold: 2048, max_growth: 1.2, node_budget: 0 }
+    }
 }
 
 /// Configuration of the sampled SAT-oracle self-audit of a sweep.
@@ -152,6 +188,7 @@ impl Default for EngineConfig {
             backend: Backend::Dense,
             quotient_cache: None,
             oracle: None,
+            reorder: None,
         }
     }
 }
@@ -647,10 +684,30 @@ fn run_job_bdd(
     let start = Instant::now();
 
     let mgr = buffers.manager_for(num_vars);
+    if let Some(rc) = &config.reorder {
+        mgr.set_sift_config(SiftConfig {
+            max_growth: rc.max_growth,
+            node_budget: rc.node_budget,
+            auto_threshold: rc.sift_threshold,
+            ..SiftConfig::default()
+        });
+    }
     let (f_on, f_dc, noise) = if spec.symbolic {
         let inst = &suite.symbolic_instances()[spec.instance];
-        let (f_on, f_dc) = inst.build_output(mgr, spec.output);
         let cover = benchmarks::symbolic::noise_cover(num_vars, seed);
+        // FORCE static seeding: cover-described jobs expose their cube
+        // structure, so the manager can start from an order in which
+        // cubewise-connected variables are adjacent. Must happen before the
+        // first node is built; the manager is freshly cleared here.
+        if let Some(rc) = &config.reorder {
+            if rc.static_seed {
+                if let SymbolicFunction::CoverIsf { on, dc } = &inst.outputs()[spec.output] {
+                    let order = force_order(num_vars, &[on, dc, &cover]);
+                    mgr.set_order(&order);
+                }
+            }
+        }
+        let (f_on, f_dc) = inst.build_output(mgr, spec.output);
         let noise = mgr.cover(&cover);
         (f_on, f_dc, noise)
     } else {
@@ -663,6 +720,9 @@ fn run_job_bdd(
         let noise = mgr.from_truth_table(&noise_tt);
         (f_on, f_dc, noise)
     };
+    // Sift points name every handle still needed downstream: a pass
+    // invalidates anything not reachable from its roots.
+    mgr.maybe_sift(&[f_on, f_dc, noise]);
 
     let g = seeded_divisor_bdd(mgr, f_on, f_dc, noise, op);
     // Unconditional (not a debug_assert): the check is cheap next to the
@@ -673,7 +733,9 @@ fn run_job_bdd(
         is_valid_divisor_bdd(mgr, f_on, f_dc, g, op),
         "seeded divisor violates the {op} side condition"
     );
+    mgr.maybe_sift(&[f_on, f_dc, g]);
     let (h_on, h_dc) = full_quotient_bdd(mgr, f_on, f_dc, g, op);
+    mgr.maybe_sift(&[f_on, f_dc, g, h_on, h_dc]);
     let verified = verify_decomposition_bdd(mgr, f_on, f_dc, g, h_on, h_dc, op);
     let maximal = verify_maximal_flexibility_bdd(mgr, f_on, f_dc, g, h_on, h_dc, op);
 
@@ -1217,6 +1279,70 @@ mod tests {
         assert_eq!(one.total_jobs(), four.total_jobs());
         for (a, b) in one.jobs.iter().zip(&four.jobs) {
             assert_eq!(a.semantic(), b.semantic());
+        }
+    }
+
+    #[test]
+    fn bdd_reordering_changes_only_node_counts() {
+        // Dynamic variable ordering must be semantically invisible: every
+        // report field except bdd_nodes (and wall time) is unchanged.
+        let suite = Suite::large();
+        let base = EngineConfig {
+            threads: 2,
+            backend: Backend::Bdd,
+            max_outputs: 1,
+            ops: vec![BinaryOp::And, BinaryOp::Or, BinaryOp::Xor],
+            ..EngineConfig::default()
+        };
+        let fixed = sweep(&suite, &base.clone());
+        let reordered = sweep(
+            &suite,
+            &EngineConfig {
+                reorder: Some(ReorderConfig { sift_threshold: 512, ..ReorderConfig::default() }),
+                ..base
+            },
+        );
+        assert_eq!(fixed.total_jobs(), reordered.total_jobs());
+        let mut some_job_shrank = false;
+        for (a, b) in fixed.jobs.iter().zip(&reordered.jobs) {
+            assert_eq!(
+                (&a.instance, a.output, a.op, a.num_vars),
+                (&b.instance, b.output, b.op, b.num_vars)
+            );
+            assert_eq!(
+                (a.on_minterms, a.dc_minterms, a.off_minterms, a.divisor_errors),
+                (b.on_minterms, b.dc_minterms, b.off_minterms, b.divisor_errors),
+                "reordering changed the semantics of {}[{}] {}",
+                a.instance,
+                a.output,
+                a.op
+            );
+            assert_eq!((a.verified, a.maximal), (b.verified, b.maximal));
+            some_job_shrank |= b.bdd_nodes < a.bdd_nodes;
+        }
+        assert!(some_job_shrank, "reordering should shrink at least one large-suite job");
+    }
+
+    #[test]
+    fn bdd_reordering_is_deterministic_across_thread_counts() {
+        // With sifting enabled, bdd_nodes depends on the reordering — which
+        // must itself be deterministic, so the full semantic tuple (including
+        // bdd_nodes) stays bit-identical across thread counts and reruns.
+        let suite = Suite::large();
+        let base = EngineConfig {
+            backend: Backend::Bdd,
+            max_outputs: 1,
+            ops: vec![BinaryOp::And, BinaryOp::Xor],
+            reorder: Some(ReorderConfig { sift_threshold: 512, ..ReorderConfig::default() }),
+            ..EngineConfig::default()
+        };
+        let one = sweep(&suite, &EngineConfig { threads: 1, ..base.clone() });
+        let four = sweep(&suite, &EngineConfig { threads: 4, ..base.clone() });
+        let again = sweep(&suite, &EngineConfig { threads: 4, ..base });
+        assert_eq!(one.total_jobs(), four.total_jobs());
+        for ((a, b), c) in one.jobs.iter().zip(&four.jobs).zip(&again.jobs) {
+            assert_eq!(a.semantic(), b.semantic(), "reordered sweep depends on thread count");
+            assert_eq!(a.semantic(), c.semantic(), "reordered sweep is not rerun-stable");
         }
     }
 }
