@@ -7,8 +7,18 @@
 //! cargo run -p bidecomp-bench --release --bin bidecompd -- \
 //!     [--port N] [--port-file PATH] [--workers N] \
 //!     [--cache-capacity N] [--shards N] [--no-cache] \
-//!     [--max-vars N] [--depth N] [--min-gain F]
+//!     [--max-vars N] [--depth N] [--min-gain F] \
+//!     [--max-queue N] [--max-connections N] [--max-line-bytes N] \
+//!     [--read-timeout-ms N] [--write-timeout-ms N] [--drain-deadline-ms N] \
+//!     [--fault-seed N] [--fault-panics PM] [--fault-delays PM] \
+//!     [--fault-delay-ms N] [--fault-drops PM]
 //! ```
+//!
+//! The robustness knobs (`--max-queue` …) take `0` for "unbounded /
+//! disabled". The `--fault-*` flags (rates in per-mille) arm a seeded
+//! [`service::FaultPlan`] — chaos testing only, never production; the
+//! injected-panic stderr noise is suppressed so a chaos soak's log stays
+//! readable.
 //!
 //! `--port 0` (the default) picks an ephemeral port; the chosen address is
 //! printed as `listening on 127.0.0.1:PORT` and, with `--port-file`, the
@@ -19,7 +29,7 @@
 use std::process::ExitCode;
 
 use bidecomp_bench::cli::ArgCursor;
-use service::{Server, ServiceConfig};
+use service::{FaultPlan, Server, ServiceConfig};
 
 struct Args {
     port: u16,
@@ -44,10 +54,33 @@ fn parse_args() -> Args {
             "--max-vars" => args.config.max_vars = argv.number(&flag) as usize,
             "--depth" => args.config.recursive.max_depth = argv.number(&flag) as usize,
             "--min-gain" => args.config.recursive.min_gain = argv.float(&flag),
+            "--max-queue" => args.config.max_queue = argv.number(&flag) as usize,
+            "--max-connections" => args.config.max_connections = argv.number(&flag) as usize,
+            "--max-line-bytes" => args.config.max_line_bytes = argv.number(&flag) as usize,
+            "--read-timeout-ms" => args.config.read_timeout_ms = argv.number(&flag),
+            "--write-timeout-ms" => args.config.write_timeout_ms = argv.number(&flag),
+            "--drain-deadline-ms" => args.config.drain_deadline_ms = argv.number(&flag),
+            "--fault-seed" => {
+                let plan = faults(&mut args.config);
+                plan.seed = argv.number(&flag);
+            }
+            "--fault-panics" => {
+                faults(&mut args.config).panic_per_mille = argv.number(&flag) as u32
+            }
+            "--fault-delays" => {
+                faults(&mut args.config).delay_per_mille = argv.number(&flag) as u32
+            }
+            "--fault-delay-ms" => faults(&mut args.config).delay_ms = argv.number(&flag),
+            "--fault-drops" => faults(&mut args.config).drop_per_mille = argv.number(&flag) as u32,
             other => argv.fail(format_args!("unknown argument {other}")),
         }
     }
     args
+}
+
+/// The fault plan, created on first `--fault-*` flag.
+fn faults(config: &mut ServiceConfig) -> &mut FaultPlan {
+    config.faults.get_or_insert_with(|| FaultPlan::new(0x5EED))
 }
 
 fn main() -> ExitCode {
@@ -67,6 +100,27 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {addr}");
+    let bound = |n: usize| if n == 0 { "unbounded".to_string() } else { n.to_string() };
+    println!(
+        "queue {} | connections {} | line cap {} B | timeouts r/w {}/{} ms | drain {} ms",
+        bound(args.config.max_queue),
+        bound(args.config.max_connections),
+        bound(args.config.max_line_bytes),
+        args.config.read_timeout_ms,
+        args.config.write_timeout_ms,
+        args.config.drain_deadline_ms,
+    );
+    if let Some(plan) = &args.config.faults {
+        service::silence_injected_panics();
+        println!(
+            "FAULT INJECTION ARMED: seed {} | panics {}‰ | delays {}‰ x {} ms | drops {}‰",
+            plan.seed,
+            plan.panic_per_mille,
+            plan.delay_per_mille,
+            plan.delay_ms,
+            plan.drop_per_mille,
+        );
+    }
     println!(
         "workers {} | cache {} | max_vars {} | portfolio {} candidates, depth {}",
         if args.config.workers == 0 { "auto".to_string() } else { args.config.workers.to_string() },

@@ -27,8 +27,16 @@
 //!   sweep schema (both arms run in one process against one server, so the
 //!   ratio is machine-comparable), and the cached arm's `hit_rate` may dip
 //!   at most 5 points below the baseline (concurrent first-misses of one
-//!   key can steal a handful of hits). Latencies are reported, never
-//!   compared.
+//!   key can steal a handful of hits). When the baseline carries a
+//!   `robustness` block (the happy-path failure counters), every counter
+//!   is compared exactly — a clean run must stay clean. Latencies are
+//!   reported, never compared.
+//! * `bidecomp-service-chaos-v1` — the chaos arm (`service_loadgen
+//!   --chaos`): the workload shape and fault rates are exact, and the run
+//!   must report **zero lost**, **zero corrupted**, full completion
+//!   (`completed == requests`) and `recovered == true`. Retry/shed/panic
+//!   counts and latencies vary with timing and are reported, never
+//!   compared; `--tolerance` is ignored.
 //! * `bidecomp-oracle-v1` — the cross-backend fuzzer (`oracle_fuzz`):
 //!   everything except the wall time is deterministic and compared exactly;
 //!   additionally the current run must report zero three-way disagreements
@@ -130,6 +138,7 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
         "bidecomp-sweep-v1" => run_sweep(args, &baseline, &current),
         "bidecomp-synth-v1" => run_synth(args, &baseline, &current),
         "bidecomp-service-v1" => run_service(args, &baseline, &current),
+        "bidecomp-service-chaos-v1" => run_service_chaos(args, &baseline, &current),
         "bidecomp-oracle-v1" => run_oracle(args, &baseline, &current),
         other => Err(format!("{}: unknown schema '{other}'", args.baseline)),
     }
@@ -434,6 +443,105 @@ fn run_service(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<Str
             f64_field(c, "p99_ms", &args.current)?,
         );
     }
+
+    // --- Robustness counters (exact when the baseline carries them) ---
+    // A happy-path load run must not shed, time out, panic or reject: the
+    // baseline records all-zero counters, and any non-zero drift means the
+    // admission control or panic isolation misfired on a clean workload.
+    if let Some(base_rob) = baseline.get("robustness") {
+        let cur_rob = current
+            .get("robustness")
+            .ok_or_else(|| format!("{}: missing robustness block", args.current))?;
+        for key in [
+            "sheds",
+            "timeouts",
+            "panics",
+            "rejected_connections",
+            "slow_clients",
+            "line_overflows",
+        ] {
+            let b = u64_field(base_rob, key, &args.baseline)?;
+            let c = u64_field(cur_rob, key, &args.current)?;
+            if b != c {
+                failures.push(format!("robustness.{key} differs: baseline {b} vs current {c}"));
+            }
+        }
+        println!("robustness counters: compared exactly (clean run must stay clean)");
+    }
+
+    Ok(failures)
+}
+
+/// The chaos-schema gate: the workload shape and seeded fault rates are
+/// exact, and the correctness contract is absolute — the retrying client
+/// must lose **zero** requests and see **zero** corrupted replies even
+/// while the server is panicking, stalling and dropping connections under
+/// it, and the server must answer a clean recovery burst once the faults
+/// are disarmed. Retry/shed/panic tallies and latencies depend on thread
+/// timing and are reported, never compared; `--tolerance` is ignored.
+fn run_service_chaos(
+    args: &Args,
+    baseline: &Value,
+    current: &Value,
+) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+
+    for key in ["requests", "connections", "num_vars", "bases", "recovery_requests"] {
+        let b = u64_field(baseline, key, &args.baseline)?;
+        let c = u64_field(current, key, &args.current)?;
+        if b != c {
+            failures.push(format!("{key} differs: baseline {b} vs current {c}"));
+        }
+    }
+    let base_faults =
+        baseline.get("faults").ok_or_else(|| format!("{}: missing faults block", args.baseline))?;
+    let cur_faults =
+        current.get("faults").ok_or_else(|| format!("{}: missing faults block", args.current))?;
+    for key in ["panic_per_mille", "delay_per_mille", "delay_ms", "drop_per_mille"] {
+        let b = u64_field(base_faults, key, &args.baseline)?;
+        let c = u64_field(cur_faults, key, &args.current)?;
+        if b != c {
+            failures.push(format!("faults.{key} differs: baseline {b} vs current {c}"));
+        }
+    }
+
+    let requests = u64_field(current, "requests", &args.current)?;
+    let completed = u64_field(current, "completed", &args.current)?;
+    if completed != requests {
+        failures.push(format!("only {completed} of {requests} storm requests completed"));
+    }
+    for key in ["lost", "corrupted", "recovery_errors"] {
+        let n = u64_field(current, key, &args.current)?;
+        if n != 0 {
+            failures.push(format!("{n} {key} response(s) under fault injection"));
+        }
+    }
+    match current.get("recovered").and_then(Value::as_bool) {
+        Some(true) => {}
+        other => failures.push(format!(
+            "server did not recover cleanly after disarming faults (recovered = {other:?})"
+        )),
+    }
+
+    println!(
+        "chaos storm: {completed}/{requests} completed | {} retries ({} overloads, \
+         {} internals, {} reconnects) | server saw {} sheds / {} panics / {} timeouts",
+        u64_field(current, "retries", &args.current)?,
+        u64_field(current, "overloads_seen", &args.current)?,
+        u64_field(current, "internal_seen", &args.current)?,
+        u64_field(current, "reconnects", &args.current)?,
+        current.get("server").and_then(|s| s.get("sheds")).and_then(Value::as_u64).unwrap_or(0),
+        current.get("server").and_then(|s| s.get("panics")).and_then(Value::as_u64).unwrap_or(0),
+        current.get("server").and_then(|s| s.get("timeouts")).and_then(Value::as_u64).unwrap_or(0),
+    );
+    println!(
+        "chaos latency: baseline p50 {:.2} ms / p99 {:.2} ms, current p50 {:.2} ms / \
+         p99 {:.2} ms (informational; hosts differ)",
+        f64_field(baseline, "p50_ms", &args.baseline)?,
+        f64_field(baseline, "p99_ms", &args.baseline)?,
+        f64_field(current, "p50_ms", &args.current)?,
+        f64_field(current, "p99_ms", &args.current)?,
+    );
 
     Ok(failures)
 }

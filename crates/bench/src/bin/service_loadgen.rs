@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! cargo run -p bidecomp-bench --release --bin service_loadgen -- \
-//!     (--port N | --port-file PATH) [--requests N] [--connections N] \
-//!     [--num-vars N] [--bases N] [--repeat-ratio F] [--seed N] \
-//!     [--json PATH] [--write-baseline] [--shutdown-server]
+//!     (--port N | --port-file PATH | --chaos) [--requests N] \
+//!     [--connections N] [--num-vars N] [--bases N] [--repeat-ratio F] \
+//!     [--seed N] [--json PATH] [--write-baseline] [--shutdown-server] \
+//!     [--chaos] [--chaos-requests N]
 //! ```
 //!
 //! The workload mirrors a synthesis campaign: a pool of `--bases` seeded
@@ -28,10 +29,27 @@
 //!
 //! The artifact (`BENCH_service.json`, schema `bidecomp-service-v1`)
 //! records the workload shape (exact, gated bit for bit), per-arm
-//! throughput and p50/p99 latency, the cached arm's hit rate and the
-//! speedup; `regress` compares it against the committed
+//! throughput and p50/p99 latency, the cached arm's hit rate, the speedup
+//! and a `robustness` snapshot of the server's failure counters (all zero
+//! on the happy path); `regress` compares it against the committed
 //! `BENCH_service_baseline.json` with a tolerance band on the measured
 //! quantities. `--write-baseline` refreshes the baseline.
+//!
+//! ## Chaos mode
+//!
+//! `--chaos` ignores `--port`/`--port-file` and instead spins up its *own*
+//! in-process server with a seeded [`service::FaultPlan`] (injected worker
+//! panics, compute delays, mid-reply connection drops) and deliberately
+//! tight admission limits, then storms it with `--chaos-requests` requests
+//! through retrying clients (jittered exponential backoff honoring each
+//! shed's `retry_after_ms`, reconnecting through dropped connections,
+//! correlating replies by `id` echo). Every request must eventually get a
+//! verified answer: the run fails on any *lost* (retries exhausted) or
+//! *corrupted* (wrong `id`, unverified, unparsable) response. Faults are
+//! then disarmed and a recovery batch must pass cleanly on the first
+//! attempt. The artifact (`BENCH_service_chaos.json`, schema
+//! `bidecomp-service-chaos-v1`) is gated by `regress` on exactly that:
+//! zero lost, zero corrupted, full completion, full recovery.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -48,7 +66,9 @@ use bidecomp_bench::json::{self, Value};
 use boolfunc::Isf;
 use service::npn::NpnTransform;
 use service::server::table_to_hex;
+use service::{FaultPlan, Server, ServiceConfig, ERR_INTERNAL, ERR_OVERLOADED};
 
+#[derive(Clone)]
 struct Args {
     port: Option<u16>,
     port_file: Option<String>,
@@ -61,6 +81,8 @@ struct Args {
     json_path: String,
     write_baseline: bool,
     shutdown_server: bool,
+    chaos: bool,
+    chaos_requests: usize,
 }
 
 /// Strict parsing (exit code 2 on any problem): this binary feeds the CI
@@ -78,6 +100,8 @@ fn parse_args() -> Args {
         json_path: "BENCH_service.json".to_string(),
         write_baseline: false,
         shutdown_server: false,
+        chaos: false,
+        chaos_requests: 2000,
     };
     let mut argv = ArgCursor::from_env("service_loadgen");
     while let Some(flag) = argv.next_flag() {
@@ -93,6 +117,8 @@ fn parse_args() -> Args {
             "--json" => args.json_path = argv.value(&flag),
             "--write-baseline" => args.write_baseline = true,
             "--shutdown-server" => args.shutdown_server = true,
+            "--chaos" => args.chaos = true,
+            "--chaos-requests" => args.chaos_requests = (argv.number(&flag) as usize).max(1),
             other => argv.fail(format_args!("unknown argument {other}")),
         }
     }
@@ -342,8 +368,405 @@ fn arm_to_json(arm: &ArmResult) -> Vec<(String, Value)> {
     ]
 }
 
+/// One `stats` round trip against the server.
+fn fetch_stats(port: u16) -> Result<Value, String> {
+    let stream = connect(port)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer.write_all(b"{\"verb\":\"stats\"}\n").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
+    Value::parse(line.trim()).map_err(|e| format!("unparsable stats response: {e}"))
+}
+
+/// The server's failure counters, lifted out of a `stats` response — the
+/// `robustness` snapshot both artifacts embed (all zero on the happy path).
+fn robustness_snapshot(stats: &Value) -> Value {
+    let counter = |key: &str| json::num(stats.get(key).and_then(Value::as_u64).unwrap_or(0));
+    Value::Object(vec![
+        ("sheds".into(), counter("sheds")),
+        ("timeouts".into(), counter("timeouts")),
+        ("panics".into(), counter("panics")),
+        ("rejected_connections".into(), counter("rejected_connections")),
+        ("slow_clients".into(), counter("slow_clients")),
+        ("line_overflows".into(), counter("line_overflows")),
+    ])
+}
+
+// --- chaos mode -----------------------------------------------------------
+
+/// The chaos run's books: every storm request is accounted for exactly once
+/// as completed, lost or corrupted.
+#[derive(Debug, Default)]
+struct ChaosTally {
+    completed: u64,
+    lost: u64,
+    corrupted: u64,
+    retries: u64,
+    overloads_seen: u64,
+    internal_seen: u64,
+    reconnects: u64,
+}
+
+/// One client worker's connection that survives injected drops by
+/// reconnecting.
+struct RetryingClient {
+    port: u16,
+    reader: Option<BufReader<TcpStream>>,
+    writer: Option<TcpStream>,
+    rng: DetRng,
+}
+
+impl RetryingClient {
+    fn new(port: u16, seed: u64) -> RetryingClient {
+        RetryingClient { port, reader: None, writer: None, rng: DetRng::seed_from_u64(seed) }
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), String> {
+        if self.writer.is_some() {
+            return Ok(());
+        }
+        let stream = connect(self.port)?;
+        // A dropped reply must surface as an error, not an infinite read.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(20)));
+        self.writer = Some(stream.try_clone().map_err(|e| e.to_string())?);
+        self.reader = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    fn disconnect(&mut self) {
+        self.writer = None;
+        self.reader = None;
+    }
+
+    /// One send/receive attempt; `None` means the connection died (dropped
+    /// mid-reply or rejected) and the caller should retry.
+    fn attempt(&mut self, request: &str) -> Result<Option<Value>, String> {
+        self.ensure_connected()?;
+        let writer = self.writer.as_mut().expect("connected above");
+        let reader = self.reader.as_mut().expect("connected above");
+        if writer.write_all(request.as_bytes()).is_err() || writer.flush().is_err() {
+            self.disconnect();
+            return Ok(None);
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                self.disconnect();
+                return Ok(None);
+            }
+            Ok(_) => {}
+        }
+        match Value::parse(line.trim()) {
+            Ok(response) => Ok(Some(response)),
+            Err(e) => Err(format!("unparsable response {:?}: {e}", line.trim())),
+        }
+    }
+
+    /// Jittered exponential backoff before retry `attempt`, honoring the
+    /// server's `retry_after_ms` hint when one was given.
+    fn backoff(&mut self, attempt: u32, retry_after_ms: Option<u64>) {
+        let exponential = 5u64 << attempt.min(5); // 10..160 ms
+        let base = retry_after_ms.unwrap_or(0).max(exponential).min(400);
+        let jitter = self.rng.next_u64() % (base / 2 + 1);
+        std::thread::sleep(Duration::from_millis(base + jitter));
+    }
+}
+
+/// Drives one request to a verified completion through sheds, injected
+/// panics and dropped connections. Returns the total latency on success.
+fn drive_request(
+    client: &mut RetryingClient,
+    line: &str,
+    id: u64,
+    tally: &mut ChaosTally,
+) -> Result<Option<u64>, String> {
+    const MAX_ATTEMPTS: u32 = 25;
+    // Work-item lines arrive without their closing brace (the non-chaos
+    // arms splice `no_cache` in the same way).
+    let request = format!("{line},\"id\":{id}}}\n");
+    let started = Instant::now();
+    for attempt in 0..MAX_ATTEMPTS {
+        let response = match client.attempt(&request)? {
+            Some(response) => response,
+            None => {
+                // Dropped mid-flight: reconnect and re-ask (requests are
+                // idempotent pure-function computations).
+                tally.reconnects += 1;
+                tally.retries += 1;
+                client.backoff(attempt, None);
+                continue;
+            }
+        };
+        let ok = response.get("ok").and_then(Value::as_bool) == Some(true);
+        if ok {
+            let id_matches = response.get("id").and_then(Value::as_u64) == Some(id);
+            let verified = response.get("verified").and_then(Value::as_bool) == Some(true);
+            let maximal = response.get("maximal").and_then(Value::as_bool) != Some(false);
+            if !id_matches || !verified || !maximal {
+                eprintln!("service_loadgen: corrupted response for id {id}: {response}");
+                tally.corrupted += 1;
+                return Ok(None);
+            }
+            tally.completed += 1;
+            return Ok(Some(started.elapsed().as_micros() as u64));
+        }
+        match response.get("error").and_then(Value::as_str) {
+            Some(ERR_OVERLOADED) => {
+                tally.overloads_seen += 1;
+                tally.retries += 1;
+                let hint = response.get("retry_after_ms").and_then(Value::as_u64);
+                client.backoff(attempt, hint);
+            }
+            Some(ERR_INTERNAL) => {
+                tally.internal_seen += 1;
+                tally.retries += 1;
+                client.backoff(attempt, None);
+            }
+            other => {
+                eprintln!("service_loadgen: unexpected error for id {id}: {other:?} in {response}");
+                tally.corrupted += 1;
+                return Ok(None);
+            }
+        }
+    }
+    eprintln!("service_loadgen: id {id} lost after {MAX_ATTEMPTS} attempts");
+    tally.lost += 1;
+    Ok(None)
+}
+
+/// The chaos harness: an in-process fault-injecting server with tight
+/// admission limits, a retrying storm, a clean-recovery phase, and the
+/// `bidecomp-service-chaos-v1` artifact.
+fn run_chaos(args: &Args) -> ExitCode {
+    service::silence_injected_panics();
+    let mut plan = FaultPlan::new(args.seed);
+    plan.panic_per_mille = 40; // 4% injected worker panics
+    plan.delay_per_mille = 60; // 6% compute delays…
+    plan.delay_ms = 20; // …of 20 ms each (stalls workers, fills the queue)
+    plan.drop_per_mille = 25; // 2.5% connections dropped mid-reply
+    let config = ServiceConfig {
+        workers: 2,                // few workers + delays → a real overload burst
+        max_queue: 8,              // sheds kick in under the storm
+        drain_deadline_ms: 30_000, // the final drain is not part of the chaos
+        faults: Some(plan.clone()),
+        ..ServiceConfig::default()
+    };
+    let server = match Server::bind("127.0.0.1:0", config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("service_loadgen: cannot bind the chaos server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let port = server.local_addr().expect("bound address").port();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let storm_args = Args { requests: args.chaos_requests, ..args.clone() };
+    let workload = build_workload(&storm_args);
+    println!(
+        "== chaos: {} requests over {} retrying connections against a faulty server \
+         (4% panics, 6% x 20ms delays, 2.5% connection drops, queue bound 8, 2 workers) ==",
+        workload.len(),
+        args.connections,
+    );
+
+    // Storm phase: every request must complete, verified, id-correlated.
+    let tally_total: Mutex<ChaosTally> = Mutex::new(ChaosTally::default());
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(workload.len()));
+    let storm_start = Instant::now();
+    let failed = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..args.connections {
+            let workload = &workload;
+            let tally_total = &tally_total;
+            let latencies = &latencies;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut client = RetryingClient::new(port, args.seed ^ ((worker as u64) << 32));
+                let mut tally = ChaosTally::default();
+                let mut local_latencies = Vec::new();
+                for (i, item) in workload.iter().enumerate().skip(worker).step_by(args.connections)
+                {
+                    if let Some(micros) =
+                        drive_request(&mut client, &item.line, i as u64, &mut tally)?
+                    {
+                        local_latencies.push(micros);
+                    }
+                }
+                let mut total = tally_total.lock().unwrap();
+                total.completed += tally.completed;
+                total.lost += tally.lost;
+                total.corrupted += tally.corrupted;
+                total.retries += tally.retries;
+                total.overloads_seen += tally.overloads_seen;
+                total.internal_seen += tally.internal_seen;
+                total.reconnects += tally.reconnects;
+                latencies.lock().unwrap().extend(local_latencies);
+                Ok(())
+            }));
+        }
+        let mut failed = false;
+        for handle in handles {
+            if let Err(message) = handle.join().expect("chaos worker panicked") {
+                eprintln!("service_loadgen: {message}");
+                failed = true;
+            }
+        }
+        failed
+    });
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    let storm_wall = storm_start.elapsed();
+    let tally = tally_total.into_inner().unwrap();
+
+    let mut micros = latencies.into_inner().unwrap();
+    micros.sort_unstable();
+    let percentile = |p: usize| -> f64 {
+        if micros.is_empty() {
+            0.0
+        } else {
+            micros[(micros.len() * p / 100).min(micros.len() - 1)] as f64 / 1000.0
+        }
+    };
+    let (p50_ms, p99_ms) = (percentile(50), percentile(99));
+    println!(
+        "storm: {} completed | {} lost | {} corrupted | {} retries ({} sheds, {} internals, \
+         {} reconnects) | p50 {:.2} ms | p99 {:.2} ms | wall {:.1} s",
+        tally.completed,
+        tally.lost,
+        tally.corrupted,
+        tally.retries,
+        tally.overloads_seen,
+        tally.internal_seen,
+        tally.reconnects,
+        p50_ms,
+        p99_ms,
+        storm_wall.as_secs_f64(),
+    );
+
+    // Recovery phase: disarm every fault; a fresh batch must pass cleanly
+    // on the first attempt, no retries allowed.
+    plan.arm(false);
+    let recovery_size = 50.min(workload.len());
+    let mut recovery_errors = 0u64;
+    let mut recovery_client = RetryingClient::new(port, args.seed ^ 0x7EC0_4E41);
+    for (i, item) in workload.iter().take(recovery_size).enumerate() {
+        let id = 1_000_000 + i as u64;
+        let request = format!("{},\"id\":{id}}}\n", item.line);
+        match recovery_client.attempt(&request) {
+            Ok(Some(response))
+                if response.get("ok").and_then(Value::as_bool) == Some(true)
+                    && response.get("id").and_then(Value::as_u64) == Some(id)
+                    && response.get("verified").and_then(Value::as_bool) == Some(true) => {}
+            other => {
+                eprintln!("service_loadgen: recovery request {id} failed: {other:?}");
+                recovery_errors += 1;
+            }
+        }
+    }
+    let recovered = recovery_errors == 0;
+    println!(
+        "recovery: {recovery_size} requests after disarming faults, {recovery_errors} errors — {}",
+        if recovered { "full recovery" } else { "NOT recovered" }
+    );
+
+    let stats = match fetch_stats(port) {
+        Ok(stats) => stats,
+        Err(message) => {
+            eprintln!("service_loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let robustness = robustness_snapshot(&stats);
+
+    // Orderly shutdown of the in-process server.
+    if let Ok(stream) = connect(port) {
+        let mut writer = stream.try_clone().expect("clone stream");
+        let _ = writer.write_all(b"{\"verb\":\"shutdown\"}\n");
+        let _ = writer.flush();
+        let mut line = String::new();
+        let _ = BufReader::new(stream).read_line(&mut line);
+    }
+    match server_thread.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("service_loadgen: chaos server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(_) => {
+            eprintln!("service_loadgen: chaos server panicked");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let doc = Value::Object(vec![
+        ("schema".into(), json::s("bidecomp-service-chaos-v1")),
+        ("requests".into(), json::num(workload.len() as u64)),
+        ("connections".into(), json::num(args.connections as u64)),
+        ("num_vars".into(), json::num(args.num_vars as u64)),
+        ("bases".into(), json::num(args.bases as u64)),
+        ("repeat_ratio".into(), Value::Num(args.repeat_ratio)),
+        (
+            "faults".into(),
+            Value::Object(vec![
+                ("panic_per_mille".into(), json::num(40)),
+                ("delay_per_mille".into(), json::num(60)),
+                ("delay_ms".into(), json::num(20)),
+                ("drop_per_mille".into(), json::num(25)),
+            ]),
+        ),
+        ("completed".into(), json::num(tally.completed)),
+        ("lost".into(), json::num(tally.lost)),
+        ("corrupted".into(), json::num(tally.corrupted)),
+        ("retries".into(), json::num(tally.retries)),
+        ("overloads_seen".into(), json::num(tally.overloads_seen)),
+        ("internal_seen".into(), json::num(tally.internal_seen)),
+        ("reconnects".into(), json::num(tally.reconnects)),
+        ("p50_ms".into(), Value::Num(round3(p50_ms))),
+        ("p99_ms".into(), Value::Num(round3(p99_ms))),
+        ("storm_wall_s".into(), Value::Num(round3(storm_wall.as_secs_f64()))),
+        ("recovery_requests".into(), json::num(recovery_size as u64)),
+        ("recovery_errors".into(), json::num(recovery_errors)),
+        ("recovered".into(), Value::Bool(recovered)),
+        ("server".into(), robustness),
+    ]);
+    let text = json::pretty(&doc);
+    let path = bench_out_path(&args.json_path);
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("could not write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    if args.write_baseline {
+        let path = bench_out_path("BENCH_service_chaos_baseline.json");
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if tally.lost > 0 || tally.corrupted > 0 || !recovered {
+        eprintln!(
+            "FAIL: chaos run lost {} / corrupted {} responses, recovered = {recovered}",
+            tally.lost, tally.corrupted
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("chaos run clean: every response accounted for, verified, and the server recovered");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let args = parse_args();
+    let mut args = parse_args();
+    if args.chaos {
+        if args.json_path == "BENCH_service.json" {
+            // Chaos gets its own artifact (and its own regress arm).
+            args.json_path = "BENCH_service_chaos.json".to_string();
+        }
+        return run_chaos(&args);
+    }
     let port = match resolve_port(&args) {
         Ok(port) => port,
         Err(message) => {
@@ -377,6 +800,16 @@ fn main() -> ExitCode {
     };
     let (cold, cached) = match run("cold", true).and_then(|c| Ok((c, run("cached", false)?))) {
         Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("service_loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The server's failure counters must all still be zero after a clean
+    // happy-path run — the artifact records (and the gate pins) that.
+    let robustness = match fetch_stats(port) {
+        Ok(stats) => robustness_snapshot(&stats),
         Err(message) => {
             eprintln!("service_loadgen: {message}");
             return ExitCode::FAILURE;
@@ -424,6 +857,7 @@ fn main() -> ExitCode {
         ("cached".into(), Value::Object(arm_to_json(&cached))),
         ("hit_rate".into(), Value::Num(round3(hit_rate))),
         ("speedup".into(), Value::Num(round3(speedup))),
+        ("robustness".into(), robustness),
     ]);
     let text = json::pretty(&doc);
     let path = bench_out_path(&args.json_path);

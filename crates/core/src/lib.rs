@@ -85,9 +85,9 @@ pub use decompose::{
     derive_strategy_divisor, ApproxStrategy, BiDecomposition, DecompositionPlan, Quotient,
 };
 pub use engine::{
-    run_pool, seeded_divisor, seeded_divisor_bdd, sweep, sweep_synthesis, Backend, EngineConfig,
-    JobResult, OperatorStats, OracleConfig, SweepReport, SynthesisConfig, SynthesisJobResult,
-    SynthesisReport,
+    run_pool, seeded_divisor, seeded_divisor_bdd, sweep, sweep_synthesis, try_run_pool, Backend,
+    EngineConfig, JobPanic, JobResult, OperatorStats, OracleConfig, SweepReport, SynthesisConfig,
+    SynthesisJobResult, SynthesisReport,
 };
 pub use error::BidecompError;
 pub use flexibility::FlexibilityReport;

@@ -202,6 +202,16 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
+    /// Probes for `key` without cloning the value, bumping the hit/miss
+    /// counters or granting the slot its second chance. This is the
+    /// admission controller's peek: the server asks "would this request be
+    /// a cache hit?" while deciding whether to shed it, and answering that
+    /// question must not distort the cache statistics the real lookup will
+    /// record moments later.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).lock().expect("cache shard poisoned").map.contains_key(key)
+    }
+
     /// Inserts `key → value`, evicting via CLOCK when the stripe is full.
     /// Re-inserting an existing key keeps the first value (concurrent
     /// computations of the same key produce identical results here).
@@ -309,6 +319,23 @@ mod tests {
         // Exactly one of the untouched keys 1..=3 was displaced.
         let survivors = (1..4).filter(|k| cache.get(k).is_some()).count();
         assert_eq!(survivors, 2);
+    }
+
+    #[test]
+    fn contains_probes_without_counting_or_granting_second_chances() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(4, 1);
+        assert!(!cache.contains(&0));
+        for k in 0..4 {
+            cache.insert(k, k);
+        }
+        assert!(cache.contains(&0));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "a probe is not a lookup");
+        // A probe must not refresh recency: key 0 is still the CLOCK hand's
+        // first unreferenced victim.
+        cache.insert(100, 100);
+        assert!(!cache.contains(&0), "the probed key must not have earned a second chance");
+        assert!(cache.contains(&100));
     }
 
     #[test]

@@ -52,7 +52,10 @@ use techmap::Network;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use npn::{canonicalize, Canonical, CanonicalKey, NpnTransform};
-pub use server::{Server, ServiceConfig};
+pub use server::{
+    silence_injected_panics, FaultPlan, Server, ServiceConfig, ERR_DEADLINE, ERR_INTERNAL,
+    ERR_LINE_TOO_LONG, ERR_OVERLOADED, ERR_SHUTDOWN, INJECTED_PANIC_MESSAGE,
+};
 
 /// A cache key: the NPN-canonical dividend plus what distinguishes the
 /// entry kinds sharing the store — the transformed divisor and operator for
@@ -187,6 +190,23 @@ impl NpnCache {
             g: g_image.as_words().to_vec().into_boxed_slice(),
             op: canon.transform.map_op(op),
         }
+    }
+
+    /// Probes whether [`QuotientCache::lookup`] would hit, without touching
+    /// the hit/miss counters or the CLOCK recency bits. The server's
+    /// admission controller uses this to keep answering cached work while
+    /// shedding: a probe must not make the entry look hotter (or the stats
+    /// look better) than the traffic actually is.
+    pub fn has_quotient(&self, f: &Isf, g: &TruthTable, op: BinaryOp) -> bool {
+        let canon = canonical_of(f);
+        self.store.contains(&Self::quotient_key(&canon, g, op))
+    }
+
+    /// Probes whether [`NpnCache::lookup_synthesis`] would hit — the
+    /// counter-free twin of [`NpnCache::has_quotient`].
+    pub fn has_synthesis(&self, f: &Isf, config: u64) -> bool {
+        let canon = canonical_of(f);
+        self.store.contains(&CacheKey::Synthesis { f: canon.key, config })
     }
 
     /// Looks up the synthesis outcome of the NPN class of `f` under the
@@ -324,6 +344,11 @@ mod tests {
         let g = boolfunc::Cover::from_strs(4, &["-1-1"]).unwrap().to_truth_table();
         let h = full_quotient(&f, &g, BinaryOp::And).unwrap();
         cache.store(&f, &g, BinaryOp::And, &h);
+        // The admission probe sees the entry without recording a hit.
+        assert!(cache.has_quotient(&f, &g, BinaryOp::And));
+        assert!(!cache.has_quotient(&f, &g, BinaryOp::Or));
+        assert_eq!(cache.stats().hits, 0, "probes must not count as hits");
+        assert_eq!(cache.stats().misses, 0, "probes must not count as misses");
         // Same f and g, different op: distinct problem, must miss.
         assert_eq!(cache.lookup(&f, &g, BinaryOp::ConverseNonImplication), None);
         // Same f and op, different g: must miss.

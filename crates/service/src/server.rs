@@ -24,41 +24,78 @@
 //!   `gates`/`mapped_area` can differ slightly from a cold run and
 //!   `flat_area` is the canonical representative's; every rewired network
 //!   is re-verified exhaustively before it is reported.
-//! * `stats` — server uptime, queue/batch counters, per-verb totals and the
-//!   cache counters.
-//! * `shutdown` — acknowledges, then stops accepting and drains the queue.
+//! * `stats` — server uptime, queue/batch counters, per-verb totals, the
+//!   cache counters and the robustness counters (`sheds`, `timeouts`,
+//!   `panics`, `rejected_connections`, `slow_clients`, `line_overflows`).
+//! * `shutdown` — acknowledges, then stops accepting and drains the queue
+//!   under [`ServiceConfig::drain_deadline_ms`].
 //!
-//! Errors (malformed JSON, unknown verbs, bad hex, invalid divisors) are
-//! per-request: `{"ok":false,"error":"..."}` on the same line slot, the
-//! connection stays usable.
+//! Every request may additionally carry:
+//!
+//! * `"id"` — an opaque number or string echoed verbatim in the response
+//!   (so a retrying client can correlate replies across reconnects);
+//! * `"deadline_ms"` — a per-request compute budget. Expired requests are
+//!   answered `{"ok":false,"error":"deadline_exceeded"}`; the deadline is
+//!   checked at dequeue and again before the expensive verification step.
+//!
+//! ## Error taxonomy
+//!
+//! All failures are per-request lines with `"ok":false` and a stable
+//! `"error"` string; the connection stays usable unless noted:
+//!
+//! * protocol errors (malformed JSON, unknown verbs, bad hex, invalid
+//!   divisors) — a descriptive message, counted in `errors`;
+//! * `"overloaded"` — the request was shed by admission control; the reply
+//!   carries `"retry_after_ms"` (jittered, derived from queue depth).
+//!   Expensive `synthesize` requests shed at half the queue bound,
+//!   `decompose` only once the queue is truly full, and requests whose
+//!   answer is already cached are served inline even while shedding;
+//! * `"deadline_exceeded"` — the request's `deadline_ms` expired;
+//! * `"internal"` — the worker panicked on this request; the worker is
+//!   rebuilt and the panic counted, the server keeps running;
+//! * `"server is shutting down"` — received after a `shutdown` request or
+//!   once the drain deadline expired;
+//! * `"request line too long"` — the line exceeded
+//!   [`ServiceConfig::max_line_bytes`]; the connection is then closed.
+//!
+//! Slow clients are bounded too: sockets get
+//! [`ServiceConfig::read_timeout_ms`] / [`ServiceConfig::write_timeout_ms`],
+//! so an idle or stalled connection is closed instead of pinning a reader
+//! thread forever (counted in `slow_clients`).
 //!
 //! ## Execution model
 //!
 //! Each connection gets a reader thread (parses lines into the shared
 //! queue) and a writer thread (drains an unbounded reply channel, so a slow
 //! client never stalls the service). The queue itself is drained by
-//! [`bidecomp::engine::run_pool`] — the same worker abstraction the sweep
-//! engines fan over — invoked once with one everlasting spec per worker:
-//! each "job" is the claim loop, popping requests one at a time until
-//! shutdown, so a cheap cache hit is answered the microsecond a worker is
-//! free instead of waiting out a slow miss behind a batch barrier. Workers
-//! send replies in completion order and the writer reorders by
-//! per-connection sequence number, so the wire still answers strictly in
-//! request order. The NPN cache ([`crate::NpnCache`]) is shared by every
-//! worker and doubles as the quotient cache *inside* the recursive
+//! [`bidecomp::engine::try_run_pool`] — the same worker abstraction the
+//! sweep engines fan over — invoked once with one everlasting spec per
+//! worker: each "job" is the claim loop, popping requests one at a time
+//! until shutdown, so a cheap cache hit is answered the microsecond a
+//! worker is free instead of waiting out a slow miss behind a batch
+//! barrier. Workers send replies in completion order and the writer
+//! reorders by per-connection sequence number, so the wire still answers
+//! strictly in request order. The NPN cache ([`crate::NpnCache`]) is shared
+//! by every worker and doubles as the quotient cache *inside* the recursive
 //! synthesizer, so subproblems hit across levels, requests and
 //! connections.
+//!
+//! Per-request compute runs under `catch_unwind`; a panicking request is
+//! answered `"internal"` and its worker's scratch state is rebuilt. For
+//! chaos testing, a seeded [`FaultPlan`] injects worker panics, compute
+//! delays and mid-reply connection drops behind [`ServiceConfig::faults`].
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use bidecomp::approximation::is_valid_divisor;
-use bidecomp::engine::{run_pool, seeded_divisor};
+use bidecomp::engine::{seeded_divisor, try_run_pool};
 use bidecomp::{
     full_quotient, verify_decomposition, verify_maximal_flexibility, verify_network, BinaryOp,
     QuotientCache, RecursiveConfig, RecursiveSynthesizer,
@@ -68,6 +105,21 @@ use techmap::AreaModel;
 
 use crate::json::{self, Value};
 use crate::NpnCache;
+
+/// The `error` string of a request shed by admission control.
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// The `error` string of a request whose `deadline_ms` expired.
+pub const ERR_DEADLINE: &str = "deadline_exceeded";
+/// The `error` string of a request whose worker panicked.
+pub const ERR_INTERNAL: &str = "internal";
+/// The `error` string of a request arriving after shutdown began.
+pub const ERR_SHUTDOWN: &str = "server is shutting down";
+/// The `error` string of a request line exceeding `max_line_bytes`.
+pub const ERR_LINE_TOO_LONG: &str = "request line too long";
+
+/// The panic payload of faults injected by a [`FaultPlan`] (so tests and the
+/// chaos harness can tell injected faults from genuine bugs).
+pub const INJECTED_PANIC_MESSAGE: &str = "injected worker fault";
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -86,6 +138,29 @@ pub struct ServiceConfig {
     /// The recursive synthesizer configuration `synthesize` requests run
     /// under (its fingerprint partitions the synthesis cache).
     pub recursive: RecursiveConfig,
+    /// Request-queue bound for admission control; `0` means unbounded (no
+    /// shedding). `synthesize` requests shed at half this depth,
+    /// `decompose` at the full depth; cached answers are served inline even
+    /// while shedding.
+    pub max_queue: usize,
+    /// Concurrent-connection bound; `0` means unbounded. Excess connections
+    /// get one `overloaded` line and are closed.
+    pub max_connections: usize,
+    /// Longest accepted request line in bytes; `0` means unbounded. Longer
+    /// lines are answered [`ERR_LINE_TOO_LONG`] and the connection closed.
+    pub max_line_bytes: usize,
+    /// Socket read timeout in milliseconds; `0` disables. A connection idle
+    /// (or trickling bytes) past this is closed — slowloris protection.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds; `0` disables. Bounds how long
+    /// a stalled client can pin a writer thread per reply.
+    pub write_timeout_ms: u64,
+    /// Longest the post-`shutdown` queue drain may run in milliseconds;
+    /// `0` means drain unboundedly. Requests still queued past the deadline
+    /// are answered [`ERR_SHUTDOWN`].
+    pub drain_deadline_ms: u64,
+    /// Fault-injection plan for chaos testing; `None` in production.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +171,13 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             max_vars: 14,
             recursive: RecursiveConfig::default(),
+            max_queue: 256,
+            max_connections: 1024,
+            max_line_bytes: 1 << 20,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            drain_deadline_ms: 5_000,
+            faults: None,
         }
     }
 }
@@ -108,6 +190,114 @@ impl ServiceConfig {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
+
+    /// The queue depth at which `synthesize` requests start shedding (half
+    /// the bound, so expensive work degrades before cheap work).
+    fn synthesize_shed_depth(&self) -> usize {
+        (self.max_queue / 2).max(1)
+    }
+}
+
+/// A seeded fault-injection plan: per-request dice for injected worker
+/// panics, artificial compute delays and mid-reply connection drops. Rates
+/// are per-mille (`0..=1000`). Clones share one `armed` switch, so a chaos
+/// driver holding its own clone can disarm the server's faults between the
+/// storm and the recovery phase.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the per-request dice (deterministic per request index).
+    pub seed: u64,
+    /// Per-mille probability of an injected worker panic.
+    pub panic_per_mille: u32,
+    /// Per-mille probability of an artificial compute delay.
+    pub delay_per_mille: u32,
+    /// Length of each injected delay in milliseconds.
+    pub delay_ms: u64,
+    /// Per-mille probability of dropping the connection mid-reply instead
+    /// of sending the response line.
+    pub drop_per_mille: u32,
+    armed: Arc<AtomicBool>,
+}
+
+impl FaultPlan {
+    /// A plan with all rates zero, armed, rolling dice from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ms: 0,
+            drop_per_mille: 0,
+            armed: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Arms or disarms fault injection on every clone of this plan.
+    pub fn arm(&self, on: bool) {
+        self.armed.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether faults are currently injected.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    /// The dice for compute request number `n` (deterministic in
+    /// `(seed, n)`; three independent splitmix64 draws).
+    fn roll(&self, n: u64) -> FaultRoll {
+        let mut x = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let panic_die = splitmix64(&mut x) % 1000;
+        let delay_die = splitmix64(&mut x) % 1000;
+        let drop_die = splitmix64(&mut x) % 1000;
+        FaultRoll {
+            inject_panic: panic_die < u64::from(self.panic_per_mille),
+            delay: (delay_die < u64::from(self.delay_per_mille))
+                .then(|| Duration::from_millis(self.delay_ms)),
+            drop_reply: drop_die < u64::from(self.drop_per_mille),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultRoll {
+    inject_panic: bool,
+    delay: Option<Duration>,
+    drop_reply: bool,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" stderr noise for faults injected by a [`FaultPlan`]
+/// while forwarding every other panic to the previous hook. Chaos binaries
+/// and tests call this so thousands of *intentional* panics don't flood
+/// stderr while genuine bugs still print.
+pub fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(INJECTED_PANIC_MESSAGE))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains(INJECTED_PANIC_MESSAGE))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
 }
 
 /// FNV-1a of the recursive configuration's debug rendering: a stable
@@ -122,7 +312,7 @@ fn config_fingerprint(config: &RecursiveConfig) -> u64 {
     hash
 }
 
-/// A parsed compute request (the queue's unit of work).
+/// A parsed compute verb (the queue's unit of work).
 #[derive(Debug, Clone)]
 enum Payload {
     Decompose {
@@ -139,15 +329,34 @@ enum Payload {
     },
     Stats,
     Shutdown,
-    Malformed(String),
 }
 
-/// The reply channel: `(per-connection sequence number, response line)`.
-/// Workers send out of completion order; the writer thread reorders.
-type ReplyTx = Sender<(u64, String)>;
+/// A parsed request: the verb payload plus the protocol envelope (`id`
+/// echo, optional deadline).
+#[derive(Debug, Clone)]
+struct Request {
+    payload: Payload,
+    /// Echoed verbatim in the response (number or string only).
+    id: Option<Value>,
+    deadline_ms: Option<u64>,
+}
+
+/// What the writer thread does with one reply slot.
+enum Reply {
+    /// Send this response line.
+    Line(String),
+    /// Injected fault: close the connection instead of replying.
+    Drop,
+}
+
+/// The reply channel: `(per-connection sequence number, reply)`. Workers
+/// send out of completion order; the writer thread reorders.
+type ReplyTx = Sender<(u64, Reply)>;
 
 struct QueueItem {
-    payload: Payload,
+    request: Request,
+    /// Absolute deadline (stamped at parse time from `deadline_ms`).
+    deadline: Option<Instant>,
     seq: u64,
     reply: ReplyTx,
 }
@@ -161,6 +370,18 @@ struct Counters {
     /// High-water mark of the request queue (how far compute fell behind
     /// intake).
     peak_queue: AtomicU64,
+    /// Requests rejected `overloaded` by admission control.
+    sheds: AtomicU64,
+    /// Requests answered `deadline_exceeded`.
+    timeouts: AtomicU64,
+    /// Worker/connection/writer panics caught and survived.
+    panics: AtomicU64,
+    /// Connections rejected at accept because `max_connections` was reached.
+    rejected_connections: AtomicU64,
+    /// Connections closed because a socket read or write timed out.
+    slow_clients: AtomicU64,
+    /// Request lines rejected for exceeding `max_line_bytes`.
+    line_overflows: AtomicU64,
 }
 
 struct ServiceState {
@@ -170,8 +391,55 @@ struct ServiceState {
     queue: Mutex<VecDeque<QueueItem>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// When `shutdown` was flagged — the drain deadline counts from here.
+    shutdown_at: Mutex<Option<Instant>>,
     started: Instant,
     counters: Counters,
+    /// Live connection count (for `max_connections`).
+    connections: AtomicUsize,
+    /// Compute-request counter driving the [`FaultPlan`] dice.
+    fault_seq: AtomicU64,
+    /// State of the `retry_after_ms` jitter stream.
+    shed_rng: AtomicU64,
+}
+
+impl ServiceState {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut at = self.shutdown_at.lock().expect("shutdown stamp poisoned");
+        if at.is_none() {
+            *at = Some(Instant::now());
+        }
+    }
+
+    fn drain_deadline_expired(&self) -> bool {
+        let ms = self.config.drain_deadline_ms;
+        if ms == 0 {
+            return false;
+        }
+        self.shutdown_at
+            .lock()
+            .expect("shutdown stamp poisoned")
+            .is_some_and(|at| at.elapsed() >= Duration::from_millis(ms))
+    }
+
+    /// The shed reply's backoff hint: grows with queue depth, jittered so a
+    /// thousand rejected clients don't retry in lockstep.
+    fn retry_after_ms(&self, queue_depth: usize) -> u64 {
+        let mut x = self.shed_rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        25 + 3 * queue_depth as u64 + splitmix64(&mut x) % 25
+    }
+
+    /// The fault dice for the next compute request (all-false without an
+    /// armed plan).
+    fn roll_fault(&self) -> FaultRoll {
+        match &self.config.faults {
+            Some(plan) if plan.is_armed() => {
+                plan.roll(self.fault_seq.fetch_add(1, Ordering::Relaxed))
+            }
+            _ => FaultRoll::default(),
+        }
+    }
 }
 
 /// The persistent decomposition service. Bind, then [`Server::run`] until a
@@ -201,6 +469,7 @@ impl Server {
         let cache = (config.cache_capacity > 0)
             .then(|| Arc::new(NpnCache::new(config.cache_capacity, config.cache_shards)));
         let config_fp = config_fingerprint(&config.recursive);
+        let seed = config.faults.as_ref().map_or(0x5EED, |plan| plan.seed);
         let state = Arc::new(ServiceState {
             config,
             cache,
@@ -208,8 +477,12 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            shutdown_at: Mutex::new(None),
             started: Instant::now(),
             counters: Counters::default(),
+            connections: AtomicUsize::new(0),
+            fault_seq: AtomicU64::new(0),
+            shed_rng: AtomicU64::new(seed),
         });
         Ok(Server { listener, state })
     }
@@ -223,118 +496,352 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until a `shutdown` request arrives, then drains the queue and
-    /// returns. Connection reader/writer threads are detached: a client
-    /// that keeps its connection open past shutdown gets an error line per
-    /// further request and ends its threads by closing the connection.
+    /// Serves until a `shutdown` request arrives, then drains the queue
+    /// (bounded by [`ServiceConfig::drain_deadline_ms`]) and returns.
+    /// Connection reader/writer threads are detached: a client that keeps
+    /// its connection open past shutdown gets an error line per further
+    /// request and ends its threads by closing the connection.
     ///
     /// # Errors
     ///
-    /// Fatal listener errors only; per-request problems are protocol-level
-    /// error replies.
+    /// Fatal listener errors, or a dispatcher panic (the queue is still
+    /// flushed with [`ERR_SHUTDOWN`] replies before returning). Per-request
+    /// problems are protocol-level error replies.
     pub fn run(self) -> io::Result<()> {
         let dispatcher_state = Arc::clone(&self.state);
         let dispatcher = std::thread::spawn(move || dispatch_loop(&dispatcher_state));
         self.listener.set_nonblocking(true)?;
+        let mut fatal = None;
         while !self.state.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    let max = self.state.config.max_connections;
+                    if max > 0 && self.state.connections.load(Ordering::SeqCst) >= max {
+                        self.state.counters.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                        let line = overloaded_response(self.state.retry_after_ms(0), &None);
+                        std::thread::spawn(move || reject_connection(stream, &line));
+                        continue;
+                    }
+                    self.state.connections.fetch_add(1, Ordering::SeqCst);
                     let state = Arc::clone(&self.state);
-                    std::thread::spawn(move || serve_connection(stream, &state));
+                    std::thread::spawn(move || {
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &state)));
+                        if outcome.is_err() {
+                            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // A fatal accept error still shuts the service down in
+                    // order: flag shutdown, drain, then report the error.
+                    fatal = Some(e);
+                    break;
+                }
             }
         }
-        dispatcher.join().expect("dispatcher panicked");
-        Ok(())
+        self.state.begin_shutdown();
+        let joined = dispatcher.join();
+        // Whatever is still queued after the dispatcher exited (drain
+        // deadline, or a dispatcher panic) gets an orderly error reply
+        // instead of a silently dropped channel.
+        flush_queue(&self.state, ERR_SHUTDOWN);
+        if joined.is_err() {
+            self.state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other("dispatcher panicked; queue flushed and shut down"));
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
-/// Per-connection reader: parses request lines into the shared queue. The
-/// paired writer thread drains the reply channel so responses never block
-/// request intake (or other connections).
+/// Answers every queued item with `error` and empties the queue.
+fn flush_queue(state: &ServiceState, error: &str) {
+    let mut queue = state.queue.lock().expect("request queue poisoned");
+    while let Some(item) = queue.pop_front() {
+        let line = attach_id(error_value(error), &item.request.id).to_string();
+        let _ = item.reply.send((item.seq, Reply::Line(line)));
+    }
+}
+
+/// Tells an over-capacity connection to back off: one `overloaded` line
+/// under a short write timeout, then the socket drops.
+fn reject_connection(stream: TcpStream, line: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut out = stream;
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.write_all(b"\n");
+    let _ = out.flush();
+}
+
+/// One bounded request line, or why there isn't one.
+enum LineOutcome {
+    Line(String),
+    /// Clean end of stream (any trailing unterminated bytes are returned as
+    /// a final `Line` first).
+    Eof,
+    /// The line exceeded the byte cap.
+    Overflow,
+    /// The socket read timed out (slow or idle client).
+    TimedOut,
+    /// Any other read error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line of at most `max_bytes` bytes
+/// (`0` = unbounded) without ever buffering more than one chunk past the
+/// cap — the bounded replacement for `BufRead::lines` that makes unbounded
+/// hostile lines an error instead of an OOM.
+fn read_bounded_line<R: BufRead>(reader: &mut R, max_bytes: usize) -> LineOutcome {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, saw_newline, eof) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return LineOutcome::TimedOut;
+                }
+                Err(_) => return LineOutcome::Failed,
+            };
+            if chunk.is_empty() {
+                (0, false, true)
+            } else {
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        buf.extend_from_slice(&chunk[..pos]);
+                        (pos + 1, true, false)
+                    }
+                    None => {
+                        buf.extend_from_slice(chunk);
+                        (chunk.len(), false, false)
+                    }
+                }
+            }
+        };
+        reader.consume(consumed);
+        if max_bytes > 0 && buf.len() > max_bytes {
+            return LineOutcome::Overflow;
+        }
+        if saw_newline {
+            return LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned());
+        }
+        if eof {
+            return if buf.is_empty() {
+                LineOutcome::Eof
+            } else {
+                LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+            };
+        }
+    }
+}
+
+/// Per-connection reader: parses request lines, runs admission control and
+/// feeds the shared queue. The paired writer thread drains the reply
+/// channel so responses never block request intake (or other connections).
 fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) {
     // Request/response over one connection is latency-bound by Nagle's
     // algorithm colliding with delayed ACKs (~40 ms per round trip) unless
     // small writes go out immediately.
     let _ = stream.set_nodelay(true);
+    // Timeouts are set before try_clone: both halves share the file
+    // description, so the writer half inherits the write timeout.
+    if state.config.read_timeout_ms > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(state.config.read_timeout_ms)));
+    }
+    if state.config.write_timeout_ms > 0 {
+        let _ =
+            stream.set_write_timeout(Some(Duration::from_millis(state.config.write_timeout_ms)));
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = channel::<(u64, String)>();
+    let (tx, rx) = channel::<(u64, Reply)>();
+    let writer_state = Arc::clone(state);
     std::thread::spawn(move || {
-        // Reorder buffer: workers complete jobs in any order, the wire
-        // answers in request order. Each response goes out as one write
-        // (payload + newline) so no trailing fragment waits on an ACK.
-        let mut out = write_half;
-        let mut pending: std::collections::BTreeMap<u64, String> =
-            std::collections::BTreeMap::new();
-        let mut next = 0u64;
-        'outer: for (seq, mut response) in rx {
-            response.push('\n');
-            pending.insert(seq, response);
-            while let Some(response) = pending.remove(&next) {
-                if out.write_all(response.as_bytes()).is_err() {
-                    break 'outer;
-                }
-                let _ = out.flush();
-                next += 1;
-            }
+        if catch_unwind(AssertUnwindSafe(|| writer_loop(write_half, &rx))).is_err() {
+            writer_state.counters.panics.fetch_add(1, Ordering::Relaxed);
         }
     });
 
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut seq = 0u64;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    // Lazy per-connection area model for synthesize cache hits answered
+    // inline while shedding (building one is not free; most connections
+    // never shed).
+    let mut inline_area: Option<AreaModel> = None;
+    loop {
+        let line = match read_bounded_line(&mut reader, state.config.max_line_bytes) {
+            LineOutcome::Line(line) => line,
+            LineOutcome::Eof | LineOutcome::Failed => break,
+            LineOutcome::TimedOut => {
+                state.counters.slow_clients.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            LineOutcome::Overflow => {
+                state.counters.line_overflows.fetch_add(1, Ordering::Relaxed);
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((seq, Reply::Line(error_response(ERR_LINE_TOO_LONG))));
+                break; // the rest of the oversized line is unrecoverable
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let payload = parse_request(&line, &state.config);
-        let queue = state.queue.lock().expect("request queue poisoned");
-        if state.shutdown.load(Ordering::SeqCst) {
-            drop(queue);
-            let _ = tx.send((seq, error_response("server is shutting down")));
-            seq += 1;
-            continue;
+        let request = match parse_request(&line, &state.config) {
+            Ok(request) => request,
+            Err(message) => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((seq, Reply::Line(error_response(&message))));
+                seq += 1;
+                continue;
+            }
+        };
+        let reply = admit(state, request, seq, &tx, &mut inline_area);
+        if let Some(reply) = reply {
+            let _ = tx.send((seq, Reply::Line(reply)));
         }
-        let mut queue = queue;
-        queue.push_back(QueueItem { payload, seq, reply: tx.clone() });
-        state.counters.peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
         seq += 1;
-        drop(queue);
-        state.available.notify_one();
     }
     // Dropping the last sender (workers drop their per-item clones after
     // replying) ends the writer thread once its buffer drains.
 }
 
-/// The queue drain: one `run_pool` invocation whose specs are one
+/// Admission control: either enqueues the request (returning `None` — the
+/// reply will come from a worker) or answers it inline on the reader thread
+/// (shutdown notice, shed, or a cache hit served while shedding).
+fn admit(
+    state: &Arc<ServiceState>,
+    request: Request,
+    seq: u64,
+    tx: &ReplyTx,
+    inline_area: &mut Option<AreaModel>,
+) -> Option<String> {
+    let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let queue = state.queue.lock().expect("request queue poisoned");
+    if state.shutdown.load(Ordering::SeqCst) {
+        drop(queue);
+        return Some(attach_id(error_value(ERR_SHUTDOWN), &request.id).to_string());
+    }
+    let depth = queue.len();
+    let max = state.config.max_queue;
+    let shed_depth = match &request.payload {
+        // Stats and shutdown are always admitted: an overloaded server must
+        // still report stats and honor shutdown.
+        Payload::Stats | Payload::Shutdown => usize::MAX,
+        // Expensive synthesis sheds at half the bound, cheap decompose only
+        // once the queue is truly full.
+        Payload::Synthesize { .. } => state.config.synthesize_shed_depth(),
+        Payload::Decompose { .. } => max,
+    };
+    if max == 0 || depth < shed_depth {
+        let mut queue = queue;
+        queue.push_back(QueueItem { request, deadline, seq, reply: tx.clone() });
+        state.counters.peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        state.available.notify_one();
+        return None;
+    }
+    drop(queue);
+    // Shedding — but an already-cached answer costs microseconds, so probe
+    // the cache (without touching hit/miss counters or CLOCK recency) and
+    // answer hits inline on this reader thread.
+    if let Some(reply) = inline_cache_hit(state, &request, deadline, inline_area) {
+        return Some(reply);
+    }
+    state.counters.sheds.fetch_add(1, Ordering::Relaxed);
+    Some(overloaded_response(state.retry_after_ms(depth), &request.id))
+}
+
+/// Serves a shed-path request inline if (and only if) its answer is already
+/// cached. Returns `None` when the request must actually shed.
+fn inline_cache_hit(
+    state: &ServiceState,
+    request: &Request,
+    deadline: Option<Instant>,
+    inline_area: &mut Option<AreaModel>,
+) -> Option<String> {
+    let cache = state.cache.as_ref()?;
+    match &request.payload {
+        Payload::Decompose { f, g, seed, op, no_cache: false, tables } => {
+            let g = g.clone().unwrap_or_else(|| seeded_divisor(f, *op, *seed));
+            if !cache.has_quotient(f, &g, *op) {
+                return None;
+            }
+            state.counters.decompose.fetch_add(1, Ordering::Relaxed);
+            let result = handle_decompose(state, f, Some(&g), *seed, *op, false, *tables, deadline);
+            Some(finish(state, result, &request.id))
+        }
+        Payload::Synthesize { f, no_cache: false } => {
+            if !cache.has_synthesis(f, state.config_fp) {
+                return None;
+            }
+            let area = inline_area.get_or_insert_with(AreaModel::mcnc);
+            // The entry can be evicted between the probe and the lookup; in
+            // that unlucky race the request sheds rather than synthesizing
+            // on the reader thread.
+            let result = synthesize_hit(state, area, f, deadline)?;
+            state.counters.synthesize.fetch_add(1, Ordering::Relaxed);
+            Some(finish(state, result, &request.id))
+        }
+        _ => None,
+    }
+}
+
+/// Per-connection writer: reorders worker replies into request order and
+/// writes them out (or drops the connection on an injected [`Reply::Drop`]).
+fn writer_loop(mut out: TcpStream, rx: &Receiver<(u64, Reply)>) {
+    let mut pending: std::collections::BTreeMap<u64, Reply> = std::collections::BTreeMap::new();
+    let mut next = 0u64;
+    'outer: for (seq, reply) in rx {
+        pending.insert(seq, reply);
+        while let Some(reply) = pending.remove(&next) {
+            next += 1;
+            match reply {
+                Reply::Line(mut line) => {
+                    // One write per response (payload + newline) so no
+                    // trailing fragment waits on an ACK.
+                    line.push('\n');
+                    if out.write_all(line.as_bytes()).is_err() {
+                        break 'outer;
+                    }
+                    let _ = out.flush();
+                }
+                Reply::Drop => {
+                    let _ = out.shutdown(std::net::Shutdown::Both);
+                    break 'outer;
+                }
+            }
+        }
+    }
+}
+
+/// The queue drain: one `try_run_pool` invocation whose specs are one
 /// everlasting unit of work per worker — each job claims requests one at a
 /// time until shutdown, giving item-granular scheduling (a hit never waits
 /// behind a miss) while reusing the engine's worker abstraction, per-worker
-/// state and all.
+/// state and all. A worker whose claim loop itself panics (outside the
+/// per-request `catch_unwind`) is counted, not fatal.
 fn dispatch_loop(state: &Arc<ServiceState>) {
     let workers = state.config.effective_workers();
     let specs = vec![(); workers];
-    run_pool(
+    let slots = try_run_pool(
         &specs,
         workers,
-        || {
-            let uncached = RecursiveSynthesizer::new(state.config.recursive.clone());
-            let cached = match &state.cache {
-                Some(cache) => uncached
-                    .clone()
-                    .with_quotient_cache(Arc::clone(cache) as Arc<dyn QuotientCache>),
-                None => uncached.clone(),
-            };
-            Worker { cached, uncached, area: AreaModel::mcnc() }
-        },
+        || make_worker(state),
         |worker, ()| drain_queue(state, worker),
     );
+    let died = slots.iter().filter(|slot| slot.is_err()).count();
+    state.counters.panics.fetch_add(died as u64, Ordering::Relaxed);
 }
 
 /// Per-worker scratch: two synthesizers — the normal one with the shared
@@ -348,14 +855,33 @@ struct Worker {
     area: AreaModel,
 }
 
-/// One worker's life: pop a request, handle it, reply immediately; park on
-/// the condvar when idle; exit once shutdown is flagged and the queue is
-/// empty.
+fn make_worker(state: &ServiceState) -> Worker {
+    let uncached = RecursiveSynthesizer::new(state.config.recursive.clone());
+    let cached = match &state.cache {
+        Some(cache) => {
+            uncached.clone().with_quotient_cache(Arc::clone(cache) as Arc<dyn QuotientCache>)
+        }
+        None => uncached.clone(),
+    };
+    Worker { cached, uncached, area: AreaModel::mcnc() }
+}
+
+/// One worker's life: pop a request, handle it (under `catch_unwind`),
+/// reply immediately; park on the condvar when idle; exit once shutdown is
+/// flagged and the queue is empty — or flush the queue with shutdown
+/// errors once the drain deadline expires.
 fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
     loop {
         let item = {
             let mut queue = state.queue.lock().expect("request queue poisoned");
             loop {
+                if state.shutdown.load(Ordering::SeqCst) && state.drain_deadline_expired() {
+                    while let Some(item) = queue.pop_front() {
+                        let line = attach_id(error_value(ERR_SHUTDOWN), &item.request.id);
+                        let _ = item.reply.send((item.seq, Reply::Line(line.to_string())));
+                    }
+                    return;
+                }
                 if let Some(item) = queue.pop_front() {
                     break item;
                 }
@@ -369,48 +895,121 @@ fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
                 queue = q;
             }
         };
-        let response = handle(state, worker, &item.payload);
-        let _ = item.reply.send((item.seq, response));
+        // Deadline check at dequeue: a request that waited out its budget
+        // in the queue is answered without burning compute on it.
+        if item.deadline.is_some_and(|d| Instant::now() >= d) {
+            state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            let line = attach_id(error_value(ERR_DEADLINE), &item.request.id);
+            let _ = item.reply.send((item.seq, Reply::Line(line.to_string())));
+            continue;
+        }
+        let is_compute =
+            matches!(item.request.payload, Payload::Decompose { .. } | Payload::Synthesize { .. });
+        let roll = if is_compute { state.roll_fault() } else { FaultRoll::default() };
+        if let Some(delay) = roll.delay {
+            std::thread::sleep(delay);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle(state, worker, &item.request, item.deadline, roll.inject_panic)
+        }));
+        let line = match outcome {
+            Ok(line) => line,
+            Err(_) => {
+                state.counters.panics.fetch_add(1, Ordering::Relaxed);
+                // The panic may have left the synthesizers' scratch state
+                // inconsistent; rebuild from scratch before the next claim.
+                *worker = make_worker(state);
+                attach_id(error_value(ERR_INTERNAL), &item.request.id).to_string()
+            }
+        };
+        let reply = if roll.drop_reply { Reply::Drop } else { Reply::Line(line) };
+        let _ = item.reply.send((item.seq, reply));
     }
 }
 
-fn handle(state: &ServiceState, worker: &mut Worker, payload: &Payload) -> String {
-    match payload {
+/// A handler failure: either the request's deadline expired mid-compute or
+/// a protocol-level error message.
+enum RequestError {
+    Deadline,
+    Message(String),
+}
+
+impl From<String> for RequestError {
+    fn from(message: String) -> RequestError {
+        RequestError::Message(message)
+    }
+}
+
+/// Converts a handler result into the response line, attaching the `id`
+/// echo and bumping the right failure counter.
+fn finish(state: &ServiceState, result: Result<Value, RequestError>, id: &Option<Value>) -> String {
+    let value = match result {
+        Ok(value) => value,
+        Err(RequestError::Deadline) => {
+            state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            error_value(ERR_DEADLINE)
+        }
+        Err(RequestError::Message(message)) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_value(&message)
+        }
+    };
+    attach_id(value, id).to_string()
+}
+
+/// Echoes the request `id` (if any) into a response object.
+fn attach_id(mut value: Value, id: &Option<Value>) -> Value {
+    if let (Value::Object(fields), Some(id)) = (&mut value, id) {
+        fields.push(("id".into(), id.clone()));
+    }
+    value
+}
+
+fn handle(
+    state: &ServiceState,
+    worker: &mut Worker,
+    request: &Request,
+    deadline: Option<Instant>,
+    inject_panic: bool,
+) -> String {
+    match &request.payload {
         Payload::Decompose { f, g, seed, op, no_cache, tables } => {
             state.counters.decompose.fetch_add(1, Ordering::Relaxed);
-            handle_decompose(state, f, g.as_ref(), *seed, *op, *no_cache, *tables).unwrap_or_else(
-                |message| {
-                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    error_response(&message)
-                },
-            )
+            if inject_panic {
+                panic!("{INJECTED_PANIC_MESSAGE}");
+            }
+            let result =
+                handle_decompose(state, f, g.as_ref(), *seed, *op, *no_cache, *tables, deadline);
+            finish(state, result, &request.id)
         }
         Payload::Synthesize { f, no_cache } => {
             state.counters.synthesize.fetch_add(1, Ordering::Relaxed);
-            handle_synthesize(state, worker, f, *no_cache).unwrap_or_else(|message| {
-                state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                error_response(&message)
-            })
+            if inject_panic {
+                panic!("{INJECTED_PANIC_MESSAGE}");
+            }
+            let result = handle_synthesize(state, worker, f, *no_cache, deadline);
+            finish(state, result, &request.id)
         }
         Payload::Stats => {
             state.counters.stats.fetch_add(1, Ordering::Relaxed);
-            handle_stats(state)
+            attach_id(stats_value(state), &request.id).to_string()
         }
         Payload::Shutdown => {
-            state.shutdown.store(true, Ordering::SeqCst);
-            Value::Object(vec![
+            state.begin_shutdown();
+            let ack = Value::Object(vec![
                 ("ok".into(), Value::Bool(true)),
                 ("verb".into(), json::s("shutdown")),
-            ])
-            .to_string()
-        }
-        Payload::Malformed(message) => {
-            state.counters.errors.fetch_add(1, Ordering::Relaxed);
-            error_response(message)
+            ]);
+            attach_id(ack, &request.id).to_string()
         }
     }
 }
 
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_decompose(
     state: &ServiceState,
     f: &Isf,
@@ -419,13 +1018,14 @@ fn handle_decompose(
     op: BinaryOp,
     no_cache: bool,
     tables: bool,
-) -> Result<String, String> {
+    deadline: Option<Instant>,
+) -> Result<Value, RequestError> {
     let g = match g {
         Some(g) => g.clone(),
         None => seeded_divisor(f, op, seed),
     };
     if !is_valid_divisor(f, &g, op) {
-        return Err(format!("divisor violates the Table II side condition of {op}"));
+        return Err(format!("divisor violates the Table II side condition of {op}").into());
     }
     let (h, cache_status) = match (&state.cache, no_cache) {
         (Some(cache), false) => match cache.lookup(f, &g, op) {
@@ -438,6 +1038,11 @@ fn handle_decompose(
         },
         _ => (full_quotient(f, &g, op).map_err(|e| e.to_string())?, "bypass"),
     };
+    // The quotient itself is cheap; verification is the expensive step.
+    // Honor the deadline before paying for it.
+    if deadline_expired(deadline) {
+        return Err(RequestError::Deadline);
+    }
     let verified = verify_decomposition(f, &g, &h, op);
     let maximal = verify_maximal_flexibility(f, &g, &h, op);
     let mut fields = vec![
@@ -456,7 +1061,66 @@ fn handle_decompose(
         fields.push(("h_on".into(), json::s(table_to_hex(h.on()))));
         fields.push(("h_dc".into(), json::s(table_to_hex(h.dc()))));
     }
-    Ok(Value::Object(fields).to_string())
+    Ok(Value::Object(fields))
+}
+
+/// The `synthesize` success response.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_response(
+    f: &Isf,
+    gates: usize,
+    depth: usize,
+    branches: usize,
+    mapped_area: f64,
+    flat_area: f64,
+    verified: bool,
+    cache_status: &str,
+) -> Value {
+    let gain = if flat_area == 0.0 { 0.0 } else { (flat_area - mapped_area) / flat_area * 100.0 };
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("verb".into(), json::s("synthesize")),
+        ("num_vars".into(), json::num(f.num_vars() as u64)),
+        ("gates".into(), json::num(gates as u64)),
+        ("depth".into(), json::num(depth as u64)),
+        ("branches".into(), json::num(branches as u64)),
+        ("mapped_area".into(), Value::Num(mapped_area)),
+        ("flat_area".into(), Value::Num(flat_area)),
+        ("gain_percent".into(), Value::Num(gain)),
+        ("verified".into(), Value::Bool(verified)),
+        ("cache".into(), json::s(cache_status)),
+    ])
+}
+
+/// The synthesis cache-hit path (rewire, re-verify, re-map), shared by the
+/// worker handler and the inline shed-path server. `None` on a cache miss.
+fn synthesize_hit(
+    state: &ServiceState,
+    area: &AreaModel,
+    f: &Isf,
+    deadline: Option<Instant>,
+) -> Option<Result<Value, RequestError>> {
+    let cache = state.cache.as_ref()?;
+    let (cached, canon) = cache.lookup_synthesis(f, state.config_fp)?;
+    // Exhaustive re-verification is the expensive part of a hit.
+    if deadline_expired(deadline) {
+        return Some(Err(RequestError::Deadline));
+    }
+    let network = canon.transform.inverse().rewire_network(&cached.network);
+    if !verify_network(f, &network, 0) {
+        return Some(Err("cached network failed re-verification (cache bug)".to_string().into()));
+    }
+    let mapped_area = area.mapper().map(&network).area;
+    Some(Ok(synthesize_response(
+        f,
+        network.gate_count(),
+        cached.depth,
+        cached.branches,
+        mapped_area,
+        cached.flat_area,
+        true,
+        "hit",
+    )))
 }
 
 fn handle_synthesize(
@@ -464,48 +1128,14 @@ fn handle_synthesize(
     worker: &mut Worker,
     f: &Isf,
     no_cache: bool,
-) -> Result<String, String> {
-    let respond = |gates: usize,
-                   depth: usize,
-                   branches: usize,
-                   mapped_area: f64,
-                   flat_area: f64,
-                   verified: bool,
-                   cache_status: &str| {
-        let gain =
-            if flat_area == 0.0 { 0.0 } else { (flat_area - mapped_area) / flat_area * 100.0 };
-        Value::Object(vec![
-            ("ok".into(), Value::Bool(true)),
-            ("verb".into(), json::s("synthesize")),
-            ("num_vars".into(), json::num(f.num_vars() as u64)),
-            ("gates".into(), json::num(gates as u64)),
-            ("depth".into(), json::num(depth as u64)),
-            ("branches".into(), json::num(branches as u64)),
-            ("mapped_area".into(), Value::Num(mapped_area)),
-            ("flat_area".into(), Value::Num(flat_area)),
-            ("gain_percent".into(), Value::Num(gain)),
-            ("verified".into(), Value::Bool(verified)),
-            ("cache".into(), json::s(cache_status)),
-        ])
-        .to_string()
-    };
-
+    deadline: Option<Instant>,
+) -> Result<Value, RequestError> {
     if let (Some(cache), false) = (&state.cache, no_cache) {
-        if let Some((cached, canon)) = cache.lookup_synthesis(f, state.config_fp) {
-            let network = canon.transform.inverse().rewire_network(&cached.network);
-            if !verify_network(f, &network, 0) {
-                return Err("cached network failed re-verification (cache bug)".to_string());
-            }
-            let mapped_area = worker.area.mapper().map(&network).area;
-            return Ok(respond(
-                network.gate_count(),
-                cached.depth,
-                cached.branches,
-                mapped_area,
-                cached.flat_area,
-                true,
-                "hit",
-            ));
+        if let Some(result) = synthesize_hit(state, &worker.area, f, deadline) {
+            return result;
+        }
+        if deadline_expired(deadline) {
+            return Err(RequestError::Deadline);
         }
         let result = worker.cached.synthesize(f).map_err(|e| e.to_string())?;
         cache.store_synthesis(
@@ -516,7 +1146,8 @@ fn handle_synthesize(
             result.tree.depth(),
             result.tree.num_branches(),
         );
-        return Ok(respond(
+        return Ok(synthesize_response(
+            f,
             result.gate_count(),
             result.tree.depth(),
             result.tree.num_branches(),
@@ -527,10 +1158,14 @@ fn handle_synthesize(
         ));
     }
 
+    if deadline_expired(deadline) {
+        return Err(RequestError::Deadline);
+    }
     // Bypass: the fully uncached synthesizer, so not even the quotient
     // subproblems of the recursion read or populate the shared cache.
     let result = worker.uncached.synthesize(f).map_err(|e| e.to_string())?;
-    Ok(respond(
+    Ok(synthesize_response(
+        f,
         result.gate_count(),
         result.tree.depth(),
         result.tree.num_branches(),
@@ -541,7 +1176,7 @@ fn handle_synthesize(
     ))
 }
 
-fn handle_stats(state: &ServiceState) -> String {
+fn stats_value(state: &ServiceState) -> Value {
     let queue_depth = state.queue.lock().expect("request queue poisoned").len();
     let cache = match &state.cache {
         None => Value::Null,
@@ -559,25 +1194,47 @@ fn handle_stats(state: &ServiceState) -> String {
             ])
         }
     };
+    let c = &state.counters;
     Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
         ("verb".into(), json::s("stats")),
         ("uptime_ms".into(), json::num(state.started.elapsed().as_millis() as u64)),
         ("workers".into(), json::num(state.config.effective_workers() as u64)),
         ("queue_depth".into(), json::num(queue_depth as u64)),
-        ("peak_queue".into(), json::num(state.counters.peak_queue.load(Ordering::Relaxed))),
-        ("decompose".into(), json::num(state.counters.decompose.load(Ordering::Relaxed))),
-        ("synthesize".into(), json::num(state.counters.synthesize.load(Ordering::Relaxed))),
-        ("stats_requests".into(), json::num(state.counters.stats.load(Ordering::Relaxed))),
-        ("errors".into(), json::num(state.counters.errors.load(Ordering::Relaxed))),
+        ("max_queue".into(), json::num(state.config.max_queue as u64)),
+        ("peak_queue".into(), json::num(c.peak_queue.load(Ordering::Relaxed))),
+        ("connections".into(), json::num(state.connections.load(Ordering::SeqCst) as u64)),
+        ("decompose".into(), json::num(c.decompose.load(Ordering::Relaxed))),
+        ("synthesize".into(), json::num(c.synthesize.load(Ordering::Relaxed))),
+        ("stats_requests".into(), json::num(c.stats.load(Ordering::Relaxed))),
+        ("errors".into(), json::num(c.errors.load(Ordering::Relaxed))),
+        ("sheds".into(), json::num(c.sheds.load(Ordering::Relaxed))),
+        ("timeouts".into(), json::num(c.timeouts.load(Ordering::Relaxed))),
+        ("panics".into(), json::num(c.panics.load(Ordering::Relaxed))),
+        ("rejected_connections".into(), json::num(c.rejected_connections.load(Ordering::Relaxed))),
+        ("slow_clients".into(), json::num(c.slow_clients.load(Ordering::Relaxed))),
+        ("line_overflows".into(), json::num(c.line_overflows.load(Ordering::Relaxed))),
         ("cache".into(), cache),
     ])
-    .to_string()
+}
+
+fn error_value(message: &str) -> Value {
+    Value::Object(vec![("ok".into(), Value::Bool(false)), ("error".into(), json::s(message))])
 }
 
 fn error_response(message: &str) -> String {
-    Value::Object(vec![("ok".into(), Value::Bool(false)), ("error".into(), json::s(message))])
-        .to_string()
+    error_value(message).to_string()
+}
+
+/// The shed reply: `{"ok":false,"error":"overloaded","retry_after_ms":N}`
+/// plus the `id` echo.
+fn overloaded_response(retry_after_ms: u64, id: &Option<Value>) -> String {
+    let value = Value::Object(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), json::s(ERR_OVERLOADED)),
+        ("retry_after_ms".into(), json::num(retry_after_ms)),
+    ]);
+    attach_id(value, id).to_string()
 }
 
 // --- request parsing ------------------------------------------------------
@@ -624,22 +1281,27 @@ pub fn table_from_hex(hex: &str, num_vars: usize) -> Result<TruthTable, String> 
     Ok(table)
 }
 
-fn parse_request(line: &str, config: &ServiceConfig) -> Payload {
-    match try_parse_request(line, config) {
-        Ok(payload) => payload,
-        Err(message) => Payload::Malformed(message),
-    }
-}
-
-fn try_parse_request(line: &str, config: &ServiceConfig) -> Result<Payload, String> {
+fn parse_request(line: &str, config: &ServiceConfig) -> Result<Request, String> {
     let doc = Value::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = match doc.get("id") {
+        Some(v @ (Value::Num(_) | Value::Str(_))) => Some(v.clone()),
+        Some(other) => return Err(format!("id must be a number or string, got {other}")),
+        None => None,
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| format!("deadline_ms must be an unsigned integer, got {v}"))?,
+        ),
+    };
     let verb = doc
         .get("verb")
         .and_then(Value::as_str)
         .ok_or_else(|| "missing 'verb' field".to_string())?;
-    match verb {
-        "stats" => Ok(Payload::Stats),
-        "shutdown" => Ok(Payload::Shutdown),
+    let payload = match verb {
+        "stats" => Payload::Stats,
+        "shutdown" => Payload::Shutdown,
         "decompose" => {
             let f = parse_isf(&doc, config)?;
             let op_name = doc
@@ -652,21 +1314,22 @@ fn try_parse_request(line: &str, config: &ServiceConfig) -> Result<Payload, Stri
                 Some(hex) => Some(table_from_hex(hex, f.num_vars())?),
                 None => None,
             };
-            Ok(Payload::Decompose {
+            Payload::Decompose {
                 f,
                 g,
                 seed: parse_seed(&doc)?,
                 op,
                 no_cache: bool_field(&doc, "no_cache"),
                 tables: bool_field(&doc, "tables"),
-            })
+            }
         }
         "synthesize" => {
             let f = parse_isf(&doc, config)?;
-            Ok(Payload::Synthesize { f, no_cache: bool_field(&doc, "no_cache") })
+            Payload::Synthesize { f, no_cache: bool_field(&doc, "no_cache") }
         }
-        other => Err(format!("unknown verb '{other}'")),
-    }
+        other => return Err(format!("unknown verb '{other}'")),
+    };
+    Ok(Request { payload, id, deadline_ms })
 }
 
 fn bool_field(doc: &Value, key: &str) -> bool {
@@ -754,13 +1417,19 @@ mod tests {
     #[test]
     fn request_parsing_covers_the_verbs_and_errors() {
         let config = ServiceConfig::default();
-        assert!(matches!(parse_request(r#"{"verb":"stats"}"#, &config), Payload::Stats));
-        assert!(matches!(parse_request(r#"{"verb":"shutdown"}"#, &config), Payload::Shutdown));
+        assert!(matches!(
+            parse_request(r#"{"verb":"stats"}"#, &config).unwrap().payload,
+            Payload::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"verb":"shutdown"}"#, &config).unwrap().payload,
+            Payload::Shutdown
+        ));
         let line = format!(
             r#"{{"verb":"decompose","num_vars":3,"f_on":"{}","op":"AND","seed":7}}"#,
             "00000000000000c0" // x0 x1 (minterms 6 and 7)
         );
-        match parse_request(&line, &config) {
+        match parse_request(&line, &config).unwrap().payload {
             Payload::Decompose { f, op, seed, g, no_cache, tables } => {
                 assert_eq!(f.num_vars(), 3);
                 assert_eq!(f.on().count_ones(), 2);
@@ -777,11 +1446,27 @@ mod tests {
             r#"{"verb":"decompose","num_vars":99,"f_on":"00","op":"AND"}"#,
             r#"{"verb":"synthesize","num_vars":3}"#,
         ] {
-            assert!(
-                matches!(parse_request(bad, &config), Payload::Malformed(_)),
-                "{bad} must be rejected"
-            );
+            assert!(parse_request(bad, &config).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn envelope_fields_parse_and_echo() {
+        let config = ServiceConfig::default();
+        let r = parse_request(r#"{"verb":"stats","id":42,"deadline_ms":250}"#, &config).unwrap();
+        assert_eq!(r.id, Some(Value::Num(42.0)));
+        assert_eq!(r.deadline_ms, Some(250));
+        let r = parse_request(r#"{"verb":"stats","id":"req-7"}"#, &config).unwrap();
+        assert_eq!(r.id, Some(Value::Str("req-7".into())));
+        assert!(r.deadline_ms.is_none());
+        // Invalid envelopes are protocol errors, not silent drops.
+        assert!(parse_request(r#"{"verb":"stats","id":[1]}"#, &config).is_err());
+        assert!(parse_request(r#"{"verb":"stats","deadline_ms":"soon"}"#, &config).is_err());
+        // The echo lands at the end of the response object.
+        let echoed = attach_id(error_value(ERR_DEADLINE), &Some(Value::Str("req-7".into())));
+        assert_eq!(echoed.to_string(), r#"{"ok":false,"error":"deadline_exceeded","id":"req-7"}"#);
+        // No id → untouched response.
+        assert_eq!(attach_id(error_value("x"), &None).to_string(), r#"{"ok":false,"error":"x"}"#);
     }
 
     #[test]
@@ -793,9 +1478,11 @@ mod tests {
             )
         };
         let seed_of = |line: &str| match parse_request(line, &config) {
-            Payload::Decompose { seed, .. } => Ok(seed),
-            Payload::Malformed(message) => Err(message),
-            other => panic!("unexpected payload {other:?}"),
+            Ok(request) => match request.payload {
+                Payload::Decompose { seed, .. } => Ok(seed),
+                other => panic!("unexpected payload {other:?}"),
+            },
+            Err(message) => Err(message),
         };
         assert_eq!(seed_of(&request("7")), Ok(7));
         // Full 64-bit seeds travel as decimal strings.
@@ -812,5 +1499,88 @@ mod tests {
         b.max_depth += 1;
         assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
         assert_eq!(config_fingerprint(&a), config_fingerprint(&RecursiveConfig::default()));
+    }
+
+    #[test]
+    fn fault_plan_rolls_are_deterministic_and_disarmable() {
+        let mut plan = FaultPlan::new(0xC4A0_5EED);
+        plan.panic_per_mille = 100;
+        plan.delay_per_mille = 50;
+        plan.delay_ms = 3;
+        plan.drop_per_mille = 25;
+        let a: Vec<_> = (0..2000)
+            .map(|n| plan.roll(n))
+            .map(|r| (r.inject_panic, r.delay, r.drop_reply))
+            .collect();
+        let b: Vec<_> = (0..2000)
+            .map(|n| plan.roll(n))
+            .map(|r| (r.inject_panic, r.delay, r.drop_reply))
+            .collect();
+        assert_eq!(a, b, "rolls must be a pure function of (seed, n)");
+        // The rates hold roughly over 2000 rolls (loose 2x bands — this is
+        // a determinism test, not a statistics test).
+        let panics = a.iter().filter(|r| r.0).count();
+        let delays = a.iter().filter(|r| r.1.is_some()).count();
+        let drops = a.iter().filter(|r| r.2).count();
+        assert!((100..=400).contains(&panics), "~10% of 2000 expected, got {panics}");
+        assert!((40..=220).contains(&delays), "~5% of 2000 expected, got {delays}");
+        assert!((20..=120).contains(&drops), "~2.5% of 2000 expected, got {drops}");
+        assert!(a.iter().any(|r| r.1 == Some(Duration::from_millis(3))));
+        // Clones share the armed switch.
+        let clone = plan.clone();
+        clone.arm(false);
+        assert!(!plan.is_armed());
+        clone.arm(true);
+        assert!(plan.is_armed());
+    }
+
+    #[test]
+    fn retry_after_grows_with_depth_and_jitters() {
+        let server = Server::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
+        let state = &server.state;
+        for depth in [0usize, 10, 200] {
+            let base = 25 + 3 * depth as u64;
+            for _ in 0..50 {
+                let hint = state.retry_after_ms(depth);
+                assert!(
+                    (base..base + 25).contains(&hint),
+                    "retry_after_ms({depth}) = {hint} outside [{base}, {})",
+                    base + 25
+                );
+            }
+        }
+        // Jitter actually varies.
+        let hints: std::collections::BTreeSet<u64> =
+            (0..50).map(|_| state.retry_after_ms(0)).collect();
+        assert!(hints.len() > 1, "50 draws produced a single value");
+    }
+
+    #[test]
+    fn bounded_line_reader_caps_and_splits() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"hello\nworld\n".to_vec());
+        assert!(matches!(read_bounded_line(&mut r, 64), LineOutcome::Line(l) if l == "hello"));
+        assert!(matches!(read_bounded_line(&mut r, 64), LineOutcome::Line(l) if l == "world"));
+        assert!(matches!(read_bounded_line(&mut r, 64), LineOutcome::Eof));
+        // A trailing unterminated line still comes out before EOF.
+        let mut r = Cursor::new(b"tail".to_vec());
+        assert!(matches!(read_bounded_line(&mut r, 64), LineOutcome::Line(l) if l == "tail"));
+        assert!(matches!(read_bounded_line(&mut r, 64), LineOutcome::Eof));
+        // Over the cap → Overflow, with or without a newline in sight.
+        let mut r = Cursor::new(vec![b'x'; 100]);
+        assert!(matches!(read_bounded_line(&mut r, 10), LineOutcome::Overflow));
+        let mut r = Cursor::new([vec![b'x'; 100], b"\nok\n".to_vec()].concat());
+        assert!(matches!(read_bounded_line(&mut r, 10), LineOutcome::Overflow));
+        // Unbounded (0) never overflows.
+        let mut r = Cursor::new([vec![b'x'; 100_000], b"\n".to_vec()].concat());
+        assert!(matches!(read_bounded_line(&mut r, 0), LineOutcome::Line(l) if l.len() == 100_000));
+    }
+
+    #[test]
+    fn synthesize_shed_depth_halves_the_bound() {
+        let config = ServiceConfig { max_queue: 256, ..ServiceConfig::default() };
+        assert_eq!(config.synthesize_shed_depth(), 128);
+        let config = ServiceConfig { max_queue: 1, ..config };
+        assert_eq!(config.synthesize_shed_depth(), 1, "a bound of 1 must not shed everything");
     }
 }
