@@ -1,0 +1,194 @@
+//! The operation surface shared by [`BddManager`] and [`WorkerCtx`].
+//!
+//! The decomposition stack (quotients, divisor validation, verification,
+//! symbolic instance construction) only needs the Boolean-algebra subset of
+//! the manager API. [`BddOps`] abstracts exactly that subset so every one of
+//! those algorithms runs unchanged on a private single-owner manager *or* on
+//! a per-worker view of a [`crate::SharedManager`] — the handles ([`Bdd`])
+//! and the semantics are identical, only the ownership model differs.
+
+use boolfunc::{Cover, Cube, TruthTable};
+
+use crate::manager::{Bdd, BddManager};
+use crate::shared::WorkerCtx;
+
+/// Boolean-algebra operations over [`Bdd`] handles, implemented by both
+/// [`BddManager`] (single owner) and [`WorkerCtx`] (shared store).
+///
+/// Handles returned by one implementor are only meaningful with that
+/// implementor (for a [`WorkerCtx`], with any context over the same store).
+/// Methods that may build nodes take `&mut self` — for the shared backend
+/// that mutability covers only the worker-private caches; the node store
+/// itself is `&self`-shared.
+pub trait BddOps {
+    /// Number of variables of the underlying store.
+    fn num_vars(&self) -> usize;
+    /// Number of live nodes of the underlying store (including the
+    /// terminal). For a shared store this counts *all* workers' nodes.
+    fn num_nodes(&self) -> usize;
+    /// The constant-0 function.
+    fn zero(&self) -> Bdd;
+    /// The constant-1 function.
+    fn one(&self) -> Bdd;
+    /// Returns `true` if `f` is the constant 0.
+    fn is_zero(&self, f: Bdd) -> bool;
+    /// Returns `true` if `f` is the constant 1.
+    fn is_one(&self, f: Bdd) -> bool;
+    /// Negation `¬f` (free with complement edges).
+    fn not(&self, f: Bdd) -> Bdd;
+    /// The projection function for variable `var`.
+    fn variable(&mut self, var: usize) -> Bdd;
+    /// Conjunction `f ∧ g`.
+    fn and(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Disjunction `f ∨ g`.
+    fn or(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Exclusive or `f ⊕ g`.
+    fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Set difference `f ∧ ¬g`.
+    fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Equivalence `f ⊙ g` (XNOR).
+    fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Implication `f ⇒ g`.
+    fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Joint denial `¬(f ∨ g)` (NOR).
+    fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// Alternative denial `¬(f ∧ g)` (NAND).
+    fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd;
+    /// The if-then-else operator `ite(f, g, h)`.
+    fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd;
+    /// Returns `true` if the on-set of `f` is a subset of the on-set of `g`.
+    fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool;
+    /// Returns `true` if `f` and `g` share no on-set minterm.
+    fn is_disjoint(&mut self, f: Bdd, g: Bdd) -> bool;
+    /// Builds the BDD of a single [`Cube`].
+    fn cube(&mut self, cube: &Cube) -> Bdd;
+    /// Builds the BDD of a [`Cover`] (disjunction of its cubes).
+    fn cover(&mut self, cover: &Cover) -> Bdd;
+    /// Builds the BDD of a dense [`TruthTable`]. Implementations may accept
+    /// tables narrower than the store (the shared backend does; the
+    /// single-owner manager requires an exact arity match).
+    // Named after the inherent methods it abstracts, not the `From` idiom.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_truth_table(&mut self, table: &TruthTable) -> Bdd;
+    /// Number of minterms of `f` over all `num_vars` variables.
+    fn sat_count(&self, f: Bdd) -> u64;
+    /// Evaluates `f` on a minterm (bit `i` = value of variable `i`).
+    fn eval(&self, f: Bdd, minterm: u64) -> bool;
+}
+
+macro_rules! delegate_bdd_ops {
+    ($ty:ty) => {
+        impl BddOps for $ty {
+            fn num_vars(&self) -> usize {
+                <$ty>::num_vars(self)
+            }
+            fn num_nodes(&self) -> usize {
+                <$ty>::num_nodes(self)
+            }
+            fn zero(&self) -> Bdd {
+                <$ty>::zero(self)
+            }
+            fn one(&self) -> Bdd {
+                <$ty>::one(self)
+            }
+            fn is_zero(&self, f: Bdd) -> bool {
+                <$ty>::is_zero(self, f)
+            }
+            fn is_one(&self, f: Bdd) -> bool {
+                <$ty>::is_one(self, f)
+            }
+            fn not(&self, f: Bdd) -> Bdd {
+                <$ty>::not(self, f)
+            }
+            fn variable(&mut self, var: usize) -> Bdd {
+                <$ty>::variable(self, var)
+            }
+            fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::and(self, f, g)
+            }
+            fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::or(self, f, g)
+            }
+            fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::xor(self, f, g)
+            }
+            fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::diff(self, f, g)
+            }
+            fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::xnor(self, f, g)
+            }
+            fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::implies(self, f, g)
+            }
+            fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::nor(self, f, g)
+            }
+            fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+                <$ty>::nand(self, f, g)
+            }
+            fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+                <$ty>::ite(self, f, g, h)
+            }
+            fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
+                <$ty>::is_subset(self, f, g)
+            }
+            fn is_disjoint(&mut self, f: Bdd, g: Bdd) -> bool {
+                <$ty>::is_disjoint(self, f, g)
+            }
+            fn cube(&mut self, cube: &Cube) -> Bdd {
+                <$ty>::cube(self, cube)
+            }
+            fn cover(&mut self, cover: &Cover) -> Bdd {
+                <$ty>::cover(self, cover)
+            }
+            #[allow(clippy::wrong_self_convention)]
+            fn from_truth_table(&mut self, table: &TruthTable) -> Bdd {
+                <$ty>::from_truth_table(self, table)
+            }
+            fn sat_count(&self, f: Bdd) -> u64 {
+                <$ty>::sat_count(self, f)
+            }
+            fn eval(&self, f: Bdd, minterm: u64) -> bool {
+                <$ty>::eval(self, f, minterm)
+            }
+        }
+    };
+}
+
+delegate_bdd_ops!(BddManager);
+delegate_bdd_ops!(WorkerCtx);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharedManager;
+    use std::sync::Arc;
+
+    /// One generic function body driven through both implementors must yield
+    /// the same semantics — this is the contract the engine's shared backend
+    /// relies on.
+    fn majority3<M: BddOps>(mgr: &mut M) -> Bdd {
+        let x0 = mgr.variable(0);
+        let x1 = mgr.variable(1);
+        let x2 = mgr.variable(2);
+        let a = mgr.and(x0, x1);
+        let b = mgr.and(x1, x2);
+        let c = mgr.and(x0, x2);
+        let ab = mgr.or(a, b);
+        mgr.or(ab, c)
+    }
+
+    #[test]
+    fn both_implementors_agree_through_the_trait() {
+        let mut mgr = BddManager::new(3);
+        let m = majority3(&mut mgr);
+        let store = Arc::new(SharedManager::new(3));
+        let mut ctx = WorkerCtx::new(store);
+        let s = majority3(&mut ctx);
+        assert_eq!(BddOps::sat_count(&mgr, m), BddOps::sat_count(&ctx, s));
+        for minterm in 0..8u64 {
+            assert_eq!(BddOps::eval(&mgr, m, minterm), BddOps::eval(&ctx, s, minterm));
+        }
+    }
+}

@@ -1,0 +1,1388 @@
+//! Concurrent shared-manager BDD store.
+//!
+//! [`SharedManager`] is the multi-worker counterpart of [`BddManager`](crate::BddManager): one
+//! node store served through `&self` so any number of workers can hash-cons
+//! into it concurrently (each worker holds an `Arc<SharedManager>` inside its
+//! own [`WorkerCtx`]). The split of responsibilities:
+//!
+//! * **Shared (the manager):** the node arena, complement-edge
+//!   canonicalization (regular then-edges, single terminal), the unique
+//!   tables, the variable order, and the reference counts. Node identity is
+//!   global — two workers building the same function get the *same* edge, so
+//!   subgraphs are shared across threads exactly as they are within one.
+//! * **Per-worker (the context):** the lossy apply/ITE caches, the model
+//!   counting memo, and the cache statistics. The hot caches see zero
+//!   contention; they only affect performance, never results.
+//!
+//! # Shard layout
+//!
+//! The arena is striped into [`SHARDS`] (= 16) shards. A node's shard is
+//! chosen by the low bits of the hash of its `(var, low, high)` key; each
+//! shard owns an append-only slot arena plus a chained unique-table index: a
+//! fixed array of bucket heads and one intrusive `next` link per slot, both
+//! atomics. A global node id interleaves the shard into the low bits
+//! (`id = local << SHARD_BITS | shard`), and an edge is
+//! `id << 1 | complement` — the terminal sits at shard 0, slot 0, so the
+//! constants `1`/`0` keep the same bit patterns as the single-owner manager.
+//!
+//! Reads — including every unique-table probe — are lock-free: slot arenas
+//! grow by publishing fixed-size chunks through `OnceLock` (no reallocation
+//! ever moves a published node), bucket counts are fixed for the store's
+//! lifetime (chains lengthen instead of rehashing, so probing never races a
+//! table move), and a node is linked into its bucket with a `Release` store
+//! *after* its slot is written. Hash-consing **hits never contend**: only a
+//! `mk_node` whose lock-free probe misses takes a lock, only for its own
+//! shard, and re-probes under it before allocating (two workers racing to
+//! create one node converge on a single id, keeping the node set
+//! demand-determined).
+//!
+//! # Determinism
+//!
+//! Hash-consing makes the final node *set* (and therefore every returned
+//! function, count and verdict) independent of thread interleaving: a node
+//! exists iff some recursion demanded it, and per-worker caches only elide
+//! recomputation of functions that are already canonical. Node *ids* do vary
+//! with interleaving — callers must treat edges as opaque within a run and
+//! never persist raw ids across runs.
+//!
+//! # Sifting / GC quiescence rule
+//!
+//! The shared store does **not** support dynamic variable reordering or
+//! garbage collection while shared: both rewrite nodes in place, which would
+//! invalidate concurrently-held edges. The variable order is fixed before
+//! the manager is shared ([`SharedManager::set_order`] takes `&mut self` and
+//! requires the store to hold only the terminal), and the arena is
+//! append-only — `num_nodes` is the peak by construction. A future
+//! stop-the-world `sift` entry point would require `&mut self` (provable
+//! exclusive access) and a cache-generation bump in every worker; until
+//! then, workloads that need reordering use a private [`BddManager`](crate::BddManager).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use boolfunc::{Cover, Cube, TruthTable};
+
+use crate::manager::{
+    hash3, ApplyEntry, Bdd, CacheStats, IteEntry, Node, MAX_CACHE, MIN_TABLE, ONE, OP_AND, OP_XOR,
+    TERMINAL_VAR, ZERO,
+};
+
+/// Number of shard-index bits interleaved into the low bits of a node id.
+const SHARD_BITS: u32 = 4;
+
+/// Number of unique-table shards of a [`SharedManager`].
+pub const SHARDS: usize = 1 << SHARD_BITS;
+
+const SHARD_MASK: u64 = (SHARDS as u64) - 1;
+
+/// log2 of the first chunk's slot count; chunk `c` holds `CHUNK0 << c` slots,
+/// so 16 chunks cover 2^28 slots — more than the 2^27 local ids a shard can
+/// address.
+const CHUNK0_BITS: u32 = 12;
+
+/// Maximum chunks per shard arena.
+const MAX_CHUNKS: usize = 16;
+
+/// Per-shard local ids must leave room for the shard bits inside the 31
+/// payload bits of an edge.
+const MAX_LOCAL: u32 = 1 << (31 - SHARD_BITS);
+
+/// Chain terminator / empty-bucket marker of the shard unique tables.
+const EMPTY_ID: u32 = u32::MAX;
+
+/// log2 of the bucket count of one shard's unique-table index. Fixed for the
+/// store's lifetime — chains lengthen instead of rehashing, which is what
+/// lets `find` probe without a lock. 16 shards × 2^14 buckets ≈ 262k chains
+/// (1 MiB of heads) keep expected chain length ~1 up to a few hundred
+/// thousand live nodes.
+const SHARD_BUCKET_BITS: u32 = 14;
+
+/// Bucket count of one shard's unique-table index.
+const SHARD_BUCKETS: usize = 1 << SHARD_BUCKET_BITS;
+
+/// An append-only slot directory: a fixed spine of geometrically growing
+/// chunks, each published at most once through a `OnceLock`. Published slots
+/// never move, so readers index without any lock; writers materialize a
+/// chunk on first touch (under their shard lock, so initialization races are
+/// already excluded — the `OnceLock` guards the cross-shard *read* path).
+struct ChunkDir<T> {
+    chunks: [OnceLock<Box<[T]>>; MAX_CHUNKS],
+}
+
+impl<T: Default> ChunkDir<T> {
+    fn new() -> Self {
+        ChunkDir { chunks: std::array::from_fn(|_| OnceLock::new()) }
+    }
+
+    /// Chunk index and offset of slot `i`: chunk `c` covers
+    /// `[((2^c)-1) << CHUNK0_BITS, ((2^(c+1))-1) << CHUNK0_BITS)`.
+    #[inline]
+    fn split(i: u32) -> (usize, usize) {
+        let q = (i >> CHUNK0_BITS) + 1;
+        let c = (31 - q.leading_zeros()) as usize;
+        let base = ((1u32 << c) - 1) << CHUNK0_BITS;
+        (c, (i - base) as usize)
+    }
+
+    /// Slot `i`; its chunk must already be published (true for every id that
+    /// escaped a shard lock).
+    #[inline]
+    fn get(&self, i: u32) -> &T {
+        let (c, off) = Self::split(i);
+        &self.chunks[c].get().expect("reading a slot in an unpublished chunk")[off]
+    }
+
+    /// Slot `i`, materializing its chunk on first touch.
+    fn ensure(&self, i: u32) -> &T {
+        let (c, off) = Self::split(i);
+        let chunk = self.chunks[c].get_or_init(|| {
+            let len = (1usize << CHUNK0_BITS) << c;
+            let mut v = Vec::new();
+            v.resize_with(len, T::default);
+            v.into_boxed_slice()
+        });
+        &chunk[off]
+    }
+}
+
+/// One stripe of the shared store: an append-only node arena, the matching
+/// atomic reference counts, and the shard's chained unique-table index.
+///
+/// The index is intrusive: `buckets[b]` holds the *local* id of the most
+/// recently inserted node hashing to bucket `b` (or [`EMPTY_ID`]), and
+/// `links` holds, per slot, the local id of the next-older node in the same
+/// bucket. Probing walks the chain lock-free; the mutex only serializes
+/// insertions of this shard.
+struct Shard {
+    /// Node slots, write-once each (set under the shard insert lock before
+    /// the id is published, read lock-free afterwards).
+    nodes: ChunkDir<OnceLock<Node>>,
+    /// Per-node reference counts: structural parent links plus external
+    /// pins. The terminal is permanently pinned and not counted.
+    refs: ChunkDir<AtomicU32>,
+    /// Intrusive bucket-chain links (`EMPTY_ID` terminates a chain). Written
+    /// before the owning node is published as its bucket's head.
+    links: ChunkDir<AtomicU32>,
+    /// Unique-table bucket heads, [`SHARD_BUCKETS`] of them.
+    buckets: Box<[AtomicU32]>,
+    /// Insert lock, guarding the next free local slot index. Taken only
+    /// after a lock-free probe missed.
+    next_local: Mutex<u32>,
+    /// Mirror of `next_local`, published with `Release` after the new
+    /// node's slot is set, so `num_nodes` never counts an unpublished slot.
+    allocated: AtomicU32,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            nodes: ChunkDir::new(),
+            refs: ChunkDir::new(),
+            links: ChunkDir::new(),
+            buckets: (0..SHARD_BUCKETS).map(|_| AtomicU32::new(EMPTY_ID)).collect(),
+            next_local: Mutex::new(0),
+            allocated: AtomicU32::new(0),
+        }
+    }
+
+    /// All entries of one shard share the low [`SHARD_BITS`] hash bits (they
+    /// selected the shard), so buckets are chosen from the bits above them.
+    #[inline]
+    fn bucket_of(h: u64) -> usize {
+        ((h >> SHARD_BITS) as usize) & (SHARD_BUCKETS - 1)
+    }
+
+    /// Lock-free unique-table probe: walks bucket `b`'s chain for the key.
+    /// Returns the node's *local* id. Safe concurrently with insertions —
+    /// the `Acquire` head load pairs with the inserter's `Release` store,
+    /// and everything deeper in the chain was published even earlier.
+    fn find(&self, var: u32, low: Bdd, high: Bdd, b: usize) -> Option<u32> {
+        let mut local = self.buckets[b].load(Ordering::Acquire);
+        while local != EMPTY_ID {
+            let n = self.nodes.get(local).get().expect("bucket chain links an unpublished node");
+            if n.var == var && n.low == low && n.high == high {
+                return Some(local);
+            }
+            local = self.links.get(local).load(Ordering::Acquire);
+        }
+        None
+    }
+}
+
+/// A concurrently-usable ROBDD node store with complement edges.
+///
+/// Construction (`mk_node` through a [`WorkerCtx`]) takes `&self`: the store
+/// is meant to sit inside an `Arc` with one context per worker. See the
+/// `shared` module docs for the shard layout, the shared/per-worker split, the
+/// determinism argument and the sifting quiescence rule. Results are pinned
+/// bit-identical to [`BddManager`](crate::BddManager) over the same variable order.
+pub struct SharedManager {
+    num_vars: usize,
+    var2level: Vec<u32>,
+    level2var: Vec<u32>,
+    shards: Vec<Shard>,
+    /// Net external (non-structural) reference-count contributions, audited
+    /// against the per-node counts by [`SharedManager::check_invariants`].
+    external_pins: AtomicU64,
+}
+
+impl SharedManager {
+    /// Creates a shared store for functions over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 63` (minterms are addressed with `u64` words).
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars < 64, "BDD managers address minterms with u64 words");
+        let mgr = SharedManager {
+            num_vars,
+            var2level: (0..num_vars as u32).collect(),
+            level2var: (0..num_vars as u32).collect(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            external_pins: AtomicU64::new(0),
+        };
+        // The terminal (constant 1) lives at shard 0, slot 0, giving the
+        // edge encodings ONE = 0 and ZERO = 1 — the same bit patterns as the
+        // single-owner manager. It is not hash-consed (no unique-table entry).
+        let shard = &mgr.shards[0];
+        shard
+            .nodes
+            .ensure(0)
+            .set(Node { var: TERMINAL_VAR, low: ONE, high: ONE })
+            .expect("terminal published twice");
+        shard.refs.ensure(0);
+        *shard.next_local.lock().expect("new store") = 1;
+        shard.allocated.store(1, Ordering::Release);
+        mgr
+    }
+
+    /// Number of variables of the store.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of published nodes across all shards (including the terminal).
+    /// The arena is append-only, so this is also the peak node count.
+    pub fn num_nodes(&self) -> usize {
+        self.shards.iter().map(|s| s.allocated.load(Ordering::Acquire) as usize).sum()
+    }
+
+    /// Seeds a static variable order: `order[level]` is the variable to
+    /// place at `level`. Requires exclusive access *and* an empty store —
+    /// the quiescence rule (module docs): the order is fixed before the
+    /// manager is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_vars` or the store
+    /// already holds non-terminal nodes.
+    pub fn set_order(&mut self, order: &[usize]) {
+        assert_eq!(order.len(), self.num_vars, "order must mention every variable exactly once");
+        assert_eq!(
+            self.num_nodes(),
+            1,
+            "set_order requires a store holding only the terminal (sifting needs quiescence)"
+        );
+        let mut seen = vec![false; self.num_vars];
+        for (level, &v) in order.iter().enumerate() {
+            assert!(v < self.num_vars && !seen[v], "order must be a permutation of the variables");
+            seen[v] = true;
+            self.level2var[level] = v as u32;
+            self.var2level[v] = level as u32;
+        }
+    }
+
+    /// The current variable order: element `level` is the variable label
+    /// sitting at that level (topmost first).
+    pub fn var_order(&self) -> Vec<usize> {
+        self.level2var.iter().map(|&v| v as usize).collect()
+    }
+
+    /// Current level of variable `var` under the fixed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn var_level(&self, var: usize) -> usize {
+        self.var2level[var] as usize
+    }
+
+    /// The constant-0 function.
+    pub fn zero(&self) -> Bdd {
+        ZERO
+    }
+
+    /// The constant-1 function.
+    pub fn one(&self) -> Bdd {
+        ONE
+    }
+
+    /// Returns `true` if `f` is the constant 0.
+    pub fn is_zero(&self, f: Bdd) -> bool {
+        f == ZERO
+    }
+
+    /// Returns `true` if `f` is the constant 1.
+    pub fn is_one(&self, f: Bdd) -> bool {
+        f == ONE
+    }
+
+    /// Negation `¬f` — with complement edges, a free bit flip.
+    pub fn not(&self, f: Bdd) -> Bdd {
+        f.complemented()
+    }
+
+    #[inline]
+    fn ref_of(&self, id: u32) -> &AtomicU32 {
+        let shard = (u64::from(id) & SHARD_MASK) as usize;
+        self.shards[shard].refs.get(id >> SHARD_BITS)
+    }
+
+    pub(crate) fn node(&self, f: Bdd) -> Node {
+        let id = f.index() as u32;
+        let shard = (u64::from(id) & SHARD_MASK) as usize;
+        *self.shards[shard]
+            .nodes
+            .get(id >> SHARD_BITS)
+            .get()
+            .expect("edge refers to an unpublished node")
+    }
+
+    /// Variable *label* of the top node of `f`; terminals report
+    /// `usize::MAX`.
+    pub fn top_var(&self, f: Bdd) -> usize {
+        let v = self.node(f).var;
+        if v == TERMINAL_VAR {
+            usize::MAX
+        } else {
+            v as usize
+        }
+    }
+
+    /// Level of the top node of `f` (0 = topmost); terminals report
+    /// `usize::MAX`.
+    fn top_level(&self, f: Bdd) -> usize {
+        let v = self.node(f).var;
+        if v == TERMINAL_VAR {
+            usize::MAX
+        } else {
+            self.var2level[v as usize] as usize
+        }
+    }
+
+    /// Cofactors of `f` with respect to the variable labeled `var` (identity
+    /// if `f`'s top variable is a different one). A complemented edge pushes
+    /// its flag onto both cofactors.
+    fn cofactors_at(&self, f: Bdd, var: usize) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR || (n.var as usize) != var {
+            (f, f)
+        } else if f.is_complemented() {
+            (n.low.complemented(), n.high.complemented())
+        } else {
+            (n.low, n.high)
+        }
+    }
+
+    /// Hash-consing node constructor (canonical regular then-edges, as the
+    /// single-owner manager). Returns the edge plus `Some(hit)` when a
+    /// unique-table probe happened (`None` = trivial reduction).
+    fn mk_node_tracked(&self, var: u32, low: Bdd, high: Bdd) -> (Bdd, Option<bool>) {
+        if low == high {
+            return (low, None);
+        }
+        if high.is_complemented() {
+            let (r, hit) = self.mk_node_regular(var, low.complemented(), high.complemented());
+            (r.complemented(), Some(hit))
+        } else {
+            let (r, hit) = self.mk_node_regular(var, low, high);
+            (r, Some(hit))
+        }
+    }
+
+    fn mk_node_regular(&self, var: u32, low: Bdd, high: Bdd) -> (Bdd, bool) {
+        debug_assert!(!high.is_complemented());
+        debug_assert!(low != high);
+        debug_assert!(
+            self.top_level(low) > self.var2level[var as usize] as usize
+                && self.top_level(high) > self.var2level[var as usize] as usize,
+            "children must sit strictly below the node's level"
+        );
+        let h = hash3(var, low.0, high.0);
+        let shard_idx = (h & SHARD_MASK) as usize;
+        let shard = &self.shards[shard_idx];
+        let b = Shard::bucket_of(h);
+        // Hash-consing hits — the overwhelmingly common case — never touch
+        // the shard lock: the chained index is probed lock-free.
+        if let Some(local) = shard.find(var, low, high, b) {
+            return (Bdd(((local << SHARD_BITS) | shard_idx as u32) << 1), true);
+        }
+        // Worker panics are isolated per job upstream; the only panic below
+        // is the capacity assert, which fires before any mutation, so a
+        // poisoned lock still guards a consistent shard.
+        let mut next_local =
+            shard.next_local.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Re-probe under the lock: another worker may have published the
+        // node between our miss and the acquire. Converging on its id keeps
+        // the node set demand-determined.
+        if let Some(local) = shard.find(var, low, high, b) {
+            return (Bdd(((local << SHARD_BITS) | shard_idx as u32) << 1), true);
+        }
+        let local = *next_local;
+        assert!(local < MAX_LOCAL, "shared node store exceeds edge-indexable handles");
+        let id = (local << SHARD_BITS) | shard_idx as u32;
+        // Publication order: node slot and chain link first, then the bucket
+        // head with `Release` (a probe that sees the head sees the slot),
+        // then the allocated mirror — all before the lock drops.
+        shard.nodes.ensure(local).set(Node { var, low, high }).expect("node slot published twice");
+        shard.refs.ensure(local);
+        shard
+            .links
+            .ensure(local)
+            .store(shard.buckets[b].load(Ordering::Relaxed), Ordering::Relaxed);
+        shard.buckets[b].store(local, Ordering::Release);
+        *next_local = local + 1;
+        shard.allocated.store(local + 1, Ordering::Release);
+        drop(next_local);
+        // Structural parent links of the children (audited, never collected:
+        // the arena is append-only). The terminal is permanently pinned —
+        // skipping it keeps every worker off that one hot cache line.
+        for child in [low, high] {
+            let idx = child.index() as u32;
+            if idx != 0 {
+                self.ref_of(idx).fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (Bdd(id << 1), false)
+    }
+
+    /// Pins `f`'s node with one external reference (counted separately from
+    /// structural parent links in the invariant audit). The terminal is
+    /// permanently pinned and ignores external references.
+    pub fn incref(&self, f: Bdd) {
+        if f.index() != 0 {
+            self.ref_of(f.index() as u32).fetch_add(1, Ordering::Relaxed);
+            self.external_pins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases one external reference of `f`'s node. Nothing is collected
+    /// (the arena is append-only); the counts exist for the audit and for a
+    /// future quiescent garbage collector.
+    pub fn decref(&self, f: Bdd) {
+        if f.index() != 0 {
+            let prev = self.ref_of(f.index() as u32).fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "external ref underflow");
+            self.external_pins.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Evaluates `f` on a minterm (bit `i` of `minterm` is the value of
+    /// variable `i`, regardless of the variable order).
+    pub fn eval(&self, f: Bdd, minterm: u64) -> bool {
+        let mut cur = f;
+        let mut parity = false;
+        loop {
+            parity ^= cur.is_complemented();
+            let n = self.node(cur);
+            if n.var == TERMINAL_VAR {
+                return !parity;
+            }
+            cur = if minterm >> n.var & 1 == 1 { n.high } else { n.low };
+        }
+    }
+
+    /// Exhaustively validates the sharded store: inverse level maps,
+    /// canonical (regular) then-edges, reduction, strict level ordering,
+    /// per-shard table registration, load-factor and probe-chain integrity,
+    /// the `allocated` mirrors, and the reference-count-vs-reachability
+    /// audit (every stored count covers the node's structural parents, and
+    /// the total excess equals the net external pins). A test/debug aid —
+    /// O(nodes), panics on the first violation. Call at quiescence (no
+    /// concurrent writers), e.g. after joining worker threads.
+    pub fn check_invariants(&self) {
+        for v in 0..self.num_vars {
+            assert_eq!(
+                self.level2var[self.var2level[v] as usize] as usize, v,
+                "level maps are not inverse permutations at variable {v}"
+            );
+        }
+        let mut parents: HashMap<u32, u64> = HashMap::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let alloc = shard.allocated.load(Ordering::Acquire);
+            assert_eq!(
+                alloc,
+                *shard.next_local.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+                "shard {si}: allocated mirror out of sync"
+            );
+            // Chain integrity: walking every bucket must visit every
+            // allocated slot except the terminal exactly once (`seen` also
+            // catches cycles — a chain can only revisit a slot by looping),
+            // each entry hashing to the shard and bucket that hold it.
+            let mut seen = vec![false; alloc as usize];
+            let mut entries = 0usize;
+            for (bi, head) in shard.buckets.iter().enumerate() {
+                let mut local = head.load(Ordering::Acquire);
+                while local != EMPTY_ID {
+                    assert!(local < alloc, "shard {si}: bucket {bi} links past the arena");
+                    assert!(!seen[local as usize], "shard {si}: slot {local} chained twice");
+                    seen[local as usize] = true;
+                    entries += 1;
+                    let nd =
+                        *shard.nodes.get(local).get().unwrap_or_else(|| {
+                            panic!("shard {si}: chained slot {local} unpublished")
+                        });
+                    let h = hash3(nd.var, nd.low.0, nd.high.0);
+                    assert_eq!(
+                        (h & SHARD_MASK) as usize,
+                        si,
+                        "shard {si}: bucket {bi} holds a foreign node"
+                    );
+                    assert_eq!(
+                        Shard::bucket_of(h),
+                        bi,
+                        "shard {si}: slot {local} sits in the wrong bucket"
+                    );
+                    local = shard.links.get(local).load(Ordering::Acquire);
+                }
+            }
+            // The terminal occupies shard 0, slot 0 but is never hash-consed.
+            assert_eq!(
+                entries,
+                alloc as usize - usize::from(si == 0),
+                "shard {si}: bucket chains disagree with the arena"
+            );
+            for local in 0..alloc {
+                let id = (local << SHARD_BITS) | si as u32;
+                if id == 0 {
+                    continue; // the terminal
+                }
+                let nd =
+                    *shard.nodes.get(local).get().unwrap_or_else(|| {
+                        panic!("shard {si}: allocated slot {local} unpublished")
+                    });
+                assert_ne!(nd.var, TERMINAL_VAR, "only node 0 may be terminal");
+                assert!((nd.var as usize) < self.num_vars, "node {id} has an out-of-range var");
+                assert!(!nd.high.is_complemented(), "then-edge of node {id} is complemented");
+                assert_ne!(nd.low, nd.high, "redundant node {id} survived reduction");
+                let level = self.var2level[nd.var as usize] as usize;
+                for child in [nd.low, nd.high] {
+                    let cv = self.node(child).var; // panics if unpublished
+                    if cv != TERMINAL_VAR {
+                        assert!(
+                            (self.var2level[cv as usize] as usize) > level,
+                            "node {id} violates the level order"
+                        );
+                        *parents.entry(child.index() as u32).or_insert(0) += 1;
+                    }
+                }
+                let h = hash3(nd.var, nd.low.0, nd.high.0);
+                assert_eq!(
+                    shard.find(nd.var, nd.low, nd.high, Shard::bucket_of(h)),
+                    Some(local),
+                    "node {id} is missing from (or duplicated in) its shard's index"
+                );
+            }
+        }
+        // Refcount-vs-reachability audit: stored counts are structural
+        // parent links plus external pins (the permanently-pinned terminal
+        // is exempt from both), so per node stored >= parents and the summed
+        // excess must equal the net external pin count.
+        let mut excess: u64 = 0;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let alloc = shard.allocated.load(Ordering::Acquire);
+            for local in 0..alloc {
+                let id = (local << SHARD_BITS) | si as u32;
+                let stored = u64::from(shard.refs.get(local).load(Ordering::Relaxed));
+                let linked = parents.get(&id).copied().unwrap_or(0);
+                assert!(
+                    stored >= linked,
+                    "node {id}: stored refcount {stored} below its {linked} structural parents"
+                );
+                if id != 0 {
+                    excess += stored - linked;
+                }
+            }
+        }
+        assert_eq!(
+            excess,
+            self.external_pins.load(Ordering::Relaxed),
+            "refcount excess disagrees with the net external pins"
+        );
+    }
+}
+
+impl fmt::Debug for SharedManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedManager(vars={}, nodes={})", self.num_vars, self.num_nodes())
+    }
+}
+
+/// A per-worker view of a [`SharedManager`]: the worker-private half of the
+/// split (lossy apply/ITE caches, counting memo, statistics) plus the full
+/// operation surface of [`BddManager`](crate::BddManager) that the decomposition stack uses.
+///
+/// Contexts are cheap to create (two cache allocations) and are **not**
+/// `Sync` — one context per worker thread, all sharing one store:
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use bdd::{SharedManager, WorkerCtx};
+///
+/// let store = Arc::new(SharedManager::new(2));
+/// let mut ctx = WorkerCtx::new(Arc::clone(&store));
+/// let x0 = ctx.variable(0);
+/// let x1 = ctx.variable(1);
+/// let f = ctx.xor(x0, x1);
+/// assert_eq!(ctx.sat_count(f), 2);
+/// ```
+pub struct WorkerCtx {
+    store: Arc<SharedManager>,
+    apply_cache: Vec<ApplyEntry>,
+    ite_cache: Vec<IteEntry>,
+    /// Generation stamp of valid cache entries (entries start at the
+    /// never-current generation 0).
+    cache_gen: u32,
+    /// Model-counting memo behind a `RefCell` so counting stays a `&self`
+    /// query, mirroring [`BddManager::sat_count`](crate::BddManager::sat_count).
+    count_memo: RefCell<HashMap<u32, u128>>,
+    stats: CacheStats,
+}
+
+impl WorkerCtx {
+    /// Creates a context over `store` with minimum-sized caches (they grow
+    /// with the store, up to the same cap as the single-owner manager).
+    pub fn new(store: Arc<SharedManager>) -> Self {
+        WorkerCtx {
+            store,
+            apply_cache: vec![ApplyEntry::invalid(); MIN_TABLE],
+            ite_cache: vec![IteEntry::invalid(); MIN_TABLE],
+            cache_gen: 1,
+            count_memo: RefCell::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The shared store this context operates on.
+    pub fn store(&self) -> &Arc<SharedManager> {
+        &self.store
+    }
+
+    /// Snapshot of this worker's cache counters (`unique_rehashes` stays 0:
+    /// the shared store's chained unique tables never rehash).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets this worker's cache counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates this worker's operation caches and counting memo (the
+    /// shared node store is untouched; other workers are unaffected).
+    pub fn clear_caches(&mut self) {
+        self.cache_gen = self.cache_gen.wrapping_add(1);
+        if self.cache_gen == 0 {
+            self.apply_cache.fill(ApplyEntry::invalid());
+            self.ite_cache.fill(IteEntry::invalid());
+            self.cache_gen = 1;
+        }
+        self.count_memo.borrow_mut().clear();
+    }
+
+    /// Number of variables of the underlying store.
+    pub fn num_vars(&self) -> usize {
+        self.store.num_vars()
+    }
+
+    /// Number of published nodes of the underlying (shared) store.
+    pub fn num_nodes(&self) -> usize {
+        self.store.num_nodes()
+    }
+
+    /// The constant-0 function.
+    pub fn zero(&self) -> Bdd {
+        ZERO
+    }
+
+    /// The constant-1 function.
+    pub fn one(&self) -> Bdd {
+        ONE
+    }
+
+    /// Returns `true` if `f` is the constant 0.
+    pub fn is_zero(&self, f: Bdd) -> bool {
+        f == ZERO
+    }
+
+    /// Returns `true` if `f` is the constant 1.
+    pub fn is_one(&self, f: Bdd) -> bool {
+        f == ONE
+    }
+
+    /// Negation `¬f` — a free bit flip.
+    pub fn not(&self, f: Bdd) -> Bdd {
+        f.complemented()
+    }
+
+    /// Evaluates `f` on a minterm (bit `i` = value of variable `i`).
+    pub fn eval(&self, f: Bdd, minterm: u64) -> bool {
+        self.store.eval(f, minterm)
+    }
+
+    /// The projection function for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn variable(&mut self, var: usize) -> Bdd {
+        assert!(var < self.num_vars(), "variable index out of range");
+        self.mk(var as u32, ZERO, ONE)
+    }
+
+    /// The complemented projection function `¬x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn nvariable(&mut self, var: usize) -> Bdd {
+        let x = self.variable(var);
+        x.complemented()
+    }
+
+    /// Returns the literal `x_var` or `¬x_var` depending on `positive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn literal(&mut self, var: usize, positive: bool) -> Bdd {
+        if positive {
+            self.variable(var)
+        } else {
+            self.nvariable(var)
+        }
+    }
+
+    /// Shared-store `mk_node` with this worker's unique-probe statistics.
+    fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        let (r, probe) = self.store.mk_node_tracked(var, low, high);
+        if let Some(hit) = probe {
+            self.stats.unique_lookups += 1;
+            if hit {
+                self.stats.unique_hits += 1;
+            }
+        }
+        r
+    }
+
+    /// Keeps the lossy caches proportional to the shared store (up to the
+    /// same cap as the single-owner manager). Called at public operation
+    /// entries; growth discards current entries, which is safe (lossy).
+    fn maybe_grow_caches(&mut self) {
+        let nodes = self.store.num_nodes();
+        let len = self.apply_cache.len();
+        if len >= MAX_CACHE || nodes <= len {
+            return;
+        }
+        let mut new_len = len;
+        while new_len < nodes && new_len < MAX_CACHE {
+            new_len *= 2;
+        }
+        self.apply_cache = vec![ApplyEntry::invalid(); new_len];
+        self.ite_cache = vec![IteEntry::invalid(); new_len];
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.maybe_grow_caches();
+        self.and_rec(f, g)
+    }
+
+    fn and_rec(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == g || g == ONE {
+            return f;
+        }
+        if f == ONE {
+            return g;
+        }
+        if f == ZERO || g == ZERO || f == g.complemented() {
+            return ZERO;
+        }
+        // Commutative: normalize operand order for cache sharing.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+
+        let mask = (self.apply_cache.len() - 1) as u64;
+        let slot = (hash3(u32::from(OP_AND), f.0, g.0) & mask) as usize;
+        let e = self.apply_cache[slot];
+        if e.gen == self.cache_gen && e.op == OP_AND && e.f == f.0 && e.g == g.0 {
+            self.stats.apply_hits += 1;
+            return Bdd(e.result);
+        }
+        self.stats.apply_misses += 1;
+
+        let var = self.store.level2var[self.store.top_level(f).min(self.store.top_level(g))];
+        let (f0, f1) = self.store.cofactors_at(f, var as usize);
+        let (g0, g1) = self.store.cofactors_at(g, var as usize);
+        let low = self.and_rec(f0, g0);
+        let high = self.and_rec(f1, g1);
+        let result = self.mk(var, low, high);
+
+        self.apply_cache[slot] =
+            ApplyEntry { op: OP_AND, f: f.0, g: g.0, result: result.0, gen: self.cache_gen };
+        result
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.maybe_grow_caches();
+        self.xor_rec(f, g)
+    }
+
+    fn xor_rec(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == g {
+            return ZERO;
+        }
+        if f == g.complemented() {
+            return ONE;
+        }
+        if f == ZERO {
+            return g;
+        }
+        if g == ZERO {
+            return f;
+        }
+        if f == ONE {
+            return g.complemented();
+        }
+        if g == ONE {
+            return f.complemented();
+        }
+        // ⊕ commutes with complement: strip the input flags into one output
+        // flag so all four polarities share one cache entry.
+        let out = f.is_complemented() ^ g.is_complemented();
+        let (f, g) = (f.regular(), g.regular());
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+
+        let mask = (self.apply_cache.len() - 1) as u64;
+        let slot = (hash3(u32::from(OP_XOR), f.0, g.0) & mask) as usize;
+        let e = self.apply_cache[slot];
+        if e.gen == self.cache_gen && e.op == OP_XOR && e.f == f.0 && e.g == g.0 {
+            self.stats.apply_hits += 1;
+            return Bdd(e.result ^ u32::from(out));
+        }
+        self.stats.apply_misses += 1;
+
+        let var = self.store.level2var[self.store.top_level(f).min(self.store.top_level(g))];
+        let (f0, f1) = self.store.cofactors_at(f, var as usize);
+        let (g0, g1) = self.store.cofactors_at(g, var as usize);
+        let low = self.xor_rec(f0, g0);
+        let high = self.xor_rec(f1, g1);
+        let result = self.mk(var, low, high);
+
+        self.apply_cache[slot] =
+            ApplyEntry { op: OP_XOR, f: f.0, g: g.0, result: result.0, gen: self.cache_gen };
+        Bdd(result.0 ^ u32::from(out))
+    }
+
+    /// Disjunction `f ∨ g = ¬(¬f ∧ ¬g)` (shares the AND cache).
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let r = self.and(f.complemented(), g.complemented());
+        r.complemented()
+    }
+
+    /// Set difference `f ∧ ¬g` (shares the AND cache).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.and(f, g.complemented())
+    }
+
+    /// Equivalence `f ⊙ g` (XNOR).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        x.complemented()
+    }
+
+    /// Implication `f ⇒ g = ¬(f ∧ ¬g)`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let d = self.diff(f, g);
+        d.complemented()
+    }
+
+    /// Joint denial `¬(f ∨ g)` (NOR).
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.and(f.complemented(), g.complemented())
+    }
+
+    /// Alternative denial `¬(f ∧ g)` (NAND).
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let a = self.and(f, g);
+        a.complemented()
+    }
+
+    /// Returns `true` if the on-set of `f` is a subset of the on-set of `g`.
+    pub fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
+        let d = self.diff(f, g);
+        self.is_zero(d)
+    }
+
+    /// Returns `true` if `f` and `g` share no on-set minterm.
+    pub fn is_disjoint(&mut self, f: Bdd, g: Bdd) -> bool {
+        let a = self.and(f, g);
+        self.is_zero(a)
+    }
+
+    /// The if-then-else operator `ite(f, g, h) = f·g + f'·h`, with the same
+    /// normalization and two-operand routing as the single-owner manager.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        self.maybe_grow_caches();
+        self.ite_rec(f, g, h)
+    }
+
+    fn ite_rec(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f == ONE {
+            return g;
+        }
+        if f == ZERO {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == h.complemented() {
+            return self.xor_rec(f, h);
+        }
+        // Two-operand cases route to the cached binary operations.
+        if h == ZERO || f == h {
+            return self.and_rec(f, g);
+        }
+        if g == ONE || f == g {
+            let r = self.and_rec(f.complemented(), h.complemented());
+            return r.complemented();
+        }
+        if g == ZERO || f == g.complemented() {
+            return self.and_rec(h, f.complemented());
+        }
+        if h == ONE || f == h.complemented() {
+            let d = self.and_rec(f, g.complemented());
+            return d.complemented();
+        }
+
+        // Normalize: regular f (swap the branches), then regular g
+        // (complement the output).
+        let (mut f, mut g, mut h) = (f, g, h);
+        if f.is_complemented() {
+            f = f.complemented();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let out = g.is_complemented();
+        if out {
+            g = g.complemented();
+            h = h.complemented();
+        }
+
+        let mask = (self.ite_cache.len() - 1) as u64;
+        let slot = (hash3(f.0, g.0, h.0) & mask) as usize;
+        let e = self.ite_cache[slot];
+        if e.gen == self.cache_gen && e.f == f.0 && e.g == g.0 && e.h == h.0 {
+            self.stats.ite_hits += 1;
+            return Bdd(e.result ^ u32::from(out));
+        }
+        self.stats.ite_misses += 1;
+
+        let level =
+            self.store.top_level(f).min(self.store.top_level(g)).min(self.store.top_level(h));
+        let var = self.store.level2var[level];
+        let (f0, f1) = self.store.cofactors_at(f, var as usize);
+        let (g0, g1) = self.store.cofactors_at(g, var as usize);
+        let (h0, h1) = self.store.cofactors_at(h, var as usize);
+        let low = self.ite_rec(f0, g0, h0);
+        let high = self.ite_rec(f1, g1, h1);
+        let result = self.mk(var, low, high);
+
+        self.ite_cache[slot] =
+            IteEntry { f: f.0, g: g.0, h: h.0, result: result.0, gen: self.cache_gen };
+        Bdd(result.0 ^ u32::from(out))
+    }
+
+    /// Builds the BDD of a single [`Cube`]. The cube may mention fewer
+    /// variables than the store (the function is then independent of the
+    /// rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions a variable outside the store.
+    pub fn cube(&mut self, cube: &Cube) -> Bdd {
+        assert!(cube.num_vars() <= self.num_vars(), "cube mentions variables outside the store");
+        let mut result = ONE;
+        // Build bottom-up in the store's order (deepest level first) so
+        // every mk_node call extends the chain at the top.
+        for level in (0..self.num_vars()).rev() {
+            let var = self.store.level2var[level] as usize;
+            if var >= cube.num_vars() {
+                continue;
+            }
+            match cube.value(var) {
+                boolfunc::CubeValue::DontCare => {}
+                boolfunc::CubeValue::One => {
+                    result = self.mk(var as u32, ZERO, result);
+                }
+                boolfunc::CubeValue::Zero => {
+                    result = self.mk(var as u32, result, ZERO);
+                }
+            }
+        }
+        result
+    }
+
+    /// Builds the BDD of a [`Cover`] (disjunction of its cubes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover mentions a variable outside the store.
+    pub fn cover(&mut self, cover: &Cover) -> Bdd {
+        let mut result = ZERO;
+        for c in cover.iter() {
+            let cb = self.cube(c);
+            result = self.or(result, cb);
+        }
+        result
+    }
+
+    /// Builds the BDD of a dense [`TruthTable`]. Unlike
+    /// [`BddManager::from_truth_table`](crate::BddManager::from_truth_table), the table may have *fewer*
+    /// variables than the store: one shared store serves jobs of mixed
+    /// arities, and the lifted function is independent of the unused
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more variables than the store.
+    pub fn from_truth_table(&mut self, table: &TruthTable) -> Bdd {
+        assert!(
+            table.num_vars() <= self.num_vars(),
+            "truth table mentions variables outside the store"
+        );
+        // Recurse over the table's variables only, visited in the store's
+        // level order so mk_node sees children strictly below.
+        let mut vars: Vec<u32> = (0..table.num_vars() as u32).collect();
+        vars.sort_by_key(|&v| self.store.var2level[v as usize]);
+        self.table_rec(table, &vars, 0, 0)
+    }
+
+    fn table_rec(&mut self, table: &TruthTable, vars: &[u32], depth: usize, prefix: u64) -> Bdd {
+        if depth == vars.len() {
+            return if table.get(prefix) { ONE } else { ZERO };
+        }
+        let var = vars[depth];
+        let low = self.table_rec(table, vars, depth + 1, prefix);
+        let high = self.table_rec(table, vars, depth + 1, prefix | (1u64 << var));
+        self.mk(var, low, high)
+    }
+
+    /// Number of minterms of `f` over all variables of the store. A `&self`
+    /// query (the memo lives in this worker context), so read-only analyses
+    /// never contend on the shared store.
+    pub fn sat_count(&self, f: Bdd) -> u64 {
+        let mut memo = self.count_memo.borrow_mut();
+        memo.clear();
+        let total = self.count_edge(f, 0, &mut memo);
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
+
+    /// Fraction of the 2^n minterms on which `f` is 1.
+    pub fn density(&self, f: Bdd) -> f64 {
+        self.sat_count(f) as f64 / (1u128 << self.num_vars()) as f64
+    }
+
+    fn count_edge(&self, f: Bdd, level: usize, memo: &mut HashMap<u32, u128>) -> u128 {
+        let span = self.num_vars() - level;
+        if self.is_one(f) {
+            return 1u128 << span;
+        }
+        if self.is_zero(f) {
+            return 0;
+        }
+        let node_level = self.store.top_level(f);
+        let below = self.count_node(f, memo);
+        let regular = below << (node_level - level);
+        if f.is_complemented() {
+            (1u128 << span) - regular
+        } else {
+            regular
+        }
+    }
+
+    fn count_node(&self, f: Bdd, memo: &mut HashMap<u32, u128>) -> u128 {
+        let idx = f.index() as u32;
+        if let Some(&c) = memo.get(&idx) {
+            return c;
+        }
+        let n = self.store.node(f);
+        let level = self.store.top_level(f);
+        let c = self.count_edge(n.low, level + 1, memo) + self.count_edge(n.high, level + 1, memo);
+        memo.insert(idx, c);
+        c
+    }
+}
+
+impl fmt::Debug for WorkerCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WorkerCtx(vars={}, shared_nodes={})", self.num_vars(), self.num_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::BddManager;
+
+    fn pseudo_table(num_vars: usize, salt: u64) -> TruthTable {
+        TruthTable::from_fn(num_vars, |m| {
+            (m ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) % 7 < 3
+        })
+    }
+
+    #[test]
+    fn chunk_split_covers_the_local_id_space() {
+        assert_eq!(ChunkDir::<AtomicU32>::split(0), (0, 0));
+        assert_eq!(
+            ChunkDir::<AtomicU32>::split((1 << CHUNK0_BITS) - 1),
+            (0, (1 << CHUNK0_BITS) - 1)
+        );
+        assert_eq!(ChunkDir::<AtomicU32>::split(1 << CHUNK0_BITS), (1, 0));
+        assert_eq!(ChunkDir::<AtomicU32>::split(3 << CHUNK0_BITS), (2, 0));
+        // Exhaustive continuity + bounds over the chunk boundaries.
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for c in 0..4usize {
+            for off in 0..(1usize << CHUNK0_BITS) << c {
+                expected.push((c, off));
+            }
+        }
+        for (i, &(c, off)) in expected.iter().enumerate() {
+            assert_eq!(ChunkDir::<AtomicU32>::split(i as u32), (c, off), "slot {i}");
+        }
+        // The top local id still lands inside the spine.
+        let (c, _) = ChunkDir::<AtomicU32>::split(MAX_LOCAL - 1);
+        assert!(c < MAX_CHUNKS);
+    }
+
+    #[test]
+    fn constants_and_variables_match_the_private_manager_encoding() {
+        let store = Arc::new(SharedManager::new(3));
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        assert_eq!(ctx.one(), Bdd(0));
+        assert_eq!(ctx.zero(), Bdd(1));
+        assert!(ctx.is_one(ctx.one()));
+        assert!(ctx.is_zero(ctx.zero()));
+        let x0 = ctx.variable(0);
+        assert!(!x0.is_complemented());
+        assert_eq!(store.top_var(x0), 0);
+        assert_eq!(ctx.sat_count(x0), 4);
+        store.check_invariants();
+    }
+
+    #[test]
+    fn operations_match_the_private_manager_semantically() {
+        let num_vars = 6;
+        let ta = pseudo_table(num_vars, 0xA5A5);
+        let tb = pseudo_table(num_vars, 0x1234);
+
+        let mut mgr = BddManager::new(num_vars);
+        let fa = mgr.from_truth_table(&ta);
+        let fb = mgr.from_truth_table(&tb);
+
+        let store = Arc::new(SharedManager::new(num_vars));
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        let sa = ctx.from_truth_table(&ta);
+        let sb = ctx.from_truth_table(&tb);
+
+        let pairs: Vec<(Bdd, Bdd)> = vec![
+            (mgr.and(fa, fb), ctx.and(sa, sb)),
+            (mgr.or(fa, fb), ctx.or(sa, sb)),
+            (mgr.xor(fa, fb), ctx.xor(sa, sb)),
+            (mgr.diff(fa, fb), ctx.diff(sa, sb)),
+            (mgr.xnor(fa, fb), ctx.xnor(sa, sb)),
+            (mgr.implies(fa, fb), ctx.implies(sa, sb)),
+            (mgr.nor(fa, fb), ctx.nor(sa, sb)),
+            (mgr.nand(fa, fb), ctx.nand(sa, sb)),
+            (mgr.ite(fa, fb, fa.complemented()), ctx.ite(sa, sb, sa.complemented())),
+        ];
+        for (m, s) in pairs {
+            for minterm in 0..(1u64 << num_vars) {
+                assert_eq!(mgr.eval(m, minterm), ctx.eval(s, minterm));
+            }
+            assert_eq!(mgr.sat_count(m), ctx.sat_count(s));
+        }
+        assert_eq!(mgr.is_subset(fa, fb), ctx.is_subset(sa, sb));
+        assert_eq!(mgr.is_disjoint(fa, fb), ctx.is_disjoint(sa, sb));
+        mgr.check_invariants();
+        store.check_invariants();
+    }
+
+    #[test]
+    fn hash_consing_is_global_across_worker_contexts() {
+        let num_vars = 5;
+        let t = pseudo_table(num_vars, 0xBEEF);
+        let store = Arc::new(SharedManager::new(num_vars));
+        let mut a = WorkerCtx::new(Arc::clone(&store));
+        let mut b = WorkerCtx::new(Arc::clone(&store));
+        let fa = a.from_truth_table(&t);
+        let before = store.num_nodes();
+        let fb = b.from_truth_table(&t);
+        assert_eq!(fa, fb, "two workers building one function must get one edge");
+        assert_eq!(store.num_nodes(), before, "the second build must allocate nothing");
+        store.check_invariants();
+    }
+
+    #[test]
+    fn narrow_tables_lift_independently_of_unused_variables() {
+        let t = pseudo_table(4, 0x7777);
+        let store = Arc::new(SharedManager::new(9));
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        let f = ctx.from_truth_table(&t);
+        for m in 0..(1u64 << 9) {
+            assert_eq!(ctx.eval(f, m), t.get(m & 0xF), "lifted function must ignore upper vars");
+        }
+        // 4 table variables over a 9-variable store: counts scale by 2^5.
+        assert_eq!(ctx.sat_count(f) >> 5, t.count_ones());
+        store.check_invariants();
+    }
+
+    #[test]
+    fn cube_and_cover_match_the_private_manager() {
+        let cover = boolfunc::Cover::from_strs(5, &["1--0-", "01-1-", "--011", "0---0"])
+            .expect("valid cubes");
+        let mut mgr = BddManager::new(5);
+        let m = mgr.cover(&cover);
+        let store = Arc::new(SharedManager::new(5));
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        let s = ctx.cover(&cover);
+        for minterm in 0..(1u64 << 5) {
+            assert_eq!(mgr.eval(m, minterm), ctx.eval(s, minterm));
+        }
+        store.check_invariants();
+    }
+
+    #[test]
+    fn respects_a_seeded_variable_order() {
+        let t = pseudo_table(4, 0xD00D);
+        let order = [3usize, 1, 0, 2];
+        let mut mgr = BddManager::new(4);
+        mgr.set_order(&order);
+        let m = mgr.from_truth_table(&t);
+
+        let mut store = SharedManager::new(4);
+        store.set_order(&order);
+        assert_eq!(store.var_order(), order.to_vec());
+        let store = Arc::new(store);
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        let s = ctx.from_truth_table(&t);
+        for minterm in 0..16u64 {
+            assert_eq!(mgr.eval(m, minterm), ctx.eval(s, minterm));
+        }
+        // Same order, same functions: the diagrams have the same size.
+        assert_eq!(mgr.num_nodes(), store.num_nodes());
+        store.check_invariants();
+    }
+
+    #[test]
+    fn external_pins_are_audited() {
+        let store = Arc::new(SharedManager::new(3));
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        let x0 = ctx.variable(0);
+        let x1 = ctx.variable(1);
+        let f = ctx.and(x0, x1);
+        store.incref(f);
+        store.incref(x0);
+        store.check_invariants();
+        store.decref(x0);
+        store.check_invariants();
+        store.decref(f);
+        store.check_invariants();
+        // Pinning a constant is a no-op and must not unbalance the audit.
+        store.incref(store.one());
+        store.check_invariants();
+    }
+
+    #[test]
+    fn worker_caches_grow_with_the_store_and_clear_locally() {
+        let num_vars = 12;
+        let store = Arc::new(SharedManager::new(num_vars));
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        let t = pseudo_table(num_vars, 0xCAFE);
+        let f = ctx.from_truth_table(&t);
+        assert!(ctx.apply_cache.len() >= store.num_nodes().min(MAX_CACHE) / 2);
+        let hits_before = ctx.stats().apply_hits;
+        let g = ctx.and(f, f.complemented());
+        assert!(ctx.is_zero(g));
+        ctx.clear_caches();
+        assert_eq!(ctx.stats().apply_hits, hits_before, "clear_caches must not change counters");
+        assert_eq!(ctx.sat_count(f), t.count_ones());
+        store.check_invariants();
+    }
+
+    /// The satellite stress shape: 8 threads hammer one store with
+    /// overlapping apply calls over shared operands, then the joined store
+    /// must pass the full invariant audit and every result must be the
+    /// function it claims to be.
+    #[test]
+    fn eight_threads_hammer_one_store() {
+        let num_vars = 10;
+        let store = Arc::new(SharedManager::new(num_vars));
+        let tables: Vec<TruthTable> =
+            (0..8).map(|i| pseudo_table(num_vars, 0x1111 * (i + 1))).collect();
+        let handles: Vec<_> = (0..8u64)
+            .map(|tid| {
+                let store = Arc::clone(&store);
+                let tables = tables.clone();
+                std::thread::spawn(move || {
+                    let mut ctx = WorkerCtx::new(store);
+                    let mut results = Vec::new();
+                    // Every thread touches every table (maximal overlap) but
+                    // combines them in a thread-dependent rotation.
+                    for round in 0..tables.len() {
+                        let a = &tables[(tid as usize + round) % tables.len()];
+                        let b = &tables[round];
+                        let fa = ctx.from_truth_table(a);
+                        let fb = ctx.from_truth_table(b);
+                        let c = ctx.and(fa, fb);
+                        let x = ctx.xor(fa, fb);
+                        let o = ctx.or(c, x);
+                        results.push((a.clone(), b.clone(), c, x, o));
+                    }
+                    results
+                })
+            })
+            .collect();
+        for h in handles {
+            for (a, b, c, x, o) in h.join().expect("stress worker panicked") {
+                let ctx = WorkerCtx::new(Arc::clone(&store));
+                for m in 0..(1u64 << num_vars) {
+                    let (va, vb) = (a.get(m), b.get(m));
+                    assert_eq!(ctx.eval(c, m), va & vb);
+                    assert_eq!(ctx.eval(x, m), va ^ vb);
+                    assert_eq!(ctx.eval(o, m), (va & vb) | (va ^ vb));
+                }
+            }
+        }
+        store.check_invariants();
+        // The node set is demand-determined: rebuilding everything single-
+        // threaded allocates nothing new.
+        let before = store.num_nodes();
+        let mut ctx = WorkerCtx::new(Arc::clone(&store));
+        for round in 0..tables.len() {
+            for tid in 0..tables.len() {
+                let fa = ctx.from_truth_table(&tables[(tid + round) % tables.len()]);
+                let fb = ctx.from_truth_table(&tables[round]);
+                let c = ctx.and(fa, fb);
+                let x = ctx.xor(fa, fb);
+                ctx.or(c, x);
+            }
+        }
+        assert_eq!(store.num_nodes(), before, "stress left demand-unreachable nodes behind");
+    }
+}

@@ -10,7 +10,7 @@
 //! per job, so the report is bit-identical regardless of thread count or
 //! scheduling.
 //!
-//! Two [`Backend`]s execute the jobs:
+//! Three [`Backend`]s execute the jobs:
 //!
 //! * [`Backend::Dense`] — the allocation-free word-parallel path
 //!   ([`QuotientScratch`] plus the `_sets` verifiers) on packed truth
@@ -22,6 +22,14 @@
 //!   backend cannot represent at all. On dense instances its divisors are
 //!   bit-identical to the dense backend's (same noise words, same algebra),
 //!   so the two backends produce the same report minterm counts.
+//! * [`Backend::BddShared`] — the same symbolic path on one
+//!   [`SharedManager`] shared by every worker: each worker runs a
+//!   [`WorkerCtx`] (private operation caches) over the single sharded,
+//!   globally hash-consed node store, so structure common across jobs is
+//!   built exactly once. Semantic results are bit-identical to
+//!   [`Backend::Bdd`] and independent of thread count; per-job `bdd_nodes`
+//!   is reported as 0 (nodes are pooled) and the store-wide total lands in
+//!   [`SweepReport::shared_nodes`].
 //!
 //! Besides the quotient sweep, the module hosts a second sweep kind:
 //! [`sweep_synthesis`] fans the recursive bi-decomposition synthesizer
@@ -46,9 +54,10 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use bdd::{force_order, Bdd, BddManager, SiftConfig};
+use bdd::{force_order, Bdd, BddManager, BddOps, SharedManager, SiftConfig, WorkerCtx};
 use benchmarks::{DetRng, Suite, SymbolicFunction};
 use boolfunc::{Isf, TruthTable};
 
@@ -73,6 +82,13 @@ pub enum Backend {
     /// BDDs in a per-worker manager; also sweeps the suite's symbolic
     /// instances, which have no dense representation.
     Bdd,
+    /// BDDs in **one** [`SharedManager`] serving every worker through a
+    /// per-worker [`WorkerCtx`]. Sweeps the same job set as [`Backend::Bdd`]
+    /// and produces the same semantic results (minterm counts, verdicts) —
+    /// but nodes common across jobs are built once, globally hash-consed,
+    /// instead of once per job. Dynamic reordering is ignored (the shared
+    /// store's quiescence rule: no sifting while workers hold handles).
+    BddShared,
 }
 
 impl Backend {
@@ -81,6 +97,7 @@ impl Backend {
         match self {
             Backend::Dense => "dense",
             Backend::Bdd => "bdd",
+            Backend::BddShared => "bdd-shared",
         }
     }
 }
@@ -265,8 +282,8 @@ pub fn seeded_divisor(f: &Isf, op: BinaryOp, seed: u64) -> TruthTable {
 /// At large arities the engine feeds it a seeded
 /// [`benchmarks::symbolic::noise_cover`] instead, keeping the divisor's BDD
 /// small while the side condition still holds by construction.
-pub fn seeded_divisor_bdd(
-    mgr: &mut BddManager,
+pub fn seeded_divisor_bdd<M: BddOps>(
+    mgr: &mut M,
     f_on: Bdd,
     f_dc: Bdd,
     noise: Bdd,
@@ -398,6 +415,11 @@ pub struct SweepReport {
     pub operators: Vec<OperatorStats>,
     /// End-to-end wall time of the sweep in microseconds.
     pub wall_micros: u64,
+    /// Total nodes of the one shared store after the sweep
+    /// ([`Backend::BddShared`] only; 0 otherwise). The store is append-only
+    /// while shared, so this is also its peak — report it once, never summed
+    /// per worker.
+    pub shared_nodes: u64,
 }
 
 impl SweepReport {
@@ -443,6 +465,9 @@ struct WorkerScratch {
     scratch: QuotientScratch,
     sets: QuotientSets,
     mgr: Option<BddManager>,
+    /// The worker's view of the one shared store ([`Backend::BddShared`]
+    /// only): a clone of the store handle plus worker-private caches.
+    ctx: Option<WorkerCtx>,
 }
 
 impl WorkerScratch {
@@ -452,7 +477,14 @@ impl WorkerScratch {
             scratch: QuotientScratch::new(0),
             sets: QuotientSets::zero(0),
             mgr: None,
+            ctx: None,
         }
+    }
+
+    /// A scratch whose worker context (if `store` is given) shares the one
+    /// sweep-wide node store.
+    fn for_store(store: Option<&Arc<SharedManager>>) -> Self {
+        WorkerScratch { ctx: store.map(|s| WorkerCtx::new(Arc::clone(s))), ..Self::new() }
     }
 
     fn ensure(&mut self, num_vars: usize) {
@@ -486,20 +518,23 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
     assert!(!config.ops.is_empty(), "the engine needs at least one operator");
     let instances = suite.instances();
     let mut specs = Vec::new();
+    let mut max_arity = 0;
     for (instance, inst) in instances.iter().enumerate() {
         if inst.num_inputs() > config.max_inputs {
             continue;
         }
+        max_arity = max_arity.max(inst.num_inputs());
         for output in 0..inst.num_outputs().min(config.max_outputs) {
             for op_index in 0..config.ops.len() {
                 specs.push(JobSpec { instance, output, op_index, symbolic: false });
             }
         }
     }
-    // Symbolic instances have no dense representation: only the BDD backend
+    // Symbolic instances have no dense representation: only the BDD backends
     // can execute them.
-    if config.backend == Backend::Bdd {
+    if matches!(config.backend, Backend::Bdd | Backend::BddShared) {
         for (instance, inst) in suite.symbolic_instances().iter().enumerate() {
+            max_arity = max_arity.max(inst.num_inputs());
             for output in 0..inst.num_outputs().min(config.max_outputs) {
                 for op_index in 0..config.ops.len() {
                     specs.push(JobSpec { instance, output, op_index, symbolic: true });
@@ -508,11 +543,22 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
         }
     }
 
+    // One store for every worker and every job: sized at the widest enumerated
+    // arity, narrower jobs run over its variable prefix (counts are shifted
+    // back down by the unused variables when reported).
+    let store = match config.backend {
+        Backend::BddShared => Some(Arc::new(SharedManager::new(max_arity))),
+        _ => None,
+    };
+
     let threads = config.effective_threads().clamp(1, specs.len().max(1));
     let start = Instant::now();
-    let jobs = run_pool(&specs, threads, WorkerScratch::new, |buffers, spec| {
-        run_job(suite, config, *spec, buffers)
-    });
+    let jobs = run_pool(
+        &specs,
+        threads,
+        || WorkerScratch::for_store(store.as_ref()),
+        |buffers, spec| run_job(suite, config, *spec, buffers),
+    );
     let wall_micros = start.elapsed().as_micros() as u64;
 
     let operators = aggregate(&config.ops, &jobs);
@@ -523,6 +569,7 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
         jobs,
         operators,
         wall_micros,
+        shared_nodes: store.map_or(0, |s| s.num_nodes() as u64),
     }
 }
 
@@ -658,6 +705,7 @@ fn run_job(
     match config.backend {
         Backend::Dense => run_job_dense(suite, config, spec, buffers),
         Backend::Bdd => run_job_bdd(suite, config, spec, buffers),
+        Backend::BddShared => run_job_shared(suite, config, spec, buffers),
     }
 }
 
@@ -834,6 +882,98 @@ fn run_job_bdd(
         bdd_nodes: mgr.num_nodes() as u64,
         // The oracle audit needs dense tables; symbolic jobs are never
         // audited, so the BDD backend reports every job as unaudited.
+        oracle_audited: false,
+        oracle_agreed: true,
+        nanos: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// The shared-store job runner: [`run_job_bdd`]'s pipeline on the worker's
+/// [`WorkerCtx`] view of the one sweep-wide [`SharedManager`].
+///
+/// Differences from the per-worker manager path, both consequences of the
+/// store being shared:
+///
+/// * **No reordering.** The store's variable order is fixed for the whole
+///   sweep (the quiescence rule: sifting moves nodes, which would invalidate
+///   handles other workers hold), so [`EngineConfig::reorder`] is ignored.
+/// * **Arity lifting.** Every job runs over the variable prefix of the one
+///   store (sized at the sweep's widest arity). The store's extra variables
+///   are don't-appear variables of every job function, so each reported
+///   count is the store-wide count shifted down by the unused variables —
+///   bit-identical to the counts an exact-arity manager reports.
+///
+/// Per-job `bdd_nodes` is reported as 0: nodes are globally pooled and
+/// job-attribution would depend on scheduling. The store-wide total (equal
+/// to its peak — the shared arena is append-only) is reported once, in
+/// [`SweepReport::shared_nodes`].
+fn run_job_shared(
+    suite: &Suite,
+    config: &EngineConfig,
+    spec: JobSpec,
+    buffers: &mut WorkerScratch,
+) -> JobResult {
+    let op = config.ops[spec.op_index];
+    // Same seed derivation as the other backends: symbolic instances continue
+    // the dense index space.
+    let seed_instance =
+        if spec.symbolic { suite.instances().len() + spec.instance } else { spec.instance };
+    let seed = config.job_seed(seed_instance, spec.output, spec.op_index);
+    let (name, num_vars) = if spec.symbolic {
+        let inst = &suite.symbolic_instances()[spec.instance];
+        (inst.name(), inst.num_inputs())
+    } else {
+        let inst = &suite.instances()[spec.instance];
+        (inst.name(), inst.num_inputs())
+    };
+    let start = Instant::now();
+
+    let ctx = buffers.ctx.as_mut().expect("the shared backend seeds every worker with a context");
+    let shift = ctx.num_vars() - num_vars;
+    let (f_on, f_dc, noise) = if spec.symbolic {
+        let inst = &suite.symbolic_instances()[spec.instance];
+        let cover = benchmarks::symbolic::noise_cover(num_vars, seed);
+        let (f_on, f_dc) = inst.build_output(ctx, spec.output);
+        let noise = ctx.cover(&cover);
+        (f_on, f_dc, noise)
+    } else {
+        let f = &suite.instances()[spec.instance].outputs()[spec.output];
+        let f_on = ctx.from_truth_table(f.on());
+        let f_dc = ctx.from_truth_table(f.dc());
+        // The same noise words the dense backend draws, lifted symbolically.
+        let mut rng = DetRng::seed_from_u64(seed);
+        let noise_tt = TruthTable::from_words(num_vars, || rng.next_u64());
+        let noise = ctx.from_truth_table(&noise_tt);
+        (f_on, f_dc, noise)
+    };
+
+    let g = seeded_divisor_bdd(ctx, f_on, f_dc, noise, op);
+    assert!(
+        is_valid_divisor_bdd(ctx, f_on, f_dc, g, op),
+        "seeded divisor violates the {op} side condition"
+    );
+    let (h_on, h_dc) = full_quotient_bdd(ctx, f_on, f_dc, g, op);
+    let verified = verify_decomposition_bdd(ctx, f_on, f_dc, g, h_on, h_dc, op);
+    let maximal = verify_maximal_flexibility_bdd(ctx, f_on, f_dc, g, h_on, h_dc, op);
+
+    let h_off = quotient_off_bdd(ctx, h_on, h_dc);
+    let err = {
+        let x = ctx.xor(g, f_on);
+        ctx.diff(x, f_dc)
+    };
+    JobResult {
+        instance: name.to_string(),
+        output: spec.output,
+        op,
+        num_vars,
+        on_minterms: ctx.sat_count(h_on) >> shift,
+        dc_minterms: ctx.sat_count(h_dc) >> shift,
+        off_minterms: ctx.sat_count(h_off) >> shift,
+        divisor_errors: ctx.sat_count(err) >> shift,
+        verified,
+        maximal,
+        bdd_nodes: 0,
+        // Like the per-worker BDD backend: the oracle needs dense tables.
         oracle_audited: false,
         oracle_agreed: true,
         nanos: start.elapsed().as_nanos() as u64,
@@ -1467,6 +1607,91 @@ mod tests {
             some_job_shrank |= b.bdd_nodes < a.bdd_nodes;
         }
         assert!(some_job_shrank, "reordering should shrink at least one large-suite job");
+    }
+
+    /// The semantic tuple minus `bdd_nodes`: the shared backend pools nodes
+    /// (per-job counts are reported as 0), so cross-backend comparisons pin
+    /// every field except node attribution.
+    #[allow(clippy::type_complexity)]
+    fn semantic_sans_nodes(
+        j: &JobResult,
+    ) -> (&str, usize, BinaryOp, usize, u64, u64, u64, u64, bool, bool) {
+        (
+            &j.instance,
+            j.output,
+            j.op,
+            j.num_vars,
+            j.on_minterms,
+            j.dc_minterms,
+            j.off_minterms,
+            j.divisor_errors,
+            j.verified,
+            j.maximal,
+        )
+    }
+
+    #[test]
+    fn shared_backend_matches_the_private_backends_on_smoke() {
+        let suite = Suite::smoke();
+        let dense = sweep(&suite, &EngineConfig { threads: 2, ..EngineConfig::default() });
+        let bdd = sweep(
+            &suite,
+            &EngineConfig { threads: 2, backend: Backend::Bdd, ..EngineConfig::default() },
+        );
+        let shared = sweep(
+            &suite,
+            &EngineConfig { threads: 2, backend: Backend::BddShared, ..EngineConfig::default() },
+        );
+        assert_eq!(dense.total_jobs(), shared.total_jobs());
+        assert_eq!(bdd.total_jobs(), shared.total_jobs());
+        for ((d, b), s) in dense.jobs.iter().zip(&bdd.jobs).zip(&shared.jobs) {
+            assert_eq!(semantic_sans_nodes(d), semantic_sans_nodes(s));
+            assert_eq!(semantic_sans_nodes(b), semantic_sans_nodes(s));
+            assert_eq!(s.bdd_nodes, 0, "shared jobs pool their nodes");
+        }
+        assert_eq!(dense.shared_nodes, 0);
+        assert_eq!(bdd.shared_nodes, 0);
+        assert!(shared.shared_nodes > 1, "the one store must have built real nodes");
+    }
+
+    #[test]
+    fn shared_backend_is_deterministic_across_thread_counts_and_reruns() {
+        let suite = Suite::large();
+        let base = EngineConfig {
+            backend: Backend::BddShared,
+            max_outputs: 1,
+            ops: vec![BinaryOp::And, BinaryOp::Xor],
+            ..EngineConfig::default()
+        };
+        let one = sweep(&suite, &EngineConfig { threads: 1, ..base.clone() });
+        let two = sweep(&suite, &EngineConfig { threads: 2, ..base.clone() });
+        let eight = sweep(&suite, &EngineConfig { threads: 8, ..base.clone() });
+        let again = sweep(&suite, &EngineConfig { threads: 8, ..base.clone() });
+        assert!(one.all_verified(), "every shared symbolic job must verify");
+        assert!(one.jobs.iter().any(|j| j.num_vars >= 40), "the large suite reaches 40 inputs");
+        assert_eq!(one.total_jobs(), eight.total_jobs());
+        for ((a, b), (c, d)) in
+            one.jobs.iter().zip(&two.jobs).zip(eight.jobs.iter().zip(&again.jobs))
+        {
+            assert_eq!(a.semantic(), b.semantic(), "shared sweep depends on thread count");
+            assert_eq!(a.semantic(), c.semantic(), "shared sweep depends on thread count");
+            assert_eq!(a.semantic(), d.semantic(), "shared sweep is not rerun-stable");
+        }
+        // The final node-set is demand-determined: hash consing makes the
+        // store contents (not just the report) independent of scheduling.
+        assert_eq!(one.shared_nodes, eight.shared_nodes);
+        assert_eq!(one.shared_nodes, again.shared_nodes);
+
+        // Reordering is ignored on the shared backend (quiescence rule), so a
+        // reorder config changes nothing at all.
+        let reordered = sweep(
+            &suite,
+            &EngineConfig { threads: 2, reorder: Some(ReorderConfig::default()), ..base },
+        );
+        for (a, b) in one.jobs.iter().zip(&reordered.jobs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
+        assert_eq!(one.shared_nodes, reordered.shared_nodes);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property test pinning the shared-manager backend bit-identical to the
+//! private backends: the same ≥256-case corpus as
+//! `bdd_backend_matches_dense` (seeded random dividends × all ten Table I
+//! operators) is driven through [`WorkerCtx`] views of **one**
+//! [`SharedManager`], from several threads at once, and every divisor, every
+//! Table II quotient set and both verification verdicts must agree exactly
+//! with the dense ground truth — which `bdd_backend_matches_dense` pins to
+//! the private [`bdd::BddManager`], so agreement here is transitively
+//! agreement between the two symbolic backends.
+//!
+//! Unlike the private-manager corpus, every case shares one store sized at
+//! the widest arity: narrower cases run over its variable prefix and their
+//! counts shift down by the unused variables — exactly what the engine's
+//! `Backend::BddShared` does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bdd::{Bdd, SharedManager, WorkerCtx};
+use benchmarks::DetRng;
+use bidecomp::engine::{seeded_divisor, seeded_divisor_bdd};
+use bidecomp::{
+    is_valid_divisor_bdd, quotient_sets, verify_decomposition_bdd, verify_decomposition_sets,
+    verify_maximal_flexibility_bdd, verify_maximal_flexibility_sets, BinaryOp,
+};
+use boolfunc::{Isf, TruthTable};
+
+const CASES: usize = 260;
+const ARITIES: [usize; 6] = [3, 5, 6, 7, 9, 11];
+const STORE_VARS: usize = 11;
+
+/// The same deterministic random ISF stream as `bdd_backend_matches_dense`.
+fn random_isf(n: usize, rng: &mut DetRng) -> Isf {
+    let dc_a = TruthTable::from_words(n, || rng.next_u64());
+    let dc_b = TruthTable::from_words(n, || rng.next_u64());
+    let f_dc = &dc_a & &dc_b;
+    let f_on = TruthTable::from_words(n, || rng.next_u64()).difference(&f_dc);
+    Isf::new(f_on, f_dc).expect("on and dc are disjoint by construction")
+}
+
+/// Asserts that `f` (a function in `ctx`'s store, over the variable prefix
+/// of `expect`'s arity) is the exact lift of the dense table: same minterm
+/// count after shifting out the store's unused variables, same value on
+/// every minterm.
+fn assert_set_matches(ctx: &WorkerCtx, f: Bdd, expect: &TruthTable, label: &str) {
+    let n = expect.num_vars();
+    let shift = ctx.num_vars() - n;
+    assert_eq!(ctx.sat_count(f) >> shift, expect.count_ones(), "{label}: count");
+    for m in 0..(1u64 << n) {
+        assert_eq!(ctx.eval(f, m), expect.get(m), "{label}: minterm {m}");
+    }
+}
+
+/// Replays corpus case `case` through `ctx` and checks every artifact
+/// against the dense backend.
+fn check_case(ctx: &mut WorkerCtx, case: usize) {
+    let n = ARITIES[case % ARITIES.len()];
+    let mut rng = DetRng::seed_from_u64(0xB1DE ^ (case as u64) << 8);
+    let f = random_isf(n, &mut rng);
+    let f_on = ctx.from_truth_table(f.on());
+    let f_dc = ctx.from_truth_table(f.dc());
+
+    for (i, op) in BinaryOp::all().into_iter().enumerate() {
+        let seed = 0xD1CE_0000 ^ (case as u64) << 16 ^ i as u64;
+
+        let g_dense = seeded_divisor(&f, op, seed);
+        let noise = {
+            let mut noise_rng = DetRng::seed_from_u64(seed);
+            let tt = TruthTable::from_words(n, || noise_rng.next_u64());
+            ctx.from_truth_table(&tt)
+        };
+        let g = seeded_divisor_bdd(ctx, f_on, f_dc, noise, op);
+        assert_set_matches(ctx, g, &g_dense, &format!("case {case}, {op}: divisor"));
+        assert!(is_valid_divisor_bdd(ctx, f_on, f_dc, g, op), "case {case}, {op}");
+
+        let dense = quotient_sets(&f, &g_dense, op);
+        let (h_on, h_dc) = bidecomp::full_quotient_bdd(ctx, f_on, f_dc, g, op);
+        let h_off = bidecomp::quotient_off_bdd(ctx, h_on, h_dc);
+        assert_set_matches(ctx, h_on, &dense.on, &format!("case {case}, {op}: on"));
+        assert_set_matches(ctx, h_dc, &dense.dc, &format!("case {case}, {op}: dc"));
+        assert_set_matches(ctx, h_off, &dense.off, &format!("case {case}, {op}: off"));
+
+        let dense_verified = verify_decomposition_sets(&f, &g_dense, &dense.on, &dense.dc, op);
+        let dense_maximal = verify_maximal_flexibility_sets(&f, &g_dense, &dense.on, &dense.dc, op);
+        let shared_verified = verify_decomposition_bdd(ctx, f_on, f_dc, g, h_on, h_dc, op);
+        let shared_maximal = verify_maximal_flexibility_bdd(ctx, f_on, f_dc, g, h_on, h_dc, op);
+        assert_eq!(shared_verified, dense_verified, "case {case}, {op}: verified");
+        assert_eq!(shared_maximal, dense_maximal, "case {case}, {op}: maximal");
+        assert!(shared_verified && shared_maximal, "case {case}, {op}: quotient must verify");
+    }
+}
+
+#[test]
+fn shared_backend_is_bit_identical_to_the_dense_backend_across_workers() {
+    let store = Arc::new(SharedManager::new(STORE_VARS));
+
+    // All 260 cases, claimed from a shared counter by four workers hammering
+    // the one store concurrently — the assertions run inside the workers, so
+    // any divergence fails the join below.
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ctx = WorkerCtx::new(Arc::clone(&store));
+                    loop {
+                        let case = next.fetch_add(1, Ordering::Relaxed);
+                        if case >= CASES {
+                            break;
+                        }
+                        check_case(&mut ctx, case);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("a corpus case diverged from the dense backend");
+        }
+    });
+    store.check_invariants();
+
+    // Hash consing makes the store contents demand-determined: replaying a
+    // slice of the corpus single-threaded allocates nothing new.
+    let before = store.num_nodes();
+    let mut ctx = WorkerCtx::new(Arc::clone(&store));
+    for case in 0..ARITIES.len() {
+        check_case(&mut ctx, case);
+    }
+    assert_eq!(store.num_nodes(), before, "a replay must be answered from the shared store");
+}

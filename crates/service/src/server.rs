@@ -6,7 +6,8 @@
 //! One JSON object per line in each direction. Requests carry a `"verb"`:
 //!
 //! * `decompose` — `{"verb":"decompose","num_vars":N,"f_on":HEX,
-//!   "f_dc":HEX?,"op":"AND","g":HEX?,"seed":S?,"no_cache":B?,"tables":B?}`.
+//!   "f_dc":HEX?,"op":"AND","g":HEX?,"seed":S?,"no_cache":B?,"tables":B?,
+//!   "symbolic":B?}`.
 //!   Truth tables travel as fixed-width hex words ([`table_to_hex`] /
 //!   [`table_from_hex`]). Without `g`, a seed-stable valid divisor is
 //!   derived server-side (`bidecomp::engine::seeded_divisor` with `seed`;
@@ -14,7 +15,11 @@
 //!   The reply reports the quotient's on/dc/off minterm counts, the
 //!   Lemma 1–5 (`verified`) and Corollary 1–4 (`maximal`) verdicts, and
 //!   `cache` ∈ `hit`/`miss`/`bypass`; with `"tables":true` it includes
-//!   `h_on`/`h_dc` hex words.
+//!   `h_on`/`h_dc` hex words. With `"symbolic":true` the quotient and both
+//!   verifications run on BDDs in the service's one shared
+//!   [`bdd::SharedManager`] (every worker a [`bdd::WorkerCtx`] view of the
+//!   same sharded store), the NPN cache is bypassed and `cache` reports
+//!   `shared` — the response is otherwise bit-identical to the dense path.
 //! * `synthesize` — `{"verb":"synthesize","num_vars":N,"f_on":HEX,
 //!   "f_dc":HEX?,"no_cache":B?}`. Runs the recursive bi-decomposition
 //!   synthesizer; the reply reports gates, depth, branches, mapped/flat
@@ -94,11 +99,13 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
+use bdd::{SharedManager, WorkerCtx};
 use bidecomp::approximation::is_valid_divisor;
 use bidecomp::engine::{seeded_divisor, try_run_pool};
 use bidecomp::{
-    full_quotient, verify_decomposition, verify_maximal_flexibility, verify_network, BinaryOp,
-    QuotientCache, RecursiveConfig, RecursiveSynthesizer,
+    full_quotient, full_quotient_bdd, quotient_off_bdd, verify_decomposition,
+    verify_decomposition_bdd, verify_maximal_flexibility, verify_maximal_flexibility_bdd,
+    verify_network, BinaryOp, QuotientCache, RecursiveConfig, RecursiveSynthesizer,
 };
 use boolfunc::{Isf, TruthTable};
 use techmap::AreaModel;
@@ -322,6 +329,9 @@ enum Payload {
         op: BinaryOp,
         no_cache: bool,
         tables: bool,
+        /// Route the quotient and verifications through the service's shared
+        /// BDD store instead of the dense word-parallel path.
+        symbolic: bool,
     },
     Synthesize {
         f: Isf,
@@ -387,6 +397,12 @@ struct Counters {
 struct ServiceState {
     config: ServiceConfig,
     cache: Option<Arc<NpnCache>>,
+    /// The one shared BDD store of the service, sized at `max_vars`: every
+    /// worker's `symbolic` decompose requests hash-cons into it, so
+    /// structure recurring across requests and connections is built once.
+    /// Append-only for the server's lifetime (the shared store's quiescence
+    /// rule: no reordering or GC while workers hold handles).
+    shared: Arc<SharedManager>,
     config_fp: u64,
     queue: Mutex<VecDeque<QueueItem>>,
     available: Condvar,
@@ -470,9 +486,11 @@ impl Server {
             .then(|| Arc::new(NpnCache::new(config.cache_capacity, config.cache_shards)));
         let config_fp = config_fingerprint(&config.recursive);
         let seed = config.faults.as_ref().map_or(0x5EED, |plan| plan.seed);
+        let shared = Arc::new(SharedManager::new(config.max_vars));
         let state = Arc::new(ServiceState {
             config,
             cache,
+            shared,
             config_fp,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -772,7 +790,9 @@ fn inline_cache_hit(
 ) -> Option<String> {
     let cache = state.cache.as_ref()?;
     match &request.payload {
-        Payload::Decompose { f, g, seed, op, no_cache: false, tables } => {
+        // Symbolic requests bypass the NPN cache entirely (they answer from
+        // the shared store on a worker), so only dense requests hit inline.
+        Payload::Decompose { f, g, seed, op, no_cache: false, tables, symbolic: false } => {
             let g = g.clone().unwrap_or_else(|| seeded_divisor(f, *op, *seed));
             if !cache.has_quotient(f, &g, *op) {
                 return None;
@@ -853,6 +873,9 @@ struct Worker {
     cached: RecursiveSynthesizer,
     uncached: RecursiveSynthesizer,
     area: AreaModel,
+    /// This worker's view of the service's shared BDD store (private
+    /// operation caches over the one sharded node arena).
+    ctx: WorkerCtx,
 }
 
 fn make_worker(state: &ServiceState) -> Worker {
@@ -863,7 +886,12 @@ fn make_worker(state: &ServiceState) -> Worker {
         }
         None => uncached.clone(),
     };
-    Worker { cached, uncached, area: AreaModel::mcnc() }
+    Worker {
+        cached,
+        uncached,
+        area: AreaModel::mcnc(),
+        ctx: WorkerCtx::new(Arc::clone(&state.shared)),
+    }
 }
 
 /// One worker's life: pop a request, handle it (under `catch_unwind`),
@@ -973,13 +1001,24 @@ fn handle(
     inject_panic: bool,
 ) -> String {
     match &request.payload {
-        Payload::Decompose { f, g, seed, op, no_cache, tables } => {
+        Payload::Decompose { f, g, seed, op, no_cache, tables, symbolic } => {
             state.counters.decompose.fetch_add(1, Ordering::Relaxed);
             if inject_panic {
                 panic!("{INJECTED_PANIC_MESSAGE}");
             }
-            let result =
-                handle_decompose(state, f, g.as_ref(), *seed, *op, *no_cache, *tables, deadline);
+            let result = if *symbolic {
+                handle_decompose_shared(
+                    &mut worker.ctx,
+                    f,
+                    g.as_ref(),
+                    *seed,
+                    *op,
+                    *tables,
+                    deadline,
+                )
+            } else {
+                handle_decompose(state, f, g.as_ref(), *seed, *op, *no_cache, *tables, deadline)
+            };
             finish(state, result, &request.id)
         }
         Payload::Synthesize { f, no_cache } => {
@@ -1060,6 +1099,68 @@ fn handle_decompose(
     if tables {
         fields.push(("h_on".into(), json::s(table_to_hex(h.on()))));
         fields.push(("h_dc".into(), json::s(table_to_hex(h.dc()))));
+    }
+    Ok(Value::Object(fields))
+}
+
+/// [`handle_decompose`]'s symbolic twin: the Table II pipeline on the
+/// worker's [`WorkerCtx`] view of the service's one shared BDD store.
+///
+/// The request's tables are lifted onto the store's variable prefix (the
+/// store is sized at `max_vars`; narrower arities leave the extra variables
+/// unused), the quotient and both verifications run symbolically, and each
+/// reported count is the store-wide count shifted down by the unused
+/// variables — so the response fields are bit-identical to the dense path's.
+/// The NPN cache is untouched; `cache` reports `shared` (the shared store's
+/// global hash consing *is* the memoization: repeated structure costs
+/// lookups, not nodes).
+fn handle_decompose_shared(
+    ctx: &mut WorkerCtx,
+    f: &Isf,
+    g: Option<&TruthTable>,
+    seed: u64,
+    op: BinaryOp,
+    tables: bool,
+    deadline: Option<Instant>,
+) -> Result<Value, RequestError> {
+    let g = match g {
+        Some(g) => g.clone(),
+        None => seeded_divisor(f, op, seed),
+    };
+    if !is_valid_divisor(f, &g, op) {
+        return Err(format!("divisor violates the Table II side condition of {op}").into());
+    }
+    let shift = ctx.num_vars() - f.num_vars();
+    let f_on = ctx.from_truth_table(f.on());
+    let f_dc = ctx.from_truth_table(f.dc());
+    let g_bdd = ctx.from_truth_table(&g);
+    let (h_on, h_dc) = full_quotient_bdd(ctx, f_on, f_dc, g_bdd, op);
+    let h_off = quotient_off_bdd(ctx, h_on, h_dc);
+    // Same deadline contract as the dense path: the quotient is cheap,
+    // verification is the expensive step.
+    if deadline_expired(deadline) {
+        return Err(RequestError::Deadline);
+    }
+    let verified = verify_decomposition_bdd(ctx, f_on, f_dc, g_bdd, h_on, h_dc, op);
+    let maximal = verify_maximal_flexibility_bdd(ctx, f_on, f_dc, g_bdd, h_on, h_dc, op);
+    let mut fields = vec![
+        ("ok".into(), Value::Bool(true)),
+        ("verb".into(), json::s("decompose")),
+        ("num_vars".into(), json::num(f.num_vars() as u64)),
+        ("op".into(), json::s(op.symbol())),
+        ("on_minterms".into(), json::num(ctx.sat_count(h_on) >> shift)),
+        ("dc_minterms".into(), json::num(ctx.sat_count(h_dc) >> shift)),
+        ("off_minterms".into(), json::num(ctx.sat_count(h_off) >> shift)),
+        ("verified".into(), Value::Bool(verified)),
+        ("maximal".into(), Value::Bool(maximal)),
+        ("cache".into(), json::s("shared")),
+    ];
+    if tables {
+        let n = f.num_vars();
+        let h_on_tt = TruthTable::from_fn(n, |m| ctx.eval(h_on, m));
+        let h_dc_tt = TruthTable::from_fn(n, |m| ctx.eval(h_dc, m));
+        fields.push(("h_on".into(), json::s(table_to_hex(&h_on_tt))));
+        fields.push(("h_dc".into(), json::s(table_to_hex(&h_dc_tt))));
     }
     Ok(Value::Object(fields))
 }
@@ -1214,6 +1315,7 @@ fn stats_value(state: &ServiceState) -> Value {
         ("rejected_connections".into(), json::num(c.rejected_connections.load(Ordering::Relaxed))),
         ("slow_clients".into(), json::num(c.slow_clients.load(Ordering::Relaxed))),
         ("line_overflows".into(), json::num(c.line_overflows.load(Ordering::Relaxed))),
+        ("shared_nodes".into(), json::num(state.shared.num_nodes() as u64)),
         ("cache".into(), cache),
     ])
 }
@@ -1321,6 +1423,7 @@ fn parse_request(line: &str, config: &ServiceConfig) -> Result<Request, String> 
                 op,
                 no_cache: bool_field(&doc, "no_cache"),
                 tables: bool_field(&doc, "tables"),
+                symbolic: bool_field(&doc, "symbolic"),
             }
         }
         "synthesize" => {
@@ -1430,12 +1533,12 @@ mod tests {
             "00000000000000c0" // x0 x1 (minterms 6 and 7)
         );
         match parse_request(&line, &config).unwrap().payload {
-            Payload::Decompose { f, op, seed, g, no_cache, tables } => {
+            Payload::Decompose { f, op, seed, g, no_cache, tables, symbolic } => {
                 assert_eq!(f.num_vars(), 3);
                 assert_eq!(f.on().count_ones(), 2);
                 assert_eq!(op, BinaryOp::And);
                 assert_eq!(seed, 7);
-                assert!(g.is_none() && !no_cache && !tables);
+                assert!(g.is_none() && !no_cache && !tables && !symbolic);
             }
             other => panic!("expected a decompose payload, got {other:?}"),
         }

@@ -224,3 +224,87 @@ fn pipelined_requests_come_back_in_order() {
     drop(reader);
     handle.join().expect("server thread");
 }
+
+#[test]
+fn symbolic_decompose_matches_the_dense_path() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut client = Client::connect(addr);
+
+    // The same requests through both paths, at several arities (all narrower
+    // than the shared store's max_vars, exercising the prefix lifting):
+    // every reported field except `cache` must be bit-identical.
+    for (n, seed) in [(3usize, 11u64), (4, 7), (6, 99), (9, 3)] {
+        let f = Isf::completely_specified(TruthTable::from_fn(n, |m| {
+            (m ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13) % 5 < 2
+        }));
+        for op in ["AND", "XOR", "NOR", "IMPL"] {
+            let base = format!(
+                r#""num_vars":{n},"f_on":"{}","op":"{op}","seed":{seed},"tables":true"#,
+                table_to_hex(f.on()),
+            );
+            let dense =
+                client.roundtrip(&format!(r#"{{"verb":"decompose",{base},"no_cache":true}}"#));
+            assert!(bool_field(&dense, "ok"), "error: {dense}");
+            let symbolic =
+                client.roundtrip(&format!(r#"{{"verb":"decompose",{base},"symbolic":true}}"#));
+            assert!(bool_field(&symbolic, "ok"), "error: {symbolic}");
+            assert_eq!(str_field(&dense, "cache"), "bypass");
+            assert_eq!(str_field(&symbolic, "cache"), "shared");
+            for key in ["on_minterms", "dc_minterms", "off_minterms"] {
+                assert_eq!(
+                    u64_field(&dense, key),
+                    u64_field(&symbolic, key),
+                    "{key} diverges at n={n} {op}"
+                );
+            }
+            for key in ["verified", "maximal"] {
+                assert_eq!(bool_field(&dense, key), bool_field(&symbolic, key));
+                assert!(bool_field(&symbolic, key), "n={n} {op}: {symbolic}");
+            }
+            for key in ["h_on", "h_dc"] {
+                assert_eq!(
+                    str_field(&dense, key),
+                    str_field(&symbolic, key),
+                    "{key} diverges at n={n} {op}"
+                );
+            }
+        }
+    }
+
+    // The shared store is observable (and non-trivial) through stats.
+    let stats = client.roundtrip(r#"{"verb":"stats"}"#);
+    assert!(u64_field(&stats, "shared_nodes") > 1, "stats: {stats}");
+
+    // Concurrent symbolic requests from several connections hammer the one
+    // store; every response must still verify and match its dense twin.
+    let threads: Vec<_> = (0..4)
+        .map(|t: u64| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..8u64 {
+                    let n = 5 + ((t + i) % 3) as usize;
+                    let f = Isf::completely_specified(TruthTable::from_fn(n, |m| {
+                        (m ^ (t << 8) ^ i).wrapping_mul(0xD134_2543_DE82_EF95) % 7 < 3
+                    }));
+                    let request = format!(
+                        r#"{{"verb":"decompose","num_vars":{n},"f_on":"{}","op":"XOR","seed":{i},"symbolic":true}}"#,
+                        table_to_hex(f.on()),
+                    );
+                    let response = client.roundtrip(&request);
+                    assert!(bool_field(&response, "ok"), "error: {response}");
+                    assert!(bool_field(&response, "verified"));
+                    assert!(bool_field(&response, "maximal"));
+                    let g = bidecomp::engine::seeded_divisor(&f, BinaryOp::Xor, i);
+                    let h = full_quotient(&f, &g, BinaryOp::Xor).unwrap();
+                    assert_eq!(u64_field(&response, "dc_minterms"), h.dc().count_ones());
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("a concurrent symbolic request diverged");
+    }
+
+    client.roundtrip(r#"{"verb":"shutdown"}"#);
+    handle.join().expect("server thread");
+}
