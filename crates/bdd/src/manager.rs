@@ -137,18 +137,27 @@ impl SubTable {
     }
 
     fn find(&self, low: u32, high: u32) -> Option<u32> {
+        self.find_counted(low, high).0
+    }
+
+    /// Like `find`, but also reports how many slots the linear probe
+    /// inspected (≥ 1 on a non-empty table) so the manager can expose mean
+    /// probe-chain length as a load-factor health metric.
+    fn find_counted(&self, low: u32, high: u32) -> (Option<u32>, u64) {
         if self.slots.is_empty() {
-            return None;
+            return (None, 0);
         }
         let mask = self.slots.len() - 1;
         let mut i = (hash2(low, high) as usize) & mask;
+        let mut steps = 0u64;
         loop {
+            steps += 1;
             let s = self.slots[i];
             if s.id == EMPTY {
-                return None;
+                return (None, steps);
             }
             if s.low == low && s.high == high {
-                return Some(s.id);
+                return (Some(s.id), steps);
             }
             i = (i + 1) & mask;
         }
@@ -286,6 +295,13 @@ impl IteEntry {
 /// maintain — plain integer increments on paths that already touch the
 /// corresponding table — and let the engine report cache effectiveness per
 /// sweep.
+///
+/// This struct doubles as the per-worker **local recorder** for the `obs`
+/// registry: hot paths bump these plain fields for free and a merge point
+/// folds them into shared [`obs::Counter`]s via [`CacheStats::merge_into`].
+/// New code should read manager health from an [`obs::Registry`] snapshot
+/// rather than threading this struct around; it is kept as a thin
+/// compatibility accessor for existing tests and benches.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// `mk_node` lookups that probed a unique subtable (trivial reductions
@@ -293,6 +309,10 @@ pub struct CacheStats {
     pub unique_lookups: u64,
     /// Lookups resolved by an existing node (hash-consing hits).
     pub unique_hits: u64,
+    /// Total slots (open addressing) or chain links (shared manager)
+    /// inspected across all unique lookups; `unique_probe_steps /
+    /// unique_lookups` is the mean probe-chain length.
+    pub unique_probe_steps: u64,
     /// Times a unique subtable doubled and re-inserted its nodes.
     pub unique_rehashes: u64,
     /// Cached binary apply (`AND`/`XOR`) cache hits.
@@ -320,6 +340,39 @@ impl CacheStats {
         } else {
             self.apply_hits as f64 / total as f64
         }
+    }
+
+    /// Field-wise accumulation, used by per-worker recorders that sum
+    /// per-job deltas before merging them into a registry.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.unique_lookups += other.unique_lookups;
+        self.unique_hits += other.unique_hits;
+        self.unique_probe_steps += other.unique_probe_steps;
+        self.unique_rehashes += other.unique_rehashes;
+        self.apply_hits += other.apply_hits;
+        self.apply_misses += other.apply_misses;
+        self.ite_hits += other.ite_hits;
+        self.ite_misses += other.ite_misses;
+        self.sift_passes += other.sift_passes;
+        self.level_swaps += other.level_swaps;
+        self.gc_runs += other.gc_runs;
+    }
+
+    /// Fold these counts into `registry` under `prefix` (one counter per
+    /// field, e.g. `prefix.apply_hits`). Intended for merge points — once per
+    /// worker or per request — never per operation.
+    pub fn merge_into(&self, registry: &obs::Registry, prefix: &str) {
+        registry.add(&format!("{prefix}.unique_lookups"), self.unique_lookups);
+        registry.add(&format!("{prefix}.unique_hits"), self.unique_hits);
+        registry.add(&format!("{prefix}.unique_probe_steps"), self.unique_probe_steps);
+        registry.add(&format!("{prefix}.unique_rehashes"), self.unique_rehashes);
+        registry.add(&format!("{prefix}.apply_hits"), self.apply_hits);
+        registry.add(&format!("{prefix}.apply_misses"), self.apply_misses);
+        registry.add(&format!("{prefix}.ite_hits"), self.ite_hits);
+        registry.add(&format!("{prefix}.ite_misses"), self.ite_misses);
+        registry.add(&format!("{prefix}.sift_passes"), self.sift_passes);
+        registry.add(&format!("{prefix}.level_swaps"), self.level_swaps);
+        registry.add(&format!("{prefix}.gc_runs"), self.gc_runs);
     }
 }
 
@@ -756,7 +809,9 @@ impl BddManager {
             "children must sit strictly below the node's level"
         );
         self.stats.unique_lookups += 1;
-        if let Some(id) = self.subtables[var as usize].find(low.0, high.0) {
+        let (found, steps) = self.subtables[var as usize].find_counted(low.0, high.0);
+        self.stats.unique_probe_steps += steps;
+        if let Some(id) = found {
             self.stats.unique_hits += 1;
             return Bdd(id << 1);
         }

@@ -196,19 +196,23 @@ impl Shard {
     }
 
     /// Lock-free unique-table probe: walks bucket `b`'s chain for the key.
-    /// Returns the node's *local* id. Safe concurrently with insertions —
+    /// Returns the node's *local* id plus the number of chain links
+    /// inspected (the probe-chain length, reported per worker as a
+    /// load-factor health metric). Safe concurrently with insertions —
     /// the `Acquire` head load pairs with the inserter's `Release` store,
     /// and everything deeper in the chain was published even earlier.
-    fn find(&self, var: u32, low: Bdd, high: Bdd, b: usize) -> Option<u32> {
+    fn find(&self, var: u32, low: Bdd, high: Bdd, b: usize) -> (Option<u32>, u64) {
         let mut local = self.buckets[b].load(Ordering::Acquire);
+        let mut steps = 0u64;
         while local != EMPTY_ID {
+            steps += 1;
             let n = self.nodes.get(local).get().expect("bucket chain links an unpublished node");
             if n.var == var && n.low == low && n.high == high {
-                return Some(local);
+                return (Some(local), steps);
             }
             local = self.links.get(local).load(Ordering::Acquire);
         }
-        None
+        (None, steps)
     }
 }
 
@@ -227,6 +231,13 @@ pub struct SharedManager {
     /// Net external (non-structural) reference-count contributions, audited
     /// against the per-node counts by [`SharedManager::check_invariants`].
     external_pins: AtomicU64,
+    /// Shard insert-lock acquisitions on the miss path (hash-consing hits
+    /// never lock). With [`SharedManager::with_registry`] this counter lives
+    /// in the caller's registry as `bdd.shared.lock_acquires`.
+    lock_acquires: obs::Counter,
+    /// How many of those acquisitions found the lock already held
+    /// (`try_lock` would have blocked) — the shard contention signal.
+    lock_contended: obs::Counter,
 }
 
 impl SharedManager {
@@ -236,6 +247,26 @@ impl SharedManager {
     ///
     /// Panics if `num_vars > 63` (minterms are addressed with `u64` words).
     pub fn new(num_vars: usize) -> Self {
+        Self::with_counters(num_vars, obs::Counter::new(), obs::Counter::new())
+    }
+
+    /// Like [`SharedManager::new`], but the store's contention counters are
+    /// registered in `registry` as `bdd.shared.lock_acquires` /
+    /// `bdd.shared.lock_contended`, so snapshots of that registry see them
+    /// live (no mirroring step).
+    pub fn with_registry(num_vars: usize, registry: &obs::Registry) -> Self {
+        Self::with_counters(
+            num_vars,
+            registry.counter("bdd.shared.lock_acquires"),
+            registry.counter("bdd.shared.lock_contended"),
+        )
+    }
+
+    fn with_counters(
+        num_vars: usize,
+        lock_acquires: obs::Counter,
+        lock_contended: obs::Counter,
+    ) -> Self {
         assert!(num_vars < 64, "BDD managers address minterms with u64 words");
         let mgr = SharedManager {
             num_vars,
@@ -243,6 +274,8 @@ impl SharedManager {
             level2var: (0..num_vars as u32).collect(),
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             external_pins: AtomicU64::new(0),
+            lock_acquires,
+            lock_contended,
         };
         // The terminal (constant 1) lives at shard 0, slot 0, giving the
         // edge encodings ONE = 0 and ZERO = 1 — the same bit patterns as the
@@ -390,20 +423,20 @@ impl SharedManager {
     /// Hash-consing node constructor (canonical regular then-edges, as the
     /// single-owner manager). Returns the edge plus `Some(hit)` when a
     /// unique-table probe happened (`None` = trivial reduction).
-    fn mk_node_tracked(&self, var: u32, low: Bdd, high: Bdd) -> (Bdd, Option<bool>) {
+    fn mk_node_tracked(&self, var: u32, low: Bdd, high: Bdd) -> (Bdd, Option<(bool, u64)>) {
         if low == high {
             return (low, None);
         }
         if high.is_complemented() {
-            let (r, hit) = self.mk_node_regular(var, low.complemented(), high.complemented());
-            (r.complemented(), Some(hit))
+            let (r, probe) = self.mk_node_regular(var, low.complemented(), high.complemented());
+            (r.complemented(), Some(probe))
         } else {
-            let (r, hit) = self.mk_node_regular(var, low, high);
-            (r, Some(hit))
+            let (r, probe) = self.mk_node_regular(var, low, high);
+            (r, Some(probe))
         }
     }
 
-    fn mk_node_regular(&self, var: u32, low: Bdd, high: Bdd) -> (Bdd, bool) {
+    fn mk_node_regular(&self, var: u32, low: Bdd, high: Bdd) -> (Bdd, (bool, u64)) {
         debug_assert!(!high.is_complemented());
         debug_assert!(low != high);
         debug_assert!(
@@ -417,19 +450,30 @@ impl SharedManager {
         let b = Shard::bucket_of(h);
         // Hash-consing hits — the overwhelmingly common case — never touch
         // the shard lock: the chained index is probed lock-free.
-        if let Some(local) = shard.find(var, low, high, b) {
-            return (Bdd(((local << SHARD_BITS) | shard_idx as u32) << 1), true);
+        let (found, mut steps) = shard.find(var, low, high, b);
+        if let Some(local) = found {
+            return (Bdd(((local << SHARD_BITS) | shard_idx as u32) << 1), (true, steps));
         }
         // Worker panics are isolated per job upstream; the only panic below
         // is the capacity assert, which fires before any mutation, so a
-        // poisoned lock still guards a consistent shard.
-        let mut next_local =
-            shard.next_local.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // poisoned lock still guards a consistent shard. `try_lock` first so
+        // a blocked acquisition is visible as shard contention.
+        let mut next_local = match shard.next_local.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.lock_contended.inc();
+                shard.next_local.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        };
+        self.lock_acquires.inc();
         // Re-probe under the lock: another worker may have published the
         // node between our miss and the acquire. Converging on its id keeps
         // the node set demand-determined.
-        if let Some(local) = shard.find(var, low, high, b) {
-            return (Bdd(((local << SHARD_BITS) | shard_idx as u32) << 1), true);
+        let (found, locked_steps) = shard.find(var, low, high, b);
+        steps += locked_steps;
+        if let Some(local) = found {
+            return (Bdd(((local << SHARD_BITS) | shard_idx as u32) << 1), (true, steps));
         }
         let local = *next_local;
         assert!(local < MAX_LOCAL, "shared node store exceeds edge-indexable handles");
@@ -456,7 +500,12 @@ impl SharedManager {
                 self.ref_of(idx).fetch_add(1, Ordering::Relaxed);
             }
         }
-        (Bdd(id << 1), false)
+        (Bdd(id << 1), (false, steps))
+    }
+
+    /// `(acquires, contended)` of the shard insert locks since construction.
+    pub fn lock_contention(&self) -> (u64, u64) {
+        (self.lock_acquires.get(), self.lock_contended.get())
     }
 
     /// Pins `f`'s node with one external reference (counted separately from
@@ -581,7 +630,7 @@ impl SharedManager {
                 }
                 let h = hash3(nd.var, nd.low.0, nd.high.0);
                 assert_eq!(
-                    shard.find(nd.var, nd.low, nd.high, Shard::bucket_of(h)),
+                    shard.find(nd.var, nd.low, nd.high, Shard::bucket_of(h)).0,
                     Some(local),
                     "node {id} is missing from (or duplicated in) its shard's index"
                 );
@@ -770,8 +819,9 @@ impl WorkerCtx {
     /// Shared-store `mk_node` with this worker's unique-probe statistics.
     fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
         let (r, probe) = self.store.mk_node_tracked(var, low, high);
-        if let Some(hit) = probe {
+        if let Some((hit, steps)) = probe {
             self.stats.unique_lookups += 1;
+            self.stats.unique_probe_steps += steps;
             if hit {
                 self.stats.unique_hits += 1;
             }

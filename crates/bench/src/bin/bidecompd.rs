@@ -11,7 +11,7 @@
 //!     [--max-queue N] [--max-connections N] [--max-line-bytes N] \
 //!     [--read-timeout-ms N] [--write-timeout-ms N] [--drain-deadline-ms N] \
 //!     [--fault-seed N] [--fault-panics PM] [--fault-delays PM] \
-//!     [--fault-delay-ms N] [--fault-drops PM]
+//!     [--fault-delay-ms N] [--fault-drops PM] [--metrics-dump PATH]
 //! ```
 //!
 //! The robustness knobs (`--max-queue` …) take `0` for "unbounded /
@@ -25,6 +25,11 @@
 //! bare port number is also written to the given file once the listener is
 //! bound — which is how scripts (CI, `service_loadgen --port-file`) find
 //! the server without a port race.
+//!
+//! `--metrics-dump PATH` writes the final `bidecomp-metrics-v1` snapshot of
+//! the server's observability registry (the same data the `metrics` verb
+//! serves, without the response envelope) to `PATH` as pretty JSON on clean
+//! shutdown — a flight recorder for soak runs that outlives the process.
 
 use std::process::ExitCode;
 
@@ -34,6 +39,7 @@ use service::{FaultPlan, Server, ServiceConfig};
 struct Args {
     port: u16,
     port_file: Option<String>,
+    metrics_dump: Option<String>,
     config: ServiceConfig,
 }
 
@@ -41,12 +47,14 @@ struct Args {
 /// binaries: a daemon silently falling back to defaults would hand the CI
 /// gate a differently-configured server.
 fn parse_args() -> Args {
-    let mut args = Args { port: 0, port_file: None, config: ServiceConfig::default() };
+    let mut args =
+        Args { port: 0, port_file: None, metrics_dump: None, config: ServiceConfig::default() };
     let mut argv = ArgCursor::from_env("bidecompd");
     while let Some(flag) = argv.next_flag() {
         match flag.as_str() {
             "--port" => args.port = argv.number(&flag) as u16,
             "--port-file" => args.port_file = Some(argv.value(&flag)),
+            "--metrics-dump" => args.metrics_dump = Some(argv.value(&flag)),
             "--workers" => args.config.workers = argv.number(&flag) as usize,
             "--cache-capacity" => args.config.cache_capacity = argv.number(&flag) as usize,
             "--shards" => args.config.cache_shards = argv.number(&flag) as usize,
@@ -139,8 +147,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let registry = server.registry();
     match server.run() {
         Ok(()) => {
+            if let Some(path) = &args.metrics_dump {
+                let snapshot = service::registry_snapshot_value(&registry);
+                if let Err(e) = std::fs::write(path, service::json::pretty(&snapshot)) {
+                    eprintln!("bidecompd: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("bidecompd: metrics written to {path}");
+            }
             println!("bidecompd: shutdown complete");
             ExitCode::SUCCESS
         }

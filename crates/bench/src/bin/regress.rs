@@ -48,8 +48,17 @@
 //!   at most 5 points below the baseline (concurrent first-misses of one
 //!   key can steal a handful of hits). When the baseline carries a
 //!   `robustness` block (the happy-path failure counters), every counter
-//!   is compared exactly — a clean run must stay clean. Latencies are
-//!   reported, never compared.
+//!   is compared exactly — a clean run must stay clean. When it carries a
+//!   `scrape` block (`service_loadgen --scrape`, the server's own
+//!   `bidecomp-metrics-v1` snapshot), the counter **name set** is compared
+//!   exactly (instrumentation must not silently appear or vanish), the
+//!   server must report zero panics, the server-side per-verb request
+//!   counts must equal twice the client-side workload counts (both arms
+//!   replay the same workload; any gap means a request was lost or
+//!   double-counted), and the server-side p99 sits under a wide
+//!   `baseline × (1 + 4 × tolerance)` ceiling (absolute latencies differ
+//!   across hosts far more than same-process ratios do). Client-side
+//!   latencies are reported, never compared.
 //! * `bidecomp-service-chaos-v1` — the chaos arm (`service_loadgen
 //!   --chaos`): the workload shape and fault rates are exact, and the run
 //!   must report **zero lost**, **zero corrupted**, full completion
@@ -60,6 +69,13 @@
 //!   everything except the wall time is deterministic and compared exactly;
 //!   additionally the current run must report zero three-way disagreements
 //!   and a fully effective tamper self-check.
+//! * `bidecomp-obs-overhead-v1` — the observability overhead guard
+//!   (`obs_overhead`): the suite and job count are exact, and the measured
+//!   `overhead_ratio` (sweep wall with the metrics registry attached over
+//!   the wall with it detached, min-of-reps, same process) must stay at or
+//!   under `1 + tolerance`. The ratio is same-process and
+//!   hardware-independent, so it is gated against the absolute ceiling, not
+//!   the baseline's own ratio; raw walls are reported, never compared.
 //!
 //! For the sweep schema, two classes of checks:
 //!
@@ -160,6 +176,7 @@ fn run(args: &Args) -> Result<Vec<String>, String> {
         "bidecomp-service-v1" => run_service(args, &baseline, &current),
         "bidecomp-service-chaos-v1" => run_service_chaos(args, &baseline, &current),
         "bidecomp-oracle-v1" => run_oracle(args, &baseline, &current),
+        "bidecomp-obs-overhead-v1" => run_obs_overhead(args, &baseline, &current),
         other => Err(format!("{}: unknown schema '{other}'", args.baseline)),
     }
 }
@@ -663,6 +680,170 @@ fn run_service(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<Str
         }
         println!("robustness counters: compared exactly (clean run must stay clean)");
     }
+
+    // --- Server-side observability scrape (gated when the baseline carries
+    // one) --- the `metrics` verb's view of the same run: the counter name
+    // set is pinned exactly (instrumentation must not silently appear or
+    // vanish), zero panics, and — both arms replaying the same workload —
+    // the server must have counted exactly twice the client-side verb
+    // totals, or a request was lost or double-counted somewhere between
+    // admission and reply.
+    if let Some(base_scrape) = baseline.get("scrape") {
+        let cur_scrape = current
+            .get("scrape")
+            .ok_or_else(|| format!("{}: missing scrape block", args.current))?;
+        gate_scrape(args, current, base_scrape, cur_scrape, &mut failures)?;
+    }
+
+    Ok(failures)
+}
+
+/// The scrape-block checks of the service gate (see [`run_service`]).
+fn gate_scrape(
+    args: &Args,
+    current: &Value,
+    base_scrape: &Value,
+    cur_scrape: &Value,
+    failures: &mut Vec<String>,
+) -> Result<(), String> {
+    let schema = cur_scrape.get("schema").and_then(Value::as_str);
+    if schema != Some("bidecomp-metrics-v1") {
+        failures.push(format!("scrape schema is {schema:?}, expected bidecomp-metrics-v1"));
+    }
+    let names_of = |scrape: &Value, path: &str| -> Result<Vec<String>, String> {
+        match scrape.get("counters") {
+            Some(Value::Object(fields)) => {
+                Ok(fields.iter().map(|(name, _)| name.clone()).collect())
+            }
+            _ => Err(format!("{path}: scrape block lacks a counters object")),
+        }
+    };
+    let base_names = names_of(base_scrape, &args.baseline)?;
+    let cur_names = names_of(cur_scrape, &args.current)?;
+    println!("scrape counter name set: {} names (compared exactly)", base_names.len());
+    if base_names != cur_names {
+        for name in &base_names {
+            if !cur_names.contains(name) {
+                failures.push(format!("scrape counter '{name}' vanished from the current run"));
+            }
+        }
+        for name in &cur_names {
+            if !base_names.contains(name) {
+                failures.push(format!("scrape counter '{name}' appeared without a baseline"));
+            }
+        }
+    }
+    let counter = |scrape: &Value, name: &str, path: &str| -> Result<u64, String> {
+        scrape
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: scrape block lacks the counter '{name}'"))
+    };
+    let panics = counter(cur_scrape, "server.panics", &args.current)?;
+    if panics != 0 {
+        failures.push(format!("server counted {panics} panic(s) during a happy-path run"));
+    }
+
+    // Zero-lost accounting: cold + cached arms each replay the workload once.
+    for (verb, counter_name, workload_key) in [
+        ("decompose", "server.decompose", "decompose"),
+        ("synthesize", "server.synthesize", "synthesize"),
+    ] {
+        let expected = 2 * u64_field(current, workload_key, &args.current)?;
+        let counted = counter(cur_scrape, counter_name, &args.current)?;
+        if counted != expected {
+            failures.push(format!(
+                "server counted {counted} {verb} request(s), the two arms sent {expected}"
+            ));
+        }
+        let hist = |scrape: &Value, path: &str| -> Result<Value, String> {
+            scrape
+                .get("verbs")
+                .and_then(|v| v.get(verb))
+                .cloned()
+                .ok_or_else(|| format!("{path}: scrape block lacks the {verb} verb"))
+        };
+        let cur_verb = hist(cur_scrape, &args.current)?;
+        let observed = u64_field(&cur_verb, "count", &args.current)?;
+        if observed != expected {
+            failures.push(format!(
+                "server-side {verb} latency histogram holds {observed} sample(s), \
+                 the two arms sent {expected}"
+            ));
+        }
+        let (p50, p99) = (
+            f64_field(&cur_verb, "p50_ms", &args.current)?,
+            f64_field(&cur_verb, "p99_ms", &args.current)?,
+        );
+        if p50 > p99 {
+            failures.push(format!("server-side {verb} p50 {p50} ms exceeds its p99 {p99} ms"));
+        }
+        // Server-side latency ceiling: absolute latencies vary across hosts
+        // far more than same-process ratios do, so the band is deliberately
+        // wide — 4× the ratio tolerance — and only catches order-of-magnitude
+        // regressions (a lock suddenly serializing the drain loop).
+        let base_verb = hist(base_scrape, &args.baseline)?;
+        let base_p99 = f64_field(&base_verb, "p99_ms", &args.baseline)?;
+        let ceiling = base_p99 * (1.0 + 4.0 * args.tolerance);
+        println!(
+            "server-side {verb} latency: baseline p50 {:.2} ms / p99 {base_p99:.2} ms, \
+             current p50 {p50:.2} ms / p99 {p99:.2} ms (ceiling {ceiling:.2} ms)",
+            f64_field(&base_verb, "p50_ms", &args.baseline)?,
+        );
+        if base_p99 > 0.0 && p99 > ceiling {
+            failures.push(format!(
+                "server-side {verb} p99 regression: {p99:.2} ms exceeds the ceiling \
+                 {ceiling:.2} ms (baseline {base_p99:.2} ms, 4 x tolerance {})",
+                args.tolerance
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The obs-overhead gate: the observability layer's cost, measured by the
+/// `obs_overhead` binary as a same-process min-of-reps wall ratio, must stay
+/// at or under `1 + tolerance`. The ratio is hardware-independent, so the
+/// ceiling is absolute rather than relative to the baseline's own ratio —
+/// the committed baseline documents the expected suite/job shape and a
+/// healthy reference ratio.
+fn run_obs_overhead(args: &Args, baseline: &Value, current: &Value) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+
+    let base_suite = baseline.get("suite").and_then(Value::as_str).unwrap_or("?");
+    let cur_suite = current.get("suite").and_then(Value::as_str).unwrap_or("?");
+    if base_suite != cur_suite {
+        failures.push(format!("suite differs: baseline '{base_suite}' vs current '{cur_suite}'"));
+    }
+    let base_jobs = u64_field(baseline, "jobs", &args.baseline)?;
+    let cur_jobs = u64_field(current, "jobs", &args.current)?;
+    if base_jobs != cur_jobs {
+        failures.push(format!("jobs differ: baseline {base_jobs} vs current {cur_jobs}"));
+    }
+
+    let base_ratio = f64_field(baseline, "overhead_ratio", &args.baseline)?;
+    let cur_ratio = f64_field(current, "overhead_ratio", &args.current)?;
+    let ceiling = 1.0 + args.tolerance;
+    println!(
+        "observability overhead: baseline ratio {base_ratio:.3}, current {cur_ratio:.3} \
+         (ceiling {ceiling:.3}, tolerance {})",
+        args.tolerance
+    );
+    if cur_ratio > ceiling {
+        failures.push(format!(
+            "observability overhead regression: ratio {cur_ratio:.3} exceeds the ceiling \
+             {ceiling:.3} (instrumentation must stay effectively free)"
+        ));
+    }
+    println!(
+        "sweep walls: baseline {:.1}/{:.1} ms off/on, current {:.1}/{:.1} ms \
+         (informational; hosts differ)",
+        u64_field(baseline, "wall_off_micros", &args.baseline)? as f64 / 1000.0,
+        u64_field(baseline, "wall_on_micros", &args.baseline)? as f64 / 1000.0,
+        u64_field(current, "wall_off_micros", &args.current)? as f64 / 1000.0,
+        u64_field(current, "wall_on_micros", &args.current)? as f64 / 1000.0,
+    );
 
     Ok(failures)
 }

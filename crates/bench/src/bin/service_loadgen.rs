@@ -8,7 +8,7 @@
 //!     (--port N | --port-file PATH | --chaos) [--requests N] \
 //!     [--connections N] [--num-vars N] [--bases N] [--repeat-ratio F] \
 //!     [--seed N] [--json PATH] [--write-baseline] [--shutdown-server] \
-//!     [--chaos] [--chaos-requests N]
+//!     [--scrape] [--chaos] [--chaos-requests N]
 //! ```
 //!
 //! The workload mirrors a synthesis campaign: a pool of `--bases` seeded
@@ -34,6 +34,14 @@
 //! on the happy path); `regress` compares it against the committed
 //! `BENCH_service_baseline.json` with a tolerance band on the measured
 //! quantities. `--write-baseline` refreshes the baseline.
+//!
+//! `--scrape` additionally pulls the server's `metrics` verb after both
+//! arms and embeds a `scrape` block in the artifact: the full
+//! `bidecomp-metrics-v1` counter map (so `regress` can pin the exact metric
+//! name set and `server.panics == 0`) plus the *server-side* per-verb
+//! latency quantiles (`server.latency.decompose` / `.synthesize`) — the
+//! queue-and-compute time without the client's socket round trip, the
+//! number the client-side `p50_ms`/`p99_ms` above can only approximate.
 //!
 //! ## Chaos mode
 //!
@@ -81,6 +89,7 @@ struct Args {
     json_path: String,
     write_baseline: bool,
     shutdown_server: bool,
+    scrape: bool,
     chaos: bool,
     chaos_requests: usize,
 }
@@ -100,6 +109,7 @@ fn parse_args() -> Args {
         json_path: "BENCH_service.json".to_string(),
         write_baseline: false,
         shutdown_server: false,
+        scrape: false,
         chaos: false,
         chaos_requests: 2000,
     };
@@ -117,6 +127,7 @@ fn parse_args() -> Args {
             "--json" => args.json_path = argv.value(&flag),
             "--write-baseline" => args.write_baseline = true,
             "--shutdown-server" => args.shutdown_server = true,
+            "--scrape" => args.scrape = true,
             "--chaos" => args.chaos = true,
             "--chaos-requests" => args.chaos_requests = (argv.number(&flag) as usize).max(1),
             other => argv.fail(format_args!("unknown argument {other}")),
@@ -368,15 +379,60 @@ fn arm_to_json(arm: &ArmResult) -> Vec<(String, Value)> {
     ]
 }
 
-/// One `stats` round trip against the server.
-fn fetch_stats(port: u16) -> Result<Value, String> {
+/// One single-verb round trip against the server.
+fn fetch_verb(port: u16, verb: &str) -> Result<Value, String> {
     let stream = connect(port)?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writer.write_all(b"{\"verb\":\"stats\"}\n").map_err(|e| e.to_string())?;
+    writer.write_all(format!("{{\"verb\":\"{verb}\"}}\n").as_bytes()).map_err(|e| e.to_string())?;
     writer.flush().map_err(|e| e.to_string())?;
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
-    Value::parse(line.trim()).map_err(|e| format!("unparsable stats response: {e}"))
+    Value::parse(line.trim()).map_err(|e| format!("unparsable {verb} response: {e}"))
+}
+
+/// One `stats` round trip against the server.
+fn fetch_stats(port: u16) -> Result<Value, String> {
+    fetch_verb(port, "stats")
+}
+
+/// The `scrape` block of the artifact, distilled from a `metrics` response:
+/// the verbatim counter map (`regress` pins the exact name set and the
+/// zero-panic invariant) and the server-side per-verb latency quantiles in
+/// milliseconds.
+fn scrape_block(metrics: &Value) -> Result<Value, String> {
+    if metrics.get("schema").and_then(Value::as_str) != Some("bidecomp-metrics-v1") {
+        return Err(format!("metrics response lacks the expected schema: {metrics}"));
+    }
+    let counters =
+        metrics.get("counters").cloned().ok_or_else(|| "metrics without counters".to_string())?;
+    let verb = |name: &str| -> Result<Value, String> {
+        let key = format!("server.latency.{name}");
+        let hist = metrics
+            .get("histograms")
+            .and_then(|h| h.get(&key))
+            .ok_or_else(|| format!("metrics without the {key} histogram"))?;
+        let count = hist.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let quantile_ms = |key: &str| match hist.get(key) {
+            Some(Value::Num(us)) => round3(us / 1000.0),
+            _ => 0.0,
+        };
+        Ok(Value::Object(vec![
+            ("count".into(), json::num(count)),
+            ("p50_ms".into(), Value::Num(quantile_ms("p50_us"))),
+            ("p99_ms".into(), Value::Num(quantile_ms("p99_us"))),
+        ]))
+    };
+    Ok(Value::Object(vec![
+        ("schema".into(), json::s("bidecomp-metrics-v1")),
+        ("counters".into(), counters),
+        (
+            "verbs".into(),
+            Value::Object(vec![
+                ("decompose".into(), verb("decompose")?),
+                ("synthesize".into(), verb("synthesize")?),
+            ]),
+        ),
+    ]))
 }
 
 /// The server's failure counters, lifted out of a `stats` response — the
@@ -816,6 +872,20 @@ fn main() -> ExitCode {
         }
     };
 
+    // With --scrape, also pull the server-side observability snapshot
+    // (before shutdown — the registry dies with the server).
+    let scrape = if args.scrape {
+        match fetch_verb(port, "metrics").and_then(|metrics| scrape_block(&metrics)) {
+            Ok(block) => Some(block),
+            Err(message) => {
+                eprintln!("service_loadgen: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     if args.shutdown_server {
         if let Ok(stream) = connect(port) {
             let mut writer = stream.try_clone().expect("clone stream");
@@ -843,7 +913,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let doc = Value::Object(vec![
+    let mut fields = vec![
         ("schema".into(), json::s("bidecomp-service-v1")),
         ("requests".into(), json::num(workload.len() as u64)),
         ("synthesize".into(), json::num(synth_count as u64)),
@@ -858,7 +928,11 @@ fn main() -> ExitCode {
         ("hit_rate".into(), Value::Num(round3(hit_rate))),
         ("speedup".into(), Value::Num(round3(speedup))),
         ("robustness".into(), robustness),
-    ]);
+    ];
+    if let Some(scrape) = scrape {
+        fields.push(("scrape".into(), scrape));
+    }
+    let doc = Value::Object(fields);
     let text = json::pretty(&doc);
     let path = bench_out_path(&args.json_path);
     if let Err(e) = std::fs::write(&path, &text) {

@@ -29,8 +29,15 @@
 //!   random NPN transforms + fresh functions) against a running `bidecompd`,
 //!   once cache-bypassed and once cached, and serializes throughput,
 //!   latency percentiles, hit rate and the cached-over-cold speedup as
-//!   `BENCH_service.json` (`--write-baseline` refreshes
+//!   `BENCH_service.json` (`--scrape` adds the server's own
+//!   `bidecomp-metrics-v1` snapshot — full counter map plus server-side
+//!   per-verb p50/p99; `--write-baseline` refreshes
 //!   `BENCH_service_baseline.json`);
+//! * `obs_overhead`   — the observability overhead guard: the same sweep
+//!   with the metrics registry detached and attached in strict alternation,
+//!   min-of-reps, asserting result equality and that instrumentation stays
+//!   under `--max-ratio`; serialized as `BENCH_obs_overhead.json`
+//!   (`--write-baseline` refreshes `BENCH_obs_overhead_baseline.json`);
 //! * `oracle_fuzz`    — the cross-backend correctness fuzzer: seeded random
 //!   ISFs driven through the dense, BDD and SAT-oracle verdicts in lockstep
 //!   (any three-way disagreement is a hard failure, with the minimized
@@ -39,10 +46,10 @@
 //!   the failing lemma named; serialized as `BENCH_oracle_fuzz.json`
 //!   (`--write-baseline` refreshes `BENCH_oracle_baseline.json`);
 //! * `regress`        — compares a sweep artifact (`BENCH_sweep.json`,
-//!   `BENCH_bdd_sweep.json`, `BENCH_synth.json`, `BENCH_service.json` or
-//!   `BENCH_oracle_fuzz.json`) against its committed baseline and fails on
-//!   semantic or performance regressions (the CI `bench-smoke` and
-//!   `oracle-fuzz` gates).
+//!   `BENCH_bdd_sweep.json`, `BENCH_synth.json`, `BENCH_service.json`,
+//!   `BENCH_oracle_fuzz.json` or `BENCH_obs_overhead.json`) against its
+//!   committed baseline and fails on semantic or performance regressions
+//!   (the CI `bench-smoke` and `oracle-fuzz` gates).
 
 use std::time::Instant;
 

@@ -141,6 +141,16 @@ pub struct EngineConfig {
     /// thread count — only `bdd_nodes` changes relative to a non-reordered
     /// run (semantic minterm counts and verification verdicts cannot).
     pub reorder: Option<ReorderConfig>,
+    /// Optional observability registry. When set, each worker accumulates a
+    /// plain-field recorder (phase timers, a job-latency histogram, BDD
+    /// manager counters) and merges it into the registry once, when the
+    /// worker retires — no locks or atomics on the job hot path, and phase
+    /// boundaries are clocked on a sampled subset of jobs (see
+    /// [`PHASE_SAMPLE`]) because quotient jobs are sub-microsecond and a
+    /// per-job clock read would dominate them. Metrics never influence
+    /// results: every [`JobResult::semantic`] fingerprint is bit-identical
+    /// with or without a registry attached, at any thread count.
+    pub obs: Option<Arc<obs::Registry>>,
 }
 
 /// Dynamic-variable-ordering policy of the BDD backend
@@ -206,6 +216,7 @@ impl Default for EngineConfig {
             quotient_cache: None,
             oracle: None,
             reorder: None,
+            obs: None,
         }
     }
 }
@@ -420,6 +431,12 @@ pub struct SweepReport {
     /// while shared, so this is also its peak — report it once, never summed
     /// per worker.
     pub shared_nodes: u64,
+    /// Log-bucketed histogram of per-job wall times in microseconds, built
+    /// from the jobs' `nanos` after the pool joins (so it costs nothing on
+    /// the hot path and is present whether or not [`EngineConfig::obs`] is
+    /// set). Wall times are scheduling-dependent; this field is observability
+    /// data, never part of any semantic fingerprint.
+    pub job_latency: obs::HistogramSnapshot,
 }
 
 impl SweepReport {
@@ -468,6 +485,100 @@ struct WorkerScratch {
     /// The worker's view of the one shared store ([`Backend::BddShared`]
     /// only): a clone of the store handle plus worker-private caches.
     ctx: Option<WorkerCtx>,
+    /// Per-worker observability recorder ([`EngineConfig::obs`] only):
+    /// plain-field accumulation per job, merged into the shared registry
+    /// when the worker retires (on drop).
+    rec: Option<EngineRecorder>,
+}
+
+/// Plain-field per-worker metrics, merged into the [`obs::Registry`] exactly
+/// once — from [`Drop`], which the pool reaches both when a worker finishes
+/// its jobs and when a panic rebuilds the worker state (partial counts from
+/// before the panicked job are still merged; the panicked job itself records
+/// nothing).
+struct EngineRecorder {
+    registry: Arc<obs::Registry>,
+    /// Prefix for the accumulated BDD manager counters (`bdd.mgr` for
+    /// per-worker managers, `bdd.worker` for shared-store contexts); `None`
+    /// on the dense backend, which has no manager.
+    bdd_prefix: Option<&'static str>,
+    jobs: u64,
+    /// Jobs whose phase boundaries were actually clocked (the sampled
+    /// subset); divide the phase nanos by this, not by `jobs`.
+    clocked_jobs: u64,
+    /// Drives the phase-clocking sample: job `tick` is clocked iff
+    /// `tick % PHASE_SAMPLE == 0`, so each worker's first job always is.
+    tick: u64,
+    quotient_nanos: u64,
+    verify_nanos: u64,
+    oracle_nanos: u64,
+    latency: obs::LocalHistogram,
+    bdd: bdd::CacheStats,
+}
+
+/// One job in this many (per worker, the first always) has its phase
+/// boundaries clocked when a registry is attached ([`EngineConfig::obs`]).
+/// Dense quotient jobs are sub-microsecond, so the two extra `Instant::now`
+/// calls a phase split needs would cost tens of percent if taken on every
+/// job; sampling keeps the whole observability layer inside the overhead
+/// budget the `obs_overhead` benchmark gates. Job counts, the job-latency
+/// histogram and the BDD work counters are exact — only the
+/// `engine.{quotient,verify,oracle}_nanos` phase timers are estimates over
+/// the `engine.clocked_jobs` sample.
+pub const PHASE_SAMPLE: u64 = 16;
+
+impl EngineRecorder {
+    fn new(registry: Arc<obs::Registry>, bdd_prefix: Option<&'static str>) -> Self {
+        EngineRecorder {
+            registry,
+            bdd_prefix,
+            jobs: 0,
+            clocked_jobs: 0,
+            tick: 0,
+            quotient_nanos: 0,
+            verify_nanos: 0,
+            oracle_nanos: 0,
+            latency: obs::LocalHistogram::new(),
+            bdd: bdd::CacheStats::default(),
+        }
+    }
+
+    /// Whether the job about to run has its phase boundaries clocked
+    /// (see [`PHASE_SAMPLE`]); call exactly once per job.
+    fn clock_phases(&mut self) -> bool {
+        let clocked = self.tick.is_multiple_of(PHASE_SAMPLE);
+        self.tick += 1;
+        clocked
+    }
+
+    /// Accounts one finished job: total wall always, plus — for clocked
+    /// jobs — its phase split (divisor+quotient, verification+counting,
+    /// optional oracle audit).
+    fn record_job(&mut self, nanos: u64, phases: Option<(u64, u64, u64)>) {
+        self.jobs += 1;
+        self.latency.record(nanos / 1_000);
+        if let Some((quotient, verify, oracle)) = phases {
+            self.clocked_jobs += 1;
+            self.quotient_nanos += quotient;
+            self.verify_nanos += verify;
+            self.oracle_nanos += oracle;
+        }
+    }
+}
+
+impl Drop for EngineRecorder {
+    fn drop(&mut self) {
+        let registry = &self.registry;
+        registry.add("engine.jobs", self.jobs);
+        registry.add("engine.clocked_jobs", self.clocked_jobs);
+        registry.add("engine.quotient_nanos", self.quotient_nanos);
+        registry.add("engine.verify_nanos", self.verify_nanos);
+        registry.add("engine.oracle_nanos", self.oracle_nanos);
+        self.latency.merge_into(&registry.histogram("engine.job_micros"));
+        if let Some(prefix) = self.bdd_prefix {
+            self.bdd.merge_into(registry, prefix);
+        }
+    }
 }
 
 impl WorkerScratch {
@@ -478,13 +589,23 @@ impl WorkerScratch {
             sets: QuotientSets::zero(0),
             mgr: None,
             ctx: None,
+            rec: None,
         }
     }
 
     /// A scratch whose worker context (if `store` is given) shares the one
-    /// sweep-wide node store.
-    fn for_store(store: Option<&Arc<SharedManager>>) -> Self {
-        WorkerScratch { ctx: store.map(|s| WorkerCtx::new(Arc::clone(s))), ..Self::new() }
+    /// sweep-wide node store, recording metrics into `config.obs` if set.
+    fn for_sweep(config: &EngineConfig, store: Option<&Arc<SharedManager>>) -> Self {
+        let bdd_prefix = match config.backend {
+            Backend::Dense => None,
+            Backend::Bdd => Some("bdd.mgr"),
+            Backend::BddShared => Some("bdd.worker"),
+        };
+        WorkerScratch {
+            ctx: store.map(|s| WorkerCtx::new(Arc::clone(s))),
+            rec: config.obs.as_ref().map(|r| EngineRecorder::new(Arc::clone(r), bdd_prefix)),
+            ..Self::new()
+        }
     }
 
     fn ensure(&mut self, num_vars: usize) {
@@ -547,7 +668,12 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
     // arity, narrower jobs run over its variable prefix (counts are shifted
     // back down by the unused variables when reported).
     let store = match config.backend {
-        Backend::BddShared => Some(Arc::new(SharedManager::new(max_arity))),
+        // The store's shard contention counters live directly in the sweep's
+        // registry when one is attached — no mirroring step after the pool.
+        Backend::BddShared => Some(Arc::new(match &config.obs {
+            Some(registry) => SharedManager::with_registry(max_arity, registry),
+            None => SharedManager::new(max_arity),
+        })),
         _ => None,
     };
 
@@ -556,10 +682,23 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
     let jobs = run_pool(
         &specs,
         threads,
-        || WorkerScratch::for_store(store.as_ref()),
+        || WorkerScratch::for_sweep(config, store.as_ref()),
         |buffers, spec| run_job(suite, config, *spec, buffers),
     );
     let wall_micros = start.elapsed().as_micros() as u64;
+
+    let shared_nodes = store.map_or(0, |s| s.num_nodes() as u64);
+    // Post-pool bookkeeping: the job-latency histogram is rebuilt from the
+    // recorded per-job wall times (free for the workers), and point-in-time
+    // gauges land in the registry.
+    let mut latency = obs::LocalHistogram::new();
+    for job in &jobs {
+        latency.record(job.nanos / 1_000);
+    }
+    if let Some(registry) = &config.obs {
+        registry.counter("engine.sweeps").inc();
+        registry.gauge("bdd.shared.nodes").set(shared_nodes);
+    }
 
     let operators = aggregate(&config.ops, &jobs);
     SweepReport {
@@ -569,7 +708,8 @@ pub fn sweep(suite: &Suite, config: &EngineConfig) -> SweepReport {
         jobs,
         operators,
         wall_micros,
-        shared_nodes: store.map_or(0, |s| s.num_nodes() as u64),
+        shared_nodes,
+        job_latency: latency.snapshot(),
     }
 }
 
@@ -741,10 +881,16 @@ fn run_job_dense(
             }
         }
     }
+    // Phase boundaries are only clocked on the recorder's job sample
+    // ([`PHASE_SAMPLE`]): two extra `Instant::now` calls on clocked jobs,
+    // nothing otherwise.
+    let clock = buffers.rec.as_mut().is_some_and(EngineRecorder::clock_phases);
+    let quotient_done = clock.then(Instant::now);
     let sets = &buffers.sets;
     let verified = verify_decomposition_sets(f, &g, &sets.on, &sets.dc, op);
     let maximal = verify_maximal_flexibility_sets(f, &g, &sets.on, &sets.dc, op);
     let divisor_errors = care_errors(f, &g);
+    let verify_done = clock.then(Instant::now);
 
     // Opt-in self-audit: replay the job's three verdicts through the SAT
     // oracle. Sampling keys on the job seed, so the audited subset — like
@@ -763,21 +909,32 @@ fn run_job_dense(
         _ => (false, true),
     };
 
+    let (on_minterms, dc_minterms, off_minterms) =
+        (sets.on.count_ones(), sets.dc.count_ones(), sets.off.count_ones());
+    let nanos = start.elapsed().as_nanos() as u64;
+    if let Some(rec) = &mut buffers.rec {
+        let phases = quotient_done.zip(verify_done).map(|(qd, vd)| {
+            let quotient = (qd - start).as_nanos() as u64;
+            let through_verify = (vd - start).as_nanos() as u64;
+            (quotient, through_verify - quotient, nanos.saturating_sub(through_verify))
+        });
+        rec.record_job(nanos, phases);
+    }
     JobResult {
         instance: inst.name().to_string(),
         output: spec.output,
         op,
         num_vars: f.num_vars(),
-        on_minterms: sets.on.count_ones(),
-        dc_minterms: sets.dc.count_ones(),
-        off_minterms: sets.off.count_ones(),
+        on_minterms,
+        dc_minterms,
+        off_minterms,
         divisor_errors,
         verified,
         maximal,
         bdd_nodes: 0,
         oracle_audited,
         oracle_agreed,
-        nanos: start.elapsed().as_nanos() as u64,
+        nanos,
     }
 }
 
@@ -807,6 +964,7 @@ fn run_job_bdd(
     };
     let start = Instant::now();
 
+    let clock = buffers.rec.as_mut().is_some_and(EngineRecorder::clock_phases);
     let mgr = buffers.manager_for(num_vars);
     if let Some(rc) = &config.reorder {
         mgr.set_sift_config(SiftConfig {
@@ -860,6 +1018,10 @@ fn run_job_bdd(
     mgr.maybe_sift(&[f_on, f_dc, g]);
     let (h_on, h_dc) = full_quotient_bdd(mgr, f_on, f_dc, g, op);
     mgr.maybe_sift(&[f_on, f_dc, g, h_on, h_dc]);
+    // Quotient phase ends here (build + divisor + Table II quotient); what
+    // follows — both verifications and the model counting — is the verify
+    // phase. Clocked only on the recorder's job sample ([`PHASE_SAMPLE`]).
+    let quotient_done = clock.then(Instant::now);
     let verified = verify_decomposition_bdd(mgr, f_on, f_dc, g, h_on, h_dc, op);
     let maximal = verify_maximal_flexibility_bdd(mgr, f_on, f_dc, g, h_on, h_dc, op);
 
@@ -868,23 +1030,38 @@ fn run_job_bdd(
         let x = mgr.xor(g, f_on);
         mgr.diff(x, f_dc)
     };
+    let (on_minterms, dc_minterms, off_minterms, divisor_errors) =
+        (mgr.sat_count(h_on), mgr.sat_count(h_dc), mgr.sat_count(h_off), mgr.sat_count(err));
+    let bdd_nodes = mgr.num_nodes() as u64;
+    let nanos = start.elapsed().as_nanos() as u64;
+    if let Some(rec) = &mut buffers.rec {
+        let phases = quotient_done.map(|qd| {
+            let quotient = (qd - start).as_nanos() as u64;
+            (quotient, nanos.saturating_sub(quotient), 0)
+        });
+        rec.record_job(nanos, phases);
+        // `manager_for` cleared the manager (and its stats) when this job
+        // began, so the accumulated stats are exactly this job's counts.
+        let stats = buffers.mgr.as_ref().expect("manager ensured above").stats();
+        rec.bdd.accumulate(&stats);
+    }
     JobResult {
         instance: name.to_string(),
         output: spec.output,
         op,
         num_vars,
-        on_minterms: mgr.sat_count(h_on),
-        dc_minterms: mgr.sat_count(h_dc),
-        off_minterms: mgr.sat_count(h_off),
-        divisor_errors: mgr.sat_count(err),
+        on_minterms,
+        dc_minterms,
+        off_minterms,
+        divisor_errors,
         verified,
         maximal,
-        bdd_nodes: mgr.num_nodes() as u64,
+        bdd_nodes,
         // The oracle audit needs dense tables; symbolic jobs are never
         // audited, so the BDD backend reports every job as unaudited.
         oracle_audited: false,
         oracle_agreed: true,
-        nanos: start.elapsed().as_nanos() as u64,
+        nanos,
     }
 }
 
@@ -928,6 +1105,8 @@ fn run_job_shared(
     };
     let start = Instant::now();
 
+    let obs_on = buffers.rec.is_some();
+    let clock = buffers.rec.as_mut().is_some_and(EngineRecorder::clock_phases);
     let ctx = buffers.ctx.as_mut().expect("the shared backend seeds every worker with a context");
     let shift = ctx.num_vars() - num_vars;
     let (f_on, f_dc, noise) = if spec.symbolic {
@@ -953,6 +1132,10 @@ fn run_job_shared(
         "seeded divisor violates the {op} side condition"
     );
     let (h_on, h_dc) = full_quotient_bdd(ctx, f_on, f_dc, g, op);
+    // Same phase split as the private BDD backend: everything up to the
+    // quotient counts as the quotient phase, verification and counting as
+    // the verify phase. Clocked on the job sample ([`PHASE_SAMPLE`]).
+    let quotient_done = clock.then(Instant::now);
     let verified = verify_decomposition_bdd(ctx, f_on, f_dc, g, h_on, h_dc, op);
     let maximal = verify_maximal_flexibility_bdd(ctx, f_on, f_dc, g, h_on, h_dc, op);
 
@@ -961,22 +1144,44 @@ fn run_job_shared(
         let x = ctx.xor(g, f_on);
         ctx.diff(x, f_dc)
     };
+    let (on_minterms, dc_minterms, off_minterms, divisor_errors) = (
+        ctx.sat_count(h_on) >> shift,
+        ctx.sat_count(h_dc) >> shift,
+        ctx.sat_count(h_off) >> shift,
+        ctx.sat_count(err) >> shift,
+    );
+    // The worker context's stats accumulate across jobs; taking and
+    // resetting them per job yields the per-job delta for the recorder.
+    let job_stats = obs_on.then(|| {
+        let stats = ctx.stats();
+        ctx.reset_stats();
+        stats
+    });
+    let nanos = start.elapsed().as_nanos() as u64;
+    if let Some(rec) = &mut buffers.rec {
+        let phases = quotient_done.map(|qd| {
+            let quotient = (qd - start).as_nanos() as u64;
+            (quotient, nanos.saturating_sub(quotient), 0)
+        });
+        rec.record_job(nanos, phases);
+        rec.bdd.accumulate(&job_stats.expect("taken with the recorder"));
+    }
     JobResult {
         instance: name.to_string(),
         output: spec.output,
         op,
         num_vars,
-        on_minterms: ctx.sat_count(h_on) >> shift,
-        dc_minterms: ctx.sat_count(h_dc) >> shift,
-        off_minterms: ctx.sat_count(h_off) >> shift,
-        divisor_errors: ctx.sat_count(err) >> shift,
+        on_minterms,
+        dc_minterms,
+        off_minterms,
+        divisor_errors,
         verified,
         maximal,
         bdd_nodes: 0,
         // Like the per-worker BDD backend: the oracle needs dense tables.
         oracle_audited: false,
         oracle_agreed: true,
-        nanos: start.elapsed().as_nanos() as u64,
+        nanos,
     }
 }
 
@@ -1013,6 +1218,10 @@ pub struct SynthesisConfig {
     /// [`EngineConfig::quotient_cache`]; results are bit-identical either
     /// way).
     pub quotient_cache: Option<SharedQuotientCache>,
+    /// Optional observability registry (see [`EngineConfig::obs`]): the
+    /// synthesis phase timer and per-job latency histogram are merged in
+    /// after the pool joins. Results are bit-identical with or without it.
+    pub obs: Option<Arc<obs::Registry>>,
 }
 
 impl Default for SynthesisConfig {
@@ -1024,6 +1233,7 @@ impl Default for SynthesisConfig {
             seed: 0xB1DE_C04D,
             recursive: RecursiveConfig::default(),
             quotient_cache: None,
+            obs: None,
         }
     }
 }
@@ -1221,6 +1431,18 @@ pub fn sweep_synthesis(suite: &Suite, config: &SynthesisConfig) -> SynthesisRepo
         },
     );
     let wall_micros = start.elapsed().as_micros() as u64;
+
+    // Synthesis jobs are single-phase, so the merge happens once, after the
+    // pool joins — zero cost on the workers.
+    if let Some(registry) = &config.obs {
+        registry.add("engine.synthesis_jobs", jobs.len() as u64);
+        registry.add("engine.synthesis_nanos", jobs.iter().map(|j| j.nanos).sum());
+        let mut latency = obs::LocalHistogram::new();
+        for job in &jobs {
+            latency.record(job.nanos / 1_000);
+        }
+        latency.merge_into(&registry.histogram("engine.synthesis_job_micros"));
+    }
 
     SynthesisReport { suite: suite.name().to_string(), threads, jobs, wall_micros }
 }
@@ -1715,5 +1937,134 @@ mod tests {
             assert_eq!(a.semantic(), b.semantic(), "reordered sweep depends on thread count");
             assert_eq!(a.semantic(), c.semantic(), "reordered sweep is not rerun-stable");
         }
+    }
+
+    /// The deterministic counters of a sweep's registry snapshot, by name.
+    fn counter_map(registry: &obs::Registry) -> std::collections::BTreeMap<String, u64> {
+        registry.snapshot().counters.into_iter().collect()
+    }
+
+    #[test]
+    fn obs_counters_are_complete_and_monotone_across_sweeps() {
+        let suite = Suite::smoke();
+        let registry = Arc::new(obs::Registry::new());
+        let config = EngineConfig {
+            threads: 2,
+            obs: Some(Arc::clone(&registry)),
+            ..EngineConfig::default()
+        };
+        let report = sweep(&suite, &config);
+
+        let after_one = counter_map(&registry);
+        assert_eq!(after_one["engine.jobs"], report.total_jobs() as u64);
+        assert_eq!(after_one["engine.sweeps"], 1);
+        assert!(after_one["engine.quotient_nanos"] > 0);
+        assert!(after_one["engine.verify_nanos"] > 0);
+        let latency = registry.histogram("engine.job_micros").snapshot();
+        assert_eq!(latency.count, report.total_jobs() as u64);
+        assert_eq!(report.job_latency.count, report.total_jobs() as u64);
+        assert!(latency.quantile(0.5) <= latency.quantile(0.99));
+
+        // A second sweep into the same registry only ever increases counters.
+        let report2 = sweep(&suite, &config);
+        let after_two = counter_map(&registry);
+        for (name, value) in &after_one {
+            assert!(
+                after_two[name] >= *value,
+                "counter {name} went backwards: {} < {value}",
+                after_two[name]
+            );
+        }
+        assert_eq!(after_two["engine.jobs"], (report.total_jobs() + report2.total_jobs()) as u64);
+    }
+
+    #[test]
+    fn obs_bdd_counters_are_thread_count_invariant() {
+        // The private-manager backend merges per-job deltas, and the job set
+        // is fixed — so every BDD work counter (unlike wall-clock timers)
+        // must be bit-identical at 1 and 8 threads.
+        let suite = Suite::smoke();
+        // `unique_rehashes` and `unique_probe_steps` are excluded: `clear()`
+        // keeps subtable capacity so a manager's load factor depends on which
+        // jobs its worker previously ran — capacity-derived counters are
+        // observability data, not semantic work, and may differ per schedule.
+        let deterministic = |registry: &obs::Registry| {
+            counter_map(registry)
+                .into_iter()
+                .filter(|(name, _)| {
+                    (name.starts_with("bdd.mgr.")
+                        && !name.ends_with("unique_rehashes")
+                        && !name.ends_with("unique_probe_steps"))
+                        || name == "engine.jobs"
+                })
+                .collect::<Vec<_>>()
+        };
+        let reg1 = Arc::new(obs::Registry::new());
+        let reg8 = Arc::new(obs::Registry::new());
+        let base = EngineConfig { backend: Backend::Bdd, ..EngineConfig::default() };
+        let one = sweep(
+            &suite,
+            &EngineConfig { threads: 1, obs: Some(Arc::clone(&reg1)), ..base.clone() },
+        );
+        let eight =
+            sweep(&suite, &EngineConfig { threads: 8, obs: Some(Arc::clone(&reg8)), ..base });
+        let counters1 = deterministic(&reg1);
+        assert_eq!(counters1, deterministic(&reg8));
+        assert!(counters1.iter().any(|(n, v)| n == "bdd.mgr.unique_lookups" && *v > 0));
+        assert!(
+            counter_map(&reg1)["bdd.mgr.unique_probe_steps"] > 0,
+            "probe-chain lengths must be counted"
+        );
+        // And attaching a registry never changes results.
+        let plain =
+            sweep(&suite, &EngineConfig { backend: Backend::Bdd, ..EngineConfig::default() });
+        for (a, b) in one.jobs.iter().zip(&eight.jobs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
+        for (a, b) in plain.jobs.iter().zip(&one.jobs) {
+            assert_eq!(a.semantic(), b.semantic(), "metrics influenced results");
+        }
+    }
+
+    #[test]
+    fn obs_shared_backend_records_worker_and_store_counters() {
+        let suite = Suite::smoke();
+        let registry = Arc::new(obs::Registry::new());
+        let config = EngineConfig {
+            backend: Backend::BddShared,
+            threads: 4,
+            obs: Some(Arc::clone(&registry)),
+            ..EngineConfig::default()
+        };
+        let report = sweep(&suite, &config);
+        let counters = counter_map(&registry);
+        assert!(counters["bdd.worker.unique_lookups"] > 0);
+        assert!(counters["bdd.shared.lock_acquires"] > 0, "every fresh node takes the shard lock");
+        assert!(counters.contains_key("bdd.shared.lock_contended"));
+        let snapshot = registry.snapshot();
+        let nodes = snapshot
+            .gauges
+            .iter()
+            .find(|(name, _)| name == "bdd.shared.nodes")
+            .expect("store size gauge");
+        assert_eq!(nodes.1.current, report.shared_nodes);
+    }
+
+    #[test]
+    fn obs_synthesis_sweep_records_phase_counters() {
+        let suite = Suite::smoke();
+        let registry = Arc::new(obs::Registry::new());
+        let config = SynthesisConfig {
+            threads: 2,
+            max_inputs: 6,
+            obs: Some(Arc::clone(&registry)),
+            ..SynthesisConfig::default()
+        };
+        let report = sweep_synthesis(&suite, &config);
+        let counters = counter_map(&registry);
+        assert_eq!(counters["engine.synthesis_jobs"], report.total_jobs() as u64);
+        assert!(counters["engine.synthesis_nanos"] > 0);
+        let latency = registry.histogram("engine.synthesis_job_micros").snapshot();
+        assert_eq!(latency.count, report.total_jobs() as u64);
     }
 }

@@ -15,17 +15,30 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Point-in-time counters of a [`ShardedCache`] (monotonic except
 /// `entries`, which is the current population).
+///
+/// The counters themselves live as [`obs::Counter`]s — construct the cache
+/// with [`ShardedCache::with_registry`] and they appear in that registry's
+/// snapshots under `cache.*`. This struct is the thin compatibility
+/// accessor ([`ShardedCache::stats`]) kept so existing tests and benches
+/// read one plain value; new code should consume the registry snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that found their key.
     pub hits: u64,
     /// Lookups that did not.
     pub misses: u64,
+    /// Counter-free-lookup probes ([`ShardedCache::contains`]) that found
+    /// their key. Separate from `hits`: probes answer the admission
+    /// controller's "would this be a hit?" peek and must not distort the
+    /// hit rate of real lookups (they also never grant CLOCK second
+    /// chances).
+    pub probe_hits: u64,
+    /// Probes that did not find their key.
+    pub probe_misses: u64,
     /// Successful inserts of a new key.
     pub insertions: u64,
     /// Entries displaced by the CLOCK hand to make room.
@@ -126,10 +139,12 @@ impl<K: Hash + Eq + Clone, V> Shard<K, V> {
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
     shards: Box<[Mutex<Shard<K, V>>]>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    hits: obs::Counter,
+    misses: obs::Counter,
+    probe_hits: obs::Counter,
+    probe_misses: obs::Counter,
+    insertions: obs::Counter,
+    evictions: obs::Counter,
     capacity: usize,
 }
 
@@ -149,6 +164,30 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// Panics if `capacity` is 0 — a capacity-0 cache is a disabled cache,
     /// which callers express by not constructing one.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_counters(capacity, shards, std::array::from_fn(|_| obs::Counter::new()))
+    }
+
+    /// Like [`ShardedCache::new`], but the counters are registered in
+    /// `registry` (as `cache.hits`, `cache.misses`, `cache.probe_hits`,
+    /// `cache.probe_misses`, `cache.insertions`, `cache.evictions`) so the
+    /// cache shows up in that registry's snapshots. The handles ARE the
+    /// storage — there is no mirroring step to forget.
+    pub fn with_registry(capacity: usize, shards: usize, registry: &obs::Registry) -> Self {
+        Self::with_counters(
+            capacity,
+            shards,
+            [
+                registry.counter("cache.hits"),
+                registry.counter("cache.misses"),
+                registry.counter("cache.probe_hits"),
+                registry.counter("cache.probe_misses"),
+                registry.counter("cache.insertions"),
+                registry.counter("cache.evictions"),
+            ],
+        )
+    }
+
+    fn with_counters(capacity: usize, shards: usize, counters: [obs::Counter; 6]) -> Self {
         assert!(capacity > 0, "a zero-capacity cache cannot hold anything");
         let shard_count = shards.max(1).next_power_of_two();
         let per_shard = capacity.div_ceil(shard_count);
@@ -163,12 +202,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let [hits, misses, probe_hits, probe_misses, insertions, evictions] = counters;
         ShardedCache {
             shards,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits,
+            misses,
+            probe_hits,
+            probe_misses,
+            insertions,
+            evictions,
             capacity: per_shard * shard_count,
         }
     }
@@ -191,12 +233,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
                 shard.slots[slot].referenced = true;
                 let value = shard.slots[slot].value.clone();
                 drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(value)
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -208,8 +250,20 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// a cache hit?" while deciding whether to shed it, and answering that
     /// question must not distort the cache statistics the real lookup will
     /// record moments later.
+    ///
+    /// Probes are still observable: they count under the dedicated
+    /// `cache.probe_hits` / `cache.probe_misses` counters, which keeps
+    /// admission-control traffic visible without polluting the hit rate.
+    /// Note they deliberately continue to bypass the CLOCK `referenced`
+    /// touch — a shed decision must not extend an entry's lifetime.
     pub fn contains(&self, key: &K) -> bool {
-        self.shard(key).lock().expect("cache shard poisoned").map.contains_key(key)
+        let found = self.shard(key).lock().expect("cache shard poisoned").map.contains_key(key);
+        if found {
+            self.probe_hits.inc();
+        } else {
+            self.probe_misses.inc();
+        }
+        found
     }
 
     /// Inserts `key → value`, evicting via CLOCK when the stripe is full.
@@ -223,11 +277,11 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         match outcome {
             InsertOutcome::Duplicate => {}
             InsertOutcome::Inserted => {
-                self.insertions.fetch_add(1, Ordering::Relaxed);
+                self.insertions.inc();
             }
             InsertOutcome::Evicted => {
-                self.insertions.fetch_add(1, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.insertions.inc();
+                self.evictions.inc();
             }
         }
     }
@@ -256,10 +310,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// atomically; the set is not a transaction).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            probe_hits: self.probe_hits.get(),
+            probe_misses: self.probe_misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
             entries: self.len() as u64,
             capacity: self.capacity as u64,
             shards: self.shards.len() as u64,
@@ -331,11 +387,40 @@ mod tests {
         assert!(cache.contains(&0));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0), "a probe is not a lookup");
+        assert_eq!(
+            (stats.probe_hits, stats.probe_misses),
+            (1, 1),
+            "probes count under their own dedicated counters"
+        );
         // A probe must not refresh recency: key 0 is still the CLOCK hand's
         // first unreferenced victim.
         cache.insert(100, 100);
         assert!(!cache.contains(&0), "the probed key must not have earned a second chance");
         assert!(cache.contains(&100));
+        let stats = cache.stats();
+        assert_eq!((stats.probe_hits, stats.probe_misses), (2, 2));
+    }
+
+    #[test]
+    fn with_registry_exposes_counters_in_snapshots() {
+        let registry = obs::Registry::new();
+        let cache: ShardedCache<u32, u32> = ShardedCache::with_registry(16, 2, &registry);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&2), None);
+        assert!(cache.contains(&1));
+        let snapshot = registry.snapshot();
+        let counter =
+            |name: &str| snapshot.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(counter("cache.hits"), Some(1));
+        assert_eq!(counter("cache.misses"), Some(1));
+        assert_eq!(counter("cache.insertions"), Some(1));
+        assert_eq!(counter("cache.evictions"), Some(0));
+        assert_eq!(counter("cache.probe_hits"), Some(1));
+        assert_eq!(counter("cache.probe_misses"), Some(0));
+        // The registry handles ARE the storage: stats() reads the same cells.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.probe_hits), (1, 1, 1));
     }
 
     #[test]

@@ -53,8 +53,9 @@ use techmap::Network;
 pub use cache::{CacheStats, ShardedCache};
 pub use npn::{canonicalize, Canonical, CanonicalKey, NpnTransform};
 pub use server::{
-    silence_injected_panics, FaultPlan, Server, ServiceConfig, ERR_DEADLINE, ERR_INTERNAL,
-    ERR_LINE_TOO_LONG, ERR_OVERLOADED, ERR_SHUTDOWN, INJECTED_PANIC_MESSAGE,
+    registry_snapshot_value, silence_injected_panics, FaultPlan, Server, ServiceConfig,
+    ERR_DEADLINE, ERR_INTERNAL, ERR_LINE_TOO_LONG, ERR_OVERLOADED, ERR_SHUTDOWN,
+    INJECTED_PANIC_MESSAGE,
 };
 
 /// A cache key: the NPN-canonical dividend plus what distinguishes the
@@ -167,6 +168,12 @@ impl NpnCache {
         NpnCache { store: ShardedCache::new(capacity, shards) }
     }
 
+    /// Like [`NpnCache::new`], but the store's counters are registered in
+    /// `registry` under `cache.*` (see [`ShardedCache::with_registry`]).
+    pub fn with_registry(capacity: usize, shards: usize, registry: &obs::Registry) -> Self {
+        NpnCache { store: ShardedCache::with_registry(capacity, shards, registry) }
+    }
+
     /// A shared handle, ready to plug into `EngineConfig::quotient_cache`
     /// and friends.
     pub fn shared(capacity: usize, shards: usize) -> Arc<Self> {
@@ -197,13 +204,18 @@ impl NpnCache {
     /// admission controller uses this to keep answering cached work while
     /// shedding: a probe must not make the entry look hotter (or the stats
     /// look better) than the traffic actually is.
+    ///
+    /// Probes do count — under the dedicated `cache.probe_hits` /
+    /// `cache.probe_misses` counters (see [`ShardedCache::contains`]) — so
+    /// admission-control traffic is visible without distorting the hit
+    /// rate. They still deliberately bypass the CLOCK `referenced` touch.
     pub fn has_quotient(&self, f: &Isf, g: &TruthTable, op: BinaryOp) -> bool {
         let canon = canonical_of(f);
         self.store.contains(&Self::quotient_key(&canon, g, op))
     }
 
     /// Probes whether [`NpnCache::lookup_synthesis`] would hit — the
-    /// counter-free twin of [`NpnCache::has_quotient`].
+    /// probe-counted twin of [`NpnCache::has_quotient`].
     pub fn has_synthesis(&self, f: &Isf, config: u64) -> bool {
         let canon = canonical_of(f);
         self.store.contains(&CacheKey::Synthesis { f: canon.key, config })

@@ -32,6 +32,15 @@
 //! * `stats` — server uptime, queue/batch counters, per-verb totals, the
 //!   cache counters and the robustness counters (`sheds`, `timeouts`,
 //!   `panics`, `rejected_connections`, `slow_clients`, `line_overflows`).
+//! * `metrics` — the full observability snapshot
+//!   (`"schema":"bidecomp-metrics-v1"`): every counter, gauge and latency
+//!   histogram of the server's [`obs::Registry`] — server verb/robustness
+//!   counters, per-verb server-side latency histograms
+//!   (`server.latency.<verb>`, microseconds, with `p50_us`/`p99_us` and the
+//!   non-empty log₂ buckets), engine phase counters, shared-BDD-store and
+//!   cache counters. Like `stats`, always admitted. The metric name set is
+//!   pre-registered at bind, so the snapshot has the same shape on an idle
+//!   server as on a busy one.
 //! * `shutdown` — acknowledges, then stops accepting and drains the queue
 //!   under [`ServiceConfig::drain_deadline_ms`].
 //!
@@ -338,6 +347,7 @@ enum Payload {
         no_cache: bool,
     },
     Stats,
+    Metrics,
     Shutdown,
 }
 
@@ -367,35 +377,93 @@ struct QueueItem {
     request: Request,
     /// Absolute deadline (stamped at parse time from `deadline_ms`).
     deadline: Option<Instant>,
+    /// When admission control accepted the request — the server-side
+    /// latency histogram measures from here to the reply send.
+    received: Instant,
     seq: u64,
     reply: ReplyTx,
 }
 
-#[derive(Debug, Default)]
+/// The server's counter/gauge/histogram handles, all registered in the one
+/// [`obs::Registry`] at bind (the handles ARE the storage — `stats` and
+/// `metrics` read the same cells the hot paths bump).
 struct Counters {
-    decompose: AtomicU64,
-    synthesize: AtomicU64,
-    stats: AtomicU64,
-    errors: AtomicU64,
-    /// High-water mark of the request queue (how far compute fell behind
-    /// intake).
-    peak_queue: AtomicU64,
+    decompose: obs::Counter,
+    synthesize: obs::Counter,
+    stats: obs::Counter,
+    metrics: obs::Counter,
+    errors: obs::Counter,
+    /// Current request-queue depth; its peak is the old `peak_queue`
+    /// high-water mark (how far compute fell behind intake).
+    queue_depth: obs::Gauge,
     /// Requests rejected `overloaded` by admission control.
-    sheds: AtomicU64,
+    sheds: obs::Counter,
     /// Requests answered `deadline_exceeded`.
-    timeouts: AtomicU64,
+    timeouts: obs::Counter,
     /// Worker/connection/writer panics caught and survived.
-    panics: AtomicU64,
+    panics: obs::Counter,
     /// Connections rejected at accept because `max_connections` was reached.
-    rejected_connections: AtomicU64,
+    rejected_connections: obs::Counter,
     /// Connections closed because a socket read or write timed out.
-    slow_clients: AtomicU64,
+    slow_clients: obs::Counter,
     /// Request lines rejected for exceeding `max_line_bytes`.
-    line_overflows: AtomicU64,
+    line_overflows: obs::Counter,
+    /// Engine phase totals: time inside the quotient computation,
+    /// inside verification, and inside the recursive synthesizer.
+    engine_quotient_nanos: obs::Counter,
+    engine_verify_nanos: obs::Counter,
+    engine_synthesis_nanos: obs::Counter,
+    /// Server-side latency per verb, admission to reply send, microseconds.
+    latency_decompose: obs::Histogram,
+    latency_synthesize: obs::Histogram,
+    latency_stats: obs::Histogram,
+    latency_metrics: obs::Histogram,
+}
+
+impl Counters {
+    fn new(registry: &obs::Registry) -> Counters {
+        Counters {
+            decompose: registry.counter("server.decompose"),
+            synthesize: registry.counter("server.synthesize"),
+            stats: registry.counter("server.stats_requests"),
+            metrics: registry.counter("server.metrics_requests"),
+            errors: registry.counter("server.errors"),
+            queue_depth: registry.gauge("server.queue_depth"),
+            sheds: registry.counter("server.sheds"),
+            timeouts: registry.counter("server.timeouts"),
+            panics: registry.counter("server.panics"),
+            rejected_connections: registry.counter("server.rejected_connections"),
+            slow_clients: registry.counter("server.slow_clients"),
+            line_overflows: registry.counter("server.line_overflows"),
+            engine_quotient_nanos: registry.counter("engine.quotient_nanos"),
+            engine_verify_nanos: registry.counter("engine.verify_nanos"),
+            engine_synthesis_nanos: registry.counter("engine.synthesis_nanos"),
+            latency_decompose: registry.histogram("server.latency.decompose"),
+            latency_synthesize: registry.histogram("server.latency.synthesize"),
+            latency_stats: registry.histogram("server.latency.stats"),
+            latency_metrics: registry.histogram("server.latency.metrics"),
+        }
+    }
+
+    /// The latency histogram of a payload's verb (`None` for `shutdown`,
+    /// whose reply races the drain).
+    fn latency_of(&self, payload: &Payload) -> Option<&obs::Histogram> {
+        match payload {
+            Payload::Decompose { .. } => Some(&self.latency_decompose),
+            Payload::Synthesize { .. } => Some(&self.latency_synthesize),
+            Payload::Stats => Some(&self.latency_stats),
+            Payload::Metrics => Some(&self.latency_metrics),
+            Payload::Shutdown => None,
+        }
+    }
 }
 
 struct ServiceState {
     config: ServiceConfig,
+    /// The one observability registry: the cache, the shared BDD store, the
+    /// per-verb counters and the latency histograms all register here, and
+    /// the `metrics` verb snapshots it.
+    obs: Arc<obs::Registry>,
     cache: Option<Arc<NpnCache>>,
     /// The one shared BDD store of the service, sized at `max_vars`: every
     /// worker's `symbolic` decompose requests hash-cons into it, so
@@ -482,13 +550,23 @@ impl Server {
     /// Any [`TcpListener::bind`] error.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let cache = (config.cache_capacity > 0)
-            .then(|| Arc::new(NpnCache::new(config.cache_capacity, config.cache_shards)));
+        let registry = Arc::new(obs::Registry::new());
+        let counters = Counters::new(&registry);
+        // Pre-register every metric a worker can emit lazily so a `metrics`
+        // snapshot has the same name set on an idle server as on a busy one
+        // (the regress gate compares the exact counter shape).
+        bdd::CacheStats::default().merge_into(&registry, "bdd.worker");
+        let _ = registry.gauge("bdd.shared.nodes");
+        let cache = (config.cache_capacity > 0).then(|| {
+            let _ = registry.gauge("cache.entries");
+            Arc::new(NpnCache::with_registry(config.cache_capacity, config.cache_shards, &registry))
+        });
         let config_fp = config_fingerprint(&config.recursive);
         let seed = config.faults.as_ref().map_or(0x5EED, |plan| plan.seed);
-        let shared = Arc::new(SharedManager::new(config.max_vars));
+        let shared = Arc::new(SharedManager::with_registry(config.max_vars, &registry));
         let state = Arc::new(ServiceState {
             config,
+            obs: registry,
             cache,
             shared,
             config_fp,
@@ -497,12 +575,19 @@ impl Server {
             shutdown: AtomicBool::new(false),
             shutdown_at: Mutex::new(None),
             started: Instant::now(),
-            counters: Counters::default(),
+            counters,
             connections: AtomicUsize::new(0),
             fault_seq: AtomicU64::new(0),
             shed_rng: AtomicU64::new(seed),
         });
         Ok(Server { listener, state })
+    }
+
+    /// The server's observability registry. Clone the handle before
+    /// [`Server::run`] consumes the server — e.g. to dump a final
+    /// [`registry_snapshot_value`] after the service shuts down.
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        Arc::clone(&self.state.obs)
     }
 
     /// The bound address (query it after binding port 0).
@@ -535,7 +620,7 @@ impl Server {
                 Ok((stream, _)) => {
                     let max = self.state.config.max_connections;
                     if max > 0 && self.state.connections.load(Ordering::SeqCst) >= max {
-                        self.state.counters.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                        self.state.counters.rejected_connections.inc();
                         let line = overloaded_response(self.state.retry_after_ms(0), &None);
                         std::thread::spawn(move || reject_connection(stream, &line));
                         continue;
@@ -546,7 +631,7 @@ impl Server {
                         let outcome =
                             catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &state)));
                         if outcome.is_err() {
-                            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+                            state.counters.panics.inc();
                         }
                         state.connections.fetch_sub(1, Ordering::SeqCst);
                     });
@@ -569,7 +654,7 @@ impl Server {
         // instead of a silently dropped channel.
         flush_queue(&self.state, ERR_SHUTDOWN);
         if joined.is_err() {
-            self.state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            self.state.counters.panics.inc();
             return Err(io::Error::other("dispatcher panicked; queue flushed and shut down"));
         }
         match fatal {
@@ -586,6 +671,7 @@ fn flush_queue(state: &ServiceState, error: &str) {
         let line = attach_id(error_value(error), &item.request.id).to_string();
         let _ = item.reply.send((item.seq, Reply::Line(line)));
     }
+    state.counters.queue_depth.set(0);
 }
 
 /// Tells an over-capacity connection to back off: one `overloaded` line
@@ -687,7 +773,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) {
     let writer_state = Arc::clone(state);
     std::thread::spawn(move || {
         if catch_unwind(AssertUnwindSafe(|| writer_loop(write_half, &rx))).is_err() {
-            writer_state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            writer_state.counters.panics.inc();
         }
     });
 
@@ -702,12 +788,12 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) {
             LineOutcome::Line(line) => line,
             LineOutcome::Eof | LineOutcome::Failed => break,
             LineOutcome::TimedOut => {
-                state.counters.slow_clients.fetch_add(1, Ordering::Relaxed);
+                state.counters.slow_clients.inc();
                 break;
             }
             LineOutcome::Overflow => {
-                state.counters.line_overflows.fetch_add(1, Ordering::Relaxed);
-                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                state.counters.line_overflows.inc();
+                state.counters.errors.inc();
                 let _ = tx.send((seq, Reply::Line(error_response(ERR_LINE_TOO_LONG))));
                 break; // the rest of the oversized line is unrecoverable
             }
@@ -718,7 +804,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) {
         let request = match parse_request(&line, &state.config) {
             Ok(request) => request,
             Err(message) => {
-                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                state.counters.errors.inc();
                 let _ = tx.send((seq, Reply::Line(error_response(&message))));
                 seq += 1;
                 continue;
@@ -744,7 +830,8 @@ fn admit(
     tx: &ReplyTx,
     inline_area: &mut Option<AreaModel>,
 ) -> Option<String> {
-    let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let received = Instant::now();
+    let deadline = request.deadline_ms.map(|ms| received + Duration::from_millis(ms));
     let queue = state.queue.lock().expect("request queue poisoned");
     if state.shutdown.load(Ordering::SeqCst) {
         drop(queue);
@@ -753,9 +840,9 @@ fn admit(
     let depth = queue.len();
     let max = state.config.max_queue;
     let shed_depth = match &request.payload {
-        // Stats and shutdown are always admitted: an overloaded server must
-        // still report stats and honor shutdown.
-        Payload::Stats | Payload::Shutdown => usize::MAX,
+        // Stats, metrics and shutdown are always admitted: an overloaded
+        // server must still report its state and honor shutdown.
+        Payload::Stats | Payload::Metrics | Payload::Shutdown => usize::MAX,
         // Expensive synthesis sheds at half the bound, cheap decompose only
         // once the queue is truly full.
         Payload::Synthesize { .. } => state.config.synthesize_shed_depth(),
@@ -763,20 +850,25 @@ fn admit(
     };
     if max == 0 || depth < shed_depth {
         let mut queue = queue;
-        queue.push_back(QueueItem { request, deadline, seq, reply: tx.clone() });
-        state.counters.peak_queue.fetch_max(queue.len() as u64, Ordering::Relaxed);
+        queue.push_back(QueueItem { request, deadline, received, seq, reply: tx.clone() });
+        // The gauge's current value tracks the live depth; its peak is the
+        // high-water mark `stats` reports.
+        state.counters.queue_depth.set(queue.len() as u64);
         drop(queue);
         state.available.notify_one();
         return None;
     }
     drop(queue);
     // Shedding — but an already-cached answer costs microseconds, so probe
-    // the cache (without touching hit/miss counters or CLOCK recency) and
+    // the cache (counted under `cache.probe_*`, no CLOCK recency touch) and
     // answer hits inline on this reader thread.
     if let Some(reply) = inline_cache_hit(state, &request, deadline, inline_area) {
+        if let Some(latency) = state.counters.latency_of(&request.payload) {
+            latency.record(received.elapsed().as_micros() as u64);
+        }
         return Some(reply);
     }
-    state.counters.sheds.fetch_add(1, Ordering::Relaxed);
+    state.counters.sheds.inc();
     Some(overloaded_response(state.retry_after_ms(depth), &request.id))
 }
 
@@ -797,7 +889,7 @@ fn inline_cache_hit(
             if !cache.has_quotient(f, &g, *op) {
                 return None;
             }
-            state.counters.decompose.fetch_add(1, Ordering::Relaxed);
+            state.counters.decompose.inc();
             let result = handle_decompose(state, f, Some(&g), *seed, *op, false, *tables, deadline);
             Some(finish(state, result, &request.id))
         }
@@ -810,7 +902,7 @@ fn inline_cache_hit(
             // that unlucky race the request sheds rather than synthesizing
             // on the reader thread.
             let result = synthesize_hit(state, area, f, deadline)?;
-            state.counters.synthesize.fetch_add(1, Ordering::Relaxed);
+            state.counters.synthesize.inc();
             Some(finish(state, result, &request.id))
         }
         _ => None,
@@ -861,7 +953,7 @@ fn dispatch_loop(state: &Arc<ServiceState>) {
         |worker, ()| drain_queue(state, worker),
     );
     let died = slots.iter().filter(|slot| slot.is_err()).count();
-    state.counters.panics.fetch_add(died as u64, Ordering::Relaxed);
+    state.counters.panics.add(died as u64);
 }
 
 /// Per-worker scratch: two synthesizers — the normal one with the shared
@@ -908,9 +1000,11 @@ fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
                         let line = attach_id(error_value(ERR_SHUTDOWN), &item.request.id);
                         let _ = item.reply.send((item.seq, Reply::Line(line.to_string())));
                     }
+                    state.counters.queue_depth.set(0);
                     return;
                 }
                 if let Some(item) = queue.pop_front() {
+                    state.counters.queue_depth.set(queue.len() as u64);
                     break item;
                 }
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -926,7 +1020,7 @@ fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
         // Deadline check at dequeue: a request that waited out its budget
         // in the queue is answered without burning compute on it.
         if item.deadline.is_some_and(|d| Instant::now() >= d) {
-            state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            state.counters.timeouts.inc();
             let line = attach_id(error_value(ERR_DEADLINE), &item.request.id);
             let _ = item.reply.send((item.seq, Reply::Line(line.to_string())));
             continue;
@@ -943,7 +1037,7 @@ fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
         let line = match outcome {
             Ok(line) => line,
             Err(_) => {
-                state.counters.panics.fetch_add(1, Ordering::Relaxed);
+                state.counters.panics.inc();
                 // The panic may have left the synthesizers' scratch state
                 // inconsistent; rebuild from scratch before the next claim.
                 *worker = make_worker(state);
@@ -952,6 +1046,9 @@ fn drain_queue(state: &Arc<ServiceState>, worker: &mut Worker) {
         };
         let reply = if roll.drop_reply { Reply::Drop } else { Reply::Line(line) };
         let _ = item.reply.send((item.seq, reply));
+        if let Some(latency) = state.counters.latency_of(&item.request.payload) {
+            latency.record(item.received.elapsed().as_micros() as u64);
+        }
     }
 }
 
@@ -974,11 +1071,11 @@ fn finish(state: &ServiceState, result: Result<Value, RequestError>, id: &Option
     let value = match result {
         Ok(value) => value,
         Err(RequestError::Deadline) => {
-            state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            state.counters.timeouts.inc();
             error_value(ERR_DEADLINE)
         }
         Err(RequestError::Message(message)) => {
-            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.inc();
             error_value(&message)
         }
     };
@@ -1002,12 +1099,13 @@ fn handle(
 ) -> String {
     match &request.payload {
         Payload::Decompose { f, g, seed, op, no_cache, tables, symbolic } => {
-            state.counters.decompose.fetch_add(1, Ordering::Relaxed);
+            state.counters.decompose.inc();
             if inject_panic {
                 panic!("{INJECTED_PANIC_MESSAGE}");
             }
             let result = if *symbolic {
                 handle_decompose_shared(
+                    state,
                     &mut worker.ctx,
                     f,
                     g.as_ref(),
@@ -1022,7 +1120,7 @@ fn handle(
             finish(state, result, &request.id)
         }
         Payload::Synthesize { f, no_cache } => {
-            state.counters.synthesize.fetch_add(1, Ordering::Relaxed);
+            state.counters.synthesize.inc();
             if inject_panic {
                 panic!("{INJECTED_PANIC_MESSAGE}");
             }
@@ -1030,8 +1128,12 @@ fn handle(
             finish(state, result, &request.id)
         }
         Payload::Stats => {
-            state.counters.stats.fetch_add(1, Ordering::Relaxed);
+            state.counters.stats.inc();
             attach_id(stats_value(state), &request.id).to_string()
+        }
+        Payload::Metrics => {
+            state.counters.metrics.inc();
+            attach_id(metrics_value(state), &request.id).to_string()
         }
         Payload::Shutdown => {
             state.begin_shutdown();
@@ -1066,6 +1168,7 @@ fn handle_decompose(
     if !is_valid_divisor(f, &g, op) {
         return Err(format!("divisor violates the Table II side condition of {op}").into());
     }
+    let start = Instant::now();
     let (h, cache_status) = match (&state.cache, no_cache) {
         (Some(cache), false) => match cache.lookup(f, &g, op) {
             Some(h) => (h, "hit"),
@@ -1077,13 +1180,16 @@ fn handle_decompose(
         },
         _ => (full_quotient(f, &g, op).map_err(|e| e.to_string())?, "bypass"),
     };
+    state.counters.engine_quotient_nanos.add(start.elapsed().as_nanos() as u64);
     // The quotient itself is cheap; verification is the expensive step.
     // Honor the deadline before paying for it.
     if deadline_expired(deadline) {
         return Err(RequestError::Deadline);
     }
+    let verify_start = Instant::now();
     let verified = verify_decomposition(f, &g, &h, op);
     let maximal = verify_maximal_flexibility(f, &g, &h, op);
+    state.counters.engine_verify_nanos.add(verify_start.elapsed().as_nanos() as u64);
     let mut fields = vec![
         ("ok".into(), Value::Bool(true)),
         ("verb".into(), json::s("decompose")),
@@ -1114,7 +1220,9 @@ fn handle_decompose(
 /// The NPN cache is untouched; `cache` reports `shared` (the shared store's
 /// global hash consing *is* the memoization: repeated structure costs
 /// lookups, not nodes).
+#[allow(clippy::too_many_arguments)]
 fn handle_decompose_shared(
+    state: &ServiceState,
     ctx: &mut WorkerCtx,
     f: &Isf,
     g: Option<&TruthTable>,
@@ -1130,19 +1238,28 @@ fn handle_decompose_shared(
     if !is_valid_divisor(f, &g, op) {
         return Err(format!("divisor violates the Table II side condition of {op}").into());
     }
+    let start = Instant::now();
     let shift = ctx.num_vars() - f.num_vars();
     let f_on = ctx.from_truth_table(f.on());
     let f_dc = ctx.from_truth_table(f.dc());
     let g_bdd = ctx.from_truth_table(&g);
     let (h_on, h_dc) = full_quotient_bdd(ctx, f_on, f_dc, g_bdd, op);
     let h_off = quotient_off_bdd(ctx, h_on, h_dc);
+    state.counters.engine_quotient_nanos.add(start.elapsed().as_nanos() as u64);
     // Same deadline contract as the dense path: the quotient is cheap,
     // verification is the expensive step.
     if deadline_expired(deadline) {
         return Err(RequestError::Deadline);
     }
+    let verify_start = Instant::now();
     let verified = verify_decomposition_bdd(ctx, f_on, f_dc, g_bdd, h_on, h_dc, op);
     let maximal = verify_maximal_flexibility_bdd(ctx, f_on, f_dc, g_bdd, h_on, h_dc, op);
+    state.counters.engine_verify_nanos.add(verify_start.elapsed().as_nanos() as u64);
+    // This request's share of the shared-store work, merged under
+    // `bdd.worker.*` (the per-request delta: stats are taken and reset).
+    let worker_stats = ctx.stats();
+    ctx.reset_stats();
+    worker_stats.merge_into(&state.obs, "bdd.worker");
     let mut fields = vec![
         ("ok".into(), Value::Bool(true)),
         ("verb".into(), json::s("decompose")),
@@ -1238,7 +1355,9 @@ fn handle_synthesize(
         if deadline_expired(deadline) {
             return Err(RequestError::Deadline);
         }
+        let start = Instant::now();
         let result = worker.cached.synthesize(f).map_err(|e| e.to_string())?;
+        state.counters.engine_synthesis_nanos.add(start.elapsed().as_nanos() as u64);
         cache.store_synthesis(
             f,
             state.config_fp,
@@ -1264,7 +1383,9 @@ fn handle_synthesize(
     }
     // Bypass: the fully uncached synthesizer, so not even the quotient
     // subproblems of the recursion read or populate the shared cache.
+    let start = Instant::now();
     let result = worker.uncached.synthesize(f).map_err(|e| e.to_string())?;
+    state.counters.engine_synthesis_nanos.add(start.elapsed().as_nanos() as u64);
     Ok(synthesize_response(
         f,
         result.gate_count(),
@@ -1303,21 +1424,93 @@ fn stats_value(state: &ServiceState) -> Value {
         ("workers".into(), json::num(state.config.effective_workers() as u64)),
         ("queue_depth".into(), json::num(queue_depth as u64)),
         ("max_queue".into(), json::num(state.config.max_queue as u64)),
-        ("peak_queue".into(), json::num(c.peak_queue.load(Ordering::Relaxed))),
+        ("peak_queue".into(), json::num(c.queue_depth.peak())),
         ("connections".into(), json::num(state.connections.load(Ordering::SeqCst) as u64)),
-        ("decompose".into(), json::num(c.decompose.load(Ordering::Relaxed))),
-        ("synthesize".into(), json::num(c.synthesize.load(Ordering::Relaxed))),
-        ("stats_requests".into(), json::num(c.stats.load(Ordering::Relaxed))),
-        ("errors".into(), json::num(c.errors.load(Ordering::Relaxed))),
-        ("sheds".into(), json::num(c.sheds.load(Ordering::Relaxed))),
-        ("timeouts".into(), json::num(c.timeouts.load(Ordering::Relaxed))),
-        ("panics".into(), json::num(c.panics.load(Ordering::Relaxed))),
-        ("rejected_connections".into(), json::num(c.rejected_connections.load(Ordering::Relaxed))),
-        ("slow_clients".into(), json::num(c.slow_clients.load(Ordering::Relaxed))),
-        ("line_overflows".into(), json::num(c.line_overflows.load(Ordering::Relaxed))),
+        ("decompose".into(), json::num(c.decompose.get())),
+        ("synthesize".into(), json::num(c.synthesize.get())),
+        ("stats_requests".into(), json::num(c.stats.get())),
+        ("errors".into(), json::num(c.errors.get())),
+        ("sheds".into(), json::num(c.sheds.get())),
+        ("timeouts".into(), json::num(c.timeouts.get())),
+        ("panics".into(), json::num(c.panics.get())),
+        ("rejected_connections".into(), json::num(c.rejected_connections.get())),
+        ("slow_clients".into(), json::num(c.slow_clients.get())),
+        ("line_overflows".into(), json::num(c.line_overflows.get())),
         ("shared_nodes".into(), json::num(state.shared.num_nodes() as u64)),
         ("cache".into(), cache),
     ])
+}
+
+/// One histogram as JSON: totals, interpolated `p50_us`/`p99_us` and the
+/// non-empty log₂ buckets as `[lower_bound, count]` pairs. All registry
+/// histograms record microseconds.
+fn histogram_value(h: &obs::HistogramSnapshot) -> Value {
+    let buckets = h
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(i, &count)| Value::Array(vec![json::num(obs::bucket_lower(i)), json::num(count)]))
+        .collect();
+    Value::Object(vec![
+        ("count".into(), json::num(h.count)),
+        ("sum_us".into(), json::num(h.sum)),
+        ("p50_us".into(), Value::Num(h.quantile(0.5))),
+        ("p99_us".into(), Value::Num(h.quantile(0.99))),
+        ("buckets".into(), Value::Array(buckets)),
+    ])
+}
+
+/// A registry snapshot as versioned JSON (`"schema":"bidecomp-metrics-v1"`)
+/// without a response envelope: counters and gauges as name → value maps,
+/// histograms as per-name objects with counts, quantiles and the log₂ bucket
+/// array. Shared by the `metrics` verb and the
+/// `bidecompd --metrics-dump` shutdown dump.
+pub fn registry_snapshot_value(registry: &obs::Registry) -> Value {
+    let snapshot = registry.snapshot();
+    let counters = snapshot.counters.into_iter().map(|(name, v)| (name, json::num(v))).collect();
+    let gauges = snapshot
+        .gauges
+        .into_iter()
+        .map(|(name, g)| {
+            let fields = Value::Object(vec![
+                ("current".into(), json::num(g.current)),
+                ("peak".into(), json::num(g.peak)),
+            ]);
+            (name, fields)
+        })
+        .collect();
+    let histograms =
+        snapshot.histograms.iter().map(|(name, h)| (name.clone(), histogram_value(h))).collect();
+    Value::Object(vec![
+        ("schema".into(), json::s("bidecomp-metrics-v1")),
+        ("counters".into(), Value::Object(counters)),
+        ("gauges".into(), Value::Object(gauges)),
+        ("histograms".into(), Value::Object(histograms)),
+    ])
+}
+
+/// The `metrics` response: the registry snapshot wrapped in the response
+/// envelope. Point-in-time gauges (queue depth, cache population, shared
+/// store size) are refreshed immediately before the snapshot so `current`
+/// is current, not last-event.
+fn metrics_value(state: &ServiceState) -> Value {
+    let queue_depth = state.queue.lock().expect("request queue poisoned").len();
+    state.counters.queue_depth.set(queue_depth as u64);
+    state.obs.gauge("bdd.shared.nodes").set(state.shared.num_nodes() as u64);
+    if let Some(cache) = &state.cache {
+        state.obs.gauge("cache.entries").set(cache.stats().entries);
+    }
+    let mut fields = vec![
+        ("ok".into(), Value::Bool(true)),
+        ("verb".into(), json::s("metrics")),
+        ("uptime_ms".into(), json::num(state.started.elapsed().as_millis() as u64)),
+    ];
+    match registry_snapshot_value(&state.obs) {
+        Value::Object(snapshot_fields) => fields.extend(snapshot_fields),
+        other => fields.push(("snapshot".into(), other)),
+    }
+    Value::Object(fields)
 }
 
 fn error_value(message: &str) -> Value {
@@ -1403,6 +1596,7 @@ fn parse_request(line: &str, config: &ServiceConfig) -> Result<Request, String> 
         .ok_or_else(|| "missing 'verb' field".to_string())?;
     let payload = match verb {
         "stats" => Payload::Stats,
+        "metrics" => Payload::Metrics,
         "shutdown" => Payload::Shutdown,
         "decompose" => {
             let f = parse_isf(&doc, config)?;

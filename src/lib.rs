@@ -15,6 +15,9 @@
 //!   and the 0→1 approximation by pseudoproduct expansion;
 //! * [`techmap`] — a gate library and tree-covering technology mapper used for the
 //!   area numbers of the evaluation;
+//! * [`obs`] — the zero-dependency observability runtime (registry of atomic
+//!   counters/gauges, deterministic log-bucketed latency histograms, span
+//!   timers) threaded through the engine, BDD managers, cache and server;
 //! * [`sat`] — a small deterministic CDCL SAT solver and Tseitin CNF builder,
 //!   the engine behind [`bidecomp::Oracle`] (the third, structurally
 //!   independent correctness judge next to the dense and BDD verifiers);
@@ -46,6 +49,7 @@ pub use bdd;
 pub use benchmarks;
 pub use bidecomp;
 pub use boolfunc;
+pub use obs;
 pub use sat;
 pub use service;
 pub use sop;
